@@ -1,0 +1,1 @@
+bench/main.ml: Adpm_experiments Exp_ablation Exp_fig10 Exp_fig234 Exp_fig7 Exp_fig8 Exp_fig9 Exp_scaling Microbench Printf String Sys

@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Figs. 2-4 walkthrough, Fig. 7 profiles, Fig. 8
+   statistics window, Fig. 9 performance/penalty aggregates, Fig. 10
+   tightness sweep, plus the heuristic ablations), then runs bechamel
+   micro-benchmarks of the underlying engines.
+
+   Environment knobs:
+     ADPM_BENCH_SEEDS  seeds per Fig. 9 cell (default 60, as in the paper)
+     ADPM_BENCH_FAST   set to shrink every experiment (CI smoke mode) *)
+
+open Adpm_experiments
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let fast = Sys.getenv_opt "ADPM_BENCH_FAST" <> None
+
+let section title = Printf.printf "\n%s\n%s\n\n" title (String.make 72 '=')
+
+let () =
+  let fig9_seeds = getenv_int "ADPM_BENCH_SEEDS" (if fast then 10 else 60) in
+  let fig7_seeds = if fast then 5 else 20 in
+  let fig10_seeds = if fast then 3 else 10 in
+  let ablation_seeds = if fast then 5 else 15 in
+  let ablation_instances = if fast then 10 else 30 in
+
+  section "Figures 2-4: Section 2.4 walkthrough";
+  print_string (Exp_fig234.render (Exp_fig234.run ()));
+
+  section "Figure 7: per-operation profiles (simplified case)";
+  print_string (Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ()));
+
+  section "Figure 8: design process statistics window";
+  print_string (Exp_fig8.render (Exp_fig8.run ()));
+
+  section "Figure 9: performance and computational penalty";
+  print_string (Exp_fig9.render (Exp_fig9.run ~seeds:fig9_seeds ()));
+
+  section "Figure 10: specification-tightness sweep";
+  print_string (Exp_fig10.render (Exp_fig10.run ~seeds:fig10_seeds ()));
+
+  section "Ablations: ADPM heuristics, CSP orderings, DCM consistency";
+  print_string
+    (Exp_ablation.render
+       (Exp_ablation.run ~seeds:ablation_seeds ~instances:ablation_instances ()));
+
+  section "Scaling study (extension): hardness vs acceleration and penalty";
+  print_string (Exp_scaling.render (Exp_scaling.run ~seeds:(if fast then 3 else 8) ()));
+
+  section "Micro-benchmarks (bechamel)";
+  Microbench.run ~fast ()

@@ -1,0 +1,101 @@
+(* Bechamel micro-benchmarks of the engines underneath the experiments:
+   interval arithmetic, HC4 revision, full propagation fixpoints on the
+   paper's two design cases, a complete ADPM simulation, and the CSP
+   backtracking search with the two informed orderings. *)
+
+open Bechamel
+open Toolkit
+open Adpm_util
+open Adpm_interval
+open Adpm_expr
+open Adpm_csp
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+let interval_mul_test =
+  let a = Interval.make 1.5 3.5 and b = Interval.make (-2.) 7. in
+  Test.make ~name:"interval mul" (Staged.stage (fun () -> Interval.mul a b))
+
+let hc4_revise_test =
+  let e =
+    Expr.(
+      Sub
+        ( Add (Mul (Var "x", Var "y"), Sqrt (Var "z")),
+          Mul (Const 2., Var "w") ))
+  in
+  let env = function
+    | "x" -> Interval.make 1. 4.
+    | "y" -> Interval.make 0.5 2.
+    | "z" -> Interval.make 0. 9.
+    | "w" -> Interval.make 1. 3.
+    | _ -> raise Not_found
+  in
+  let target = Interval.make neg_infinity 0. in
+  Test.make ~name:"HC4 revise (9-node expr)"
+    (Staged.stage (fun () -> Hc4.revise ~env e target))
+
+let propagate_test name build =
+  let dpm = build () ~mode:Dpm.Adpm in
+  let net = Dpm.network dpm in
+  Test.make ~name (Staged.stage (fun () -> Propagate.run net))
+
+let simulation_test name scenario mode =
+  let cfg = Config.default ~mode ~seed:7 in
+  Test.make ~name (Staged.stage (fun () -> Engine.run cfg scenario))
+
+let search_test heuristic =
+  let rng = Rng.create 42 in
+  let csp =
+    Search.random_csp rng ~nvars:12 ~domain_size:5 ~density:0.4 ~tightness:0.3
+  in
+  Test.make
+    ~name:(Printf.sprintf "CSP search (%s)" (Search.heuristic_name heuristic))
+    (Staged.stage (fun () -> Search.solve ~heuristic csp))
+
+let tests =
+  Test.make_grouped ~name:"adpm" ~fmt:"%s %s"
+    [
+      interval_mul_test;
+      hc4_revise_test;
+      propagate_test "propagate fixpoint (sensor, 21 constraints)"
+        (fun () -> Sensor.build ());
+      propagate_test "propagate fixpoint (receiver, 30 constraints)"
+        (fun () -> Receiver.build ());
+      simulation_test "full simulation (sensor, ADPM)" Sensor.scenario Dpm.Adpm;
+      simulation_test "full simulation (sensor, conventional)" Sensor.scenario
+        Dpm.Conventional;
+      search_test Search.Lexicographic;
+      search_test Search.Min_domain;
+    ]
+
+let run ~fast () =
+  let quota = Time.second (if fast then 0.25 else 1.0) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 100) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let entries = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  Printf.printf "%-55s %15s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+          else Printf.sprintf "%.1f ns" est
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        Printf.printf "%-55s %15s %10s\n" name pretty r2
+      | Some [] | None -> Printf.printf "%-55s %15s\n" name "(no estimate)")
+    entries

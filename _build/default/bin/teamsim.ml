@@ -1,0 +1,212 @@
+(* TeamSim command-line interface.
+
+   Subcommands:
+     run    — simulate one scenario/mode/seed, print the per-operation
+              profile and the run summary
+     sweep  — run many seeds for both modes and print the Fig. 9-style
+              comparison table
+     list   — list available scenarios *)
+
+open Cmdliner
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+let scenarios =
+  [
+    Simple.scenario; Simple_dddl.scenario; Lna.scenario; Sensor.scenario;
+    Receiver.scenario;
+    Generated.scenario (Generated.default_params ~subsystems:4 ~vars:3);
+    Generated.scenario (Generated.default_params ~subsystems:8 ~vars:4);
+  ]
+
+let find_scenario name =
+  match
+    List.find_opt (fun s -> String.equal s.Scenario.sc_name name) scenarios
+  with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown scenario %s (try: %s)" name
+         (String.concat ", "
+            (List.map (fun s -> s.Scenario.sc_name) scenarios)))
+
+let mode_conv =
+  let parse = function
+    | "adpm" -> Ok Dpm.Adpm
+    | "conventional" | "conv" -> Ok Dpm.Conventional
+    | s -> Error (`Msg (Printf.sprintf "bad mode %s (adpm|conventional)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Dpm.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see $(b,list)).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Dpm.Adpm
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Design process mode: $(b,adpm) or $(b,conventional).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt int 60
+    & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds per cell.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every operation.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:"Write the per-operation profile (run) or per-run table (sweep) as CSV.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write the run summary as JSON.")
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let run_cmd =
+  let action scenario_name mode seed verbose csv json =
+    match find_scenario scenario_name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok scenario ->
+      let cfg = Config.default ~mode ~seed in
+      let on_op r =
+        if verbose then
+          Printf.printf "  op %3d %-12s %-12s evals=%3d new-violations=%d%s\n"
+            r.Metrics.m_index r.Metrics.m_designer r.Metrics.m_kind
+            r.Metrics.m_evaluations r.Metrics.m_new_violations
+            (if r.Metrics.m_spin then " [spin]" else "")
+      in
+      let outcome = Engine.run ~on_op cfg scenario in
+      print_endline (Metrics.summary_line outcome.Engine.o_summary);
+      (match csv with
+      | Some path ->
+        write_file path (Export.profile_csv outcome.Engine.o_summary);
+        Printf.printf "wrote profile CSV to %s\n" path
+      | None -> ());
+      (match json with
+      | Some path ->
+        write_file path (Export.summary_json outcome.Engine.o_summary);
+        Printf.printf "wrote summary JSON to %s\n" path
+      | None -> ())
+  in
+  let term =
+    Term.(
+      const action $ scenario_arg $ mode_arg $ seed_arg $ verbose_arg $ csv_arg
+      $ json_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
+
+let sweep_cmd =
+  let action scenario_name seeds csv =
+    match find_scenario scenario_name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok scenario ->
+      let seed_list = List.init seeds (fun i -> i + 1) in
+      let conv_runs =
+        Engine.run_many (Config.default ~mode:Dpm.Conventional ~seed:0) scenario
+          ~seeds:seed_list
+      in
+      let adpm_runs =
+        Engine.run_many (Config.default ~mode:Dpm.Adpm ~seed:0) scenario
+          ~seeds:seed_list
+      in
+      print_string
+        (Report.comparison_table
+           ~title:(Printf.sprintf "scenario %s, %d seeds" scenario_name seeds)
+           [ Report.aggregate conv_runs; Report.aggregate adpm_runs ]);
+      (match csv with
+      | Some path ->
+        write_file path (Export.runs_csv (conv_runs @ adpm_runs));
+        Printf.printf "wrote per-run CSV to %s\n" path
+      | None -> ())
+  in
+  let term = Term.(const action $ scenario_arg $ seeds_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")
+    term
+
+let interactive_cmd =
+  let designer_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "designer" ] ~docv:"NAME"
+          ~doc:"Which team member to play (see the scenario's designers).")
+  in
+  let action scenario_name mode seed designer =
+    match find_scenario scenario_name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok scenario -> (
+      match Interactive.create ~mode ~seed scenario ~designer with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+      | session ->
+        Printf.printf
+          "Interactive %s session on %s. Type 'help' for commands, 'quit' to leave.\n"
+          (Dpm.mode_to_string mode) scenario_name;
+        let rec loop () =
+          if Interactive.finished session then
+            print_endline "Design complete."
+          else begin
+            Printf.printf "%s> %!" (Interactive.prompt session);
+            match In_channel.input_line stdin with
+            | None -> ()
+            | Some "quit" | Some "exit" -> ()
+            | Some line ->
+              (match Interactive.execute session line with
+              | Ok output -> print_string output
+              | Error msg -> Printf.printf "error: %s\n" msg);
+              loop ()
+          end
+        in
+        loop ())
+  in
+  let term =
+    Term.(const action $ scenario_arg $ mode_arg $ seed_arg $ designer_arg)
+  in
+  Cmd.v
+    (Cmd.info "interactive"
+       ~doc:"Play one designer yourself; the rest of the team is simulated.")
+    term
+
+let list_cmd =
+  let action () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-10s %s\n" s.Scenario.sc_name s.Scenario.sc_description)
+      scenarios
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List scenarios.") Term.(const action $ const ())
+
+let () =
+  let doc = "TeamSim design-process evaluation environment (DAC 2001 repro)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "teamsim" ~doc) [ run_cmd; sweep_cmd; interactive_cmd; list_cmd ]))

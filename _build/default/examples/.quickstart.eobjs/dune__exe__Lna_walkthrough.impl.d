@@ -1,0 +1,1 @@
+examples/lna_walkthrough.ml: Adpm_core Adpm_csp Adpm_scenarios Browser Constr Dpm List Lna Network Operator Printf Value

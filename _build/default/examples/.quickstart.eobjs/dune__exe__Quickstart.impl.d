@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adpm_core Adpm_csp Adpm_expr Adpm_interval Adpm_scenarios Adpm_teamsim Config Constr Domain Dpm Engine Expr Format Heuristic_data List Metrics Network Printf Propagate Value

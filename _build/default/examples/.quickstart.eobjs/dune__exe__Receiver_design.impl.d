@@ -1,0 +1,1 @@
+examples/receiver_design.ml: Adpm_core Adpm_scenarios Adpm_teamsim Config Dpm Engine List Metrics Printf Receiver Scenario Simple_dddl

@@ -1,0 +1,1 @@
+examples/sensor_design.ml: Adpm_core Adpm_csp Adpm_scenarios Adpm_teamsim Config Dpm Engine List Metrics Printf Report Sensor

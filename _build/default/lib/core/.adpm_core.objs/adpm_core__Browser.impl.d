@@ -1,0 +1,1 @@
+lib/core/browser.ml: Adpm_csp Adpm_interval Adpm_util Buffer Constr Design_object Domain Dpm List Network Printf String Table Value

@@ -1,0 +1,1 @@
+lib/core/browser.mli: Dpm

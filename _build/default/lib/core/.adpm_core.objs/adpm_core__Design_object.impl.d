@@ -1,0 +1,1 @@
+lib/core/design_object.ml: List Printf

@@ -1,0 +1,1 @@
+lib/core/dpm.ml: Adpm_csp Adpm_interval Constr Design_object Domain Hashtbl Heuristic_data List Network Notify Operator Printf Problem Propagate String

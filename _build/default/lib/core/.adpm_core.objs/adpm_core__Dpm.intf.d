@@ -1,0 +1,1 @@
+lib/core/dpm.mli: Adpm_csp Adpm_interval Constr Design_object Heuristic_data Network Notify Operator Problem

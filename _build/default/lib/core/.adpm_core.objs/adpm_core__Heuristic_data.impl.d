@@ -1,0 +1,1 @@
+lib/core/heuristic_data.ml: Adpm_csp Adpm_interval Constr Domain Format List Network Value

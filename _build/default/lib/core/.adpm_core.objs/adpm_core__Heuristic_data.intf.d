@@ -1,0 +1,1 @@
+lib/core/heuristic_data.mli: Adpm_csp Adpm_interval Domain Format Network Value

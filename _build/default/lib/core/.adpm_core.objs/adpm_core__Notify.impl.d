@@ -1,0 +1,1 @@
+lib/core/notify.ml: Adpm_csp Adpm_interval Constr Domain List Printf Problem

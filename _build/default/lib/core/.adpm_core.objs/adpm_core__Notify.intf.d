@@ -1,0 +1,1 @@
+lib/core/notify.mli: Adpm_csp Adpm_interval Constr Domain Problem

@@ -1,0 +1,1 @@
+lib/core/operator.ml: Adpm_csp Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/operator.mli: Adpm_csp Format Value

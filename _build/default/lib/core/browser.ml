@@ -1,0 +1,115 @@
+open Adpm_interval
+open Adpm_csp
+open Adpm_util
+
+let value_or_unassigned net prop =
+  match Network.assigned net prop with
+  | Some v -> Value.to_string v
+  | None -> "<No value assigned>"
+
+let feasible_string dpm prop =
+  let net = Dpm.network dpm in
+  let shown =
+    (* For bound properties the browser shows the constraint-margin window
+       (assignment relaxed), as Fig. 2 does for Diff-pair-W. *)
+    match (Dpm.mode dpm, Network.assigned net prop) with
+    | Dpm.Adpm, Some _ -> Dpm.relaxed_feasible dpm prop
+    | Dpm.Adpm, None | Dpm.Conventional, _ -> Network.feasible net prop
+  in
+  Domain.to_string shown
+
+let object_browser dpm object_name =
+  let net = Dpm.network dpm in
+  let obj =
+    match Dpm.find_object dpm object_name with
+    | Some o -> o
+    | None -> raise Not_found
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "Object name: %s\n" object_name);
+  Buffer.add_string buf
+    (Printf.sprintf "Version number: %s (current)\n"
+       (Design_object.version_string obj));
+  List.iter
+    (fun prop ->
+      if Network.mem_prop net prop then begin
+        let p = Network.find_prop net prop in
+        let levels =
+          match List.assoc_opt "levels" p.Network.p_meta with
+          | Some l -> Printf.sprintf "Abstraction Levels: %s" l
+          | None -> ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  %-14s %s\n" prop levels);
+        if Domain.is_numeric p.Network.p_initial then
+          Buffer.add_string buf
+            (Printf.sprintf "      Consistent values: %s\n"
+               (feasible_string dpm prop))
+      end)
+    obj.Design_object.o_properties;
+  Buffer.contents buf
+
+let property_browser dpm ~props =
+  let net = Dpm.network dpm in
+  let table = Table.create [ "Property"; "# c's"; "Value"; "Constraints" ] in
+  Table.set_align table [ Table.Left; Table.Right; Table.Right; Table.Left ];
+  List.iter
+    (fun prop ->
+      let connected = Network.constraints_of_prop net prop in
+      Table.add_row table
+        [
+          prop;
+          string_of_int (List.length connected);
+          value_or_unassigned net prop;
+          String.concat ", " (List.map (fun c -> c.Constr.name) connected);
+        ])
+    props;
+  Table.render table
+
+let conflict_browser dpm ~props =
+  let net = Dpm.network dpm in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "CONSTRAINTS\n";
+  let touched =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun prop ->
+           List.map (fun c -> c.Constr.id) (Network.constraints_of_prop net prop))
+         props)
+  in
+  List.iter
+    (fun cid ->
+      let c = Network.find_constraint net cid in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s %s\n" c.Constr.name
+           (Constr.status_to_string (Dpm.known_status dpm cid))))
+    touched;
+  Buffer.add_string buf "PROPERTIES\n";
+  let table =
+    Table.create [ "Property"; "# c's"; "Value"; "Object"; "Connected violations" ]
+  in
+  Table.set_align table
+    [ Table.Left; Table.Right; Table.Right; Table.Left; Table.Right ];
+  List.iter
+    (fun prop ->
+      let owner =
+        List.find_opt
+          (fun o -> Design_object.owns o prop)
+          (Dpm.objects dpm)
+      in
+      let alpha =
+        List.length
+          (List.filter
+             (fun c -> Dpm.known_status dpm c.Constr.id = Constr.Violated)
+             (Network.constraints_of_prop net prop))
+      in
+      Table.add_row table
+        [
+          prop;
+          string_of_int (Network.beta net prop);
+          value_or_unassigned net prop;
+          (match owner with Some o -> o.Design_object.o_name | None -> "");
+          (if alpha = 0 then "" else string_of_int alpha);
+        ])
+    props;
+  Buffer.add_string buf (Table.render table);
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Text renderings of Minerva III's browser windows.
+
+    The paper illustrates ADPM's heuristic support with three user-interface
+    views: the object browser showing value sets not found to be infeasible
+    (Fig. 2), the constraint-and-property browser showing each property's
+    constraint membership beta (Fig. 3), and the conflict-resolution view
+    showing statuses and connected violations alpha (Fig. 4). These
+    functions produce the equivalent plain-text views from the live design
+    state. *)
+
+val object_browser : Dpm.t -> string -> string
+(** [object_browser dpm object_name]: Fig. 2 — the object's version and, for
+    each of its numeric properties, the consistent (not found infeasible)
+    value set. @raise Not_found for unknown objects. *)
+
+val property_browser : Dpm.t -> props:string list -> string
+(** Fig. 3 — each property with the number of constraints it appears in and
+    the list of those constraints. *)
+
+val conflict_browser : Dpm.t -> props:string list -> string
+(** Fig. 4 — constraint statuses affecting the given properties, then a
+    PROPERTIES pane with value, number of constraints, and connected
+    violations per property. *)

@@ -1,0 +1,73 @@
+open Adpm_interval
+open Adpm_csp
+
+type event =
+  | Violation_detected of int
+  | Violation_resolved of int
+  | Feasible_reduced of string * Domain.t
+  | Feasible_empty of string
+  | Problem_update of int * Problem.status
+
+type notification = { n_recipient : string; n_events : event list }
+
+type subscriptions = (string * string list) list
+
+let routed_events ~args_of ~old_statuses ~new_statuses ~old_feasible
+    ~new_feasible =
+  let status_events =
+    List.concat_map
+      (fun (cid, s) ->
+        let old_s = old_statuses cid in
+        if s = old_s then []
+        else
+          match s with
+          | Constr.Violated -> [ (args_of cid, Violation_detected cid) ]
+          | Constr.Satisfied | Constr.Consistent ->
+            if old_s = Constr.Violated then
+              [ (args_of cid, Violation_resolved cid) ]
+            else [])
+      new_statuses
+  in
+  let feasible_events =
+    List.filter_map
+      (fun (prop, d) ->
+        let old_d = old_feasible prop in
+        if Domain.equal d old_d then None
+        else if Domain.is_empty d then Some ([ prop ], Feasible_empty prop)
+        else if Domain.measure d < Domain.measure old_d then
+          Some ([ prop ], Feasible_reduced (prop, d))
+        else None)
+      new_feasible
+  in
+  status_events @ feasible_events
+
+let diff ~subscriptions ~args_of ~old_statuses ~new_statuses ~old_feasible
+    ~new_feasible =
+  let events =
+    routed_events ~args_of ~old_statuses ~new_statuses ~old_feasible
+      ~new_feasible
+  in
+  List.filter_map
+    (fun (designer, props) ->
+      let relevant =
+        List.filter_map
+          (fun (touched, event) ->
+            if List.exists (fun p -> List.mem p props) touched then Some event
+            else None)
+          events
+      in
+      match relevant with
+      | [] -> None
+      | _ -> Some { n_recipient = designer; n_events = relevant })
+    subscriptions
+
+let event_to_string cname = function
+  | Violation_detected cid -> Printf.sprintf "violation detected: %s" (cname cid)
+  | Violation_resolved cid -> Printf.sprintf "violation resolved: %s" (cname cid)
+  | Feasible_reduced (prop, d) ->
+    Printf.sprintf "feasible subspace of %s reduced to %s" prop
+      (Domain.to_string d)
+  | Feasible_empty prop ->
+    Printf.sprintf "all values of %s are infeasible" prop
+  | Problem_update (pid, status) ->
+    Printf.sprintf "problem #%d is now %s" pid (Problem.status_to_string status)

@@ -1,0 +1,42 @@
+(** The Notification Manager (NM).
+
+    After each state transition the NM "alerts designers of
+    constraint-related events, including violations and reductions of a
+    property's feasible subspace", selecting the subset of the new state
+    relevant to each designer (Section 2.2). Relevance is determined by
+    subscriptions: a designer is subscribed to the properties of the
+    problems they own, and receives an event when it touches a subscribed
+    property. *)
+
+open Adpm_interval
+open Adpm_csp
+
+type event =
+  | Violation_detected of int  (** constraint id *)
+  | Violation_resolved of int
+  | Feasible_reduced of string * Domain.t
+      (** property and its new, smaller feasible subspace *)
+  | Feasible_empty of string
+      (** every value of the property was found infeasible *)
+  | Problem_update of int * Problem.status
+
+type notification = { n_recipient : string; n_events : event list }
+
+type subscriptions = (string * string list) list
+(** designer name -> subscribed properties *)
+
+val diff :
+  subscriptions:subscriptions ->
+  args_of:(int -> string list) ->
+  old_statuses:(int -> Constr.status) ->
+  new_statuses:(int * Constr.status) list ->
+  old_feasible:(string -> Domain.t) ->
+  new_feasible:(string * Domain.t) list ->
+  notification list
+(** Compute the per-designer event lists arising from a propagation result.
+    [args_of] maps a constraint id to its argument properties (used for
+    routing violation events). Only designers with at least one event get a
+    notification. *)
+
+val event_to_string : (int -> string) -> event -> string
+(** Render an event; the function maps constraint ids to names. *)

@@ -1,0 +1,58 @@
+open Adpm_csp
+
+type subproblem_spec = {
+  sp_name : string;
+  sp_owner : string;
+  sp_inputs : string list;
+  sp_outputs : string list;
+  sp_constraints : int list;
+  sp_depends_on_names : string list;
+  sp_object : string option;
+}
+
+type kind =
+  | Synthesis of (string * Value.t) list
+  | Verification of int list
+  | Decompose of subproblem_spec list
+
+type t = {
+  op_designer : string;
+  op_problem : int;
+  op_kind : kind;
+  op_motivated_by : int list;
+}
+
+let synthesis ?(motivated_by = []) ~designer ~problem assignments =
+  { op_designer = designer; op_problem = problem; op_kind = Synthesis assignments;
+    op_motivated_by = motivated_by }
+
+let verification ?(motivated_by = []) ~designer ~problem cids =
+  { op_designer = designer; op_problem = problem; op_kind = Verification cids;
+    op_motivated_by = motivated_by }
+
+let decompose ~designer ~problem specs =
+  { op_designer = designer; op_problem = problem; op_kind = Decompose specs;
+    op_motivated_by = [] }
+
+let kind_label t =
+  match t.op_kind with
+  | Synthesis _ -> "synthesis"
+  | Verification _ -> "verification"
+  | Decompose _ -> "decompose"
+
+let pp ppf t =
+  let detail =
+    match t.op_kind with
+    | Synthesis assignments ->
+      String.concat ", "
+        (List.map
+           (fun (p, v) -> Printf.sprintf "%s:=%s" p (Value.to_string v))
+           assignments)
+    | Verification cids ->
+      Printf.sprintf "check {%s}" (String.concat "," (List.map string_of_int cids))
+    | Decompose specs ->
+      Printf.sprintf "into {%s}"
+        (String.concat "," (List.map (fun s -> s.sp_name) specs))
+  in
+  Format.fprintf ppf "%s by %s on p#%d: %s" (kind_label t) t.op_designer
+    t.op_problem detail

@@ -1,0 +1,52 @@
+(** Design operators and operations.
+
+    A design operator helps solve a problem by computing output values
+    (synthesis/optimisation), verifying constraints (verification), or
+    decomposing the problem (decomposition) — Section 2.1. A design
+    operation theta pairs an operator with the problem it is applied to and
+    the requesting designer; it optionally records the violated constraints
+    that motivated it, which is what lets the DPM classify operations as
+    design {e spins} (operations caused by cross-subsystem violations,
+    Section 3.1.2). *)
+
+open Adpm_csp
+
+type subproblem_spec = {
+  sp_name : string;
+  sp_owner : string;
+  sp_inputs : string list;
+  sp_outputs : string list;
+  sp_constraints : int list;
+  sp_depends_on_names : string list;  (** names of sibling subproblems *)
+  sp_object : string option;
+}
+
+type kind =
+  | Synthesis of (string * Value.t) list
+      (** bind output properties to values *)
+  | Verification of int list
+      (** evaluate these constraints (subject to the mode's eligibility
+          rules) *)
+  | Decompose of subproblem_spec list
+      (** split the target problem into subproblems *)
+
+type t = {
+  op_designer : string;
+  op_problem : int;
+  op_kind : kind;
+  op_motivated_by : int list;
+      (** ids of the violated constraints this operation reacts to; empty
+          for forward design progress *)
+}
+
+val synthesis :
+  ?motivated_by:int list -> designer:string -> problem:int ->
+  (string * Value.t) list -> t
+
+val verification :
+  ?motivated_by:int list -> designer:string -> problem:int -> int list -> t
+
+val decompose : designer:string -> problem:int -> subproblem_spec list -> t
+
+val kind_label : t -> string
+val pp : Format.formatter -> t -> unit

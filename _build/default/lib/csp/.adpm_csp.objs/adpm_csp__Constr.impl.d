@@ -1,0 +1,1 @@
+lib/csp/constr.ml: Adpm_expr Adpm_interval Expr Float Format Interval List

@@ -1,0 +1,1 @@
+lib/csp/constr.mli: Adpm_expr Adpm_interval Expr Format Interval

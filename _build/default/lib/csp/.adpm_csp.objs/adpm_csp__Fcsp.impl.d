@@ -1,0 +1,1 @@
+lib/csp/fcsp.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/csp/network.ml: Adpm_expr Adpm_interval Constr Domain Expr Format Hashtbl Interval List Monotone Printf Value

@@ -1,0 +1,1 @@
+lib/csp/network.mli: Adpm_expr Adpm_interval Constr Domain Expr Format Interval Monotone Value

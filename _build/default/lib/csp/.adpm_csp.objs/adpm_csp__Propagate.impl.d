@@ -1,0 +1,1 @@
+lib/csp/propagate.ml: Adpm_expr Adpm_interval Constr Domain Float Hashtbl Hc4 Interval List Network Queue

@@ -1,0 +1,1 @@
+lib/csp/propagate.mli: Adpm_interval Constr Domain Network

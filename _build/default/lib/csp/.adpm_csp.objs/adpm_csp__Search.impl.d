@@ -1,0 +1,1 @@
+lib/csp/search.ml: Adpm_util Array Fcsp Fun Hashtbl List Queue Rng

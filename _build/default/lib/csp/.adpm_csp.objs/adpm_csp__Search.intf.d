@@ -1,0 +1,1 @@
+lib/csp/search.mli: Adpm_util Fcsp Rng

@@ -1,0 +1,68 @@
+open Adpm_interval
+open Adpm_expr
+
+type rel = Le | Ge | Eq
+
+type status = Satisfied | Violated | Consistent
+
+type t = { id : int; name : string; lhs : Expr.t; rel : rel; rhs : Expr.t }
+
+let make ~id ~name lhs rel rhs = { id; name; lhs; rel; rhs }
+
+let args c =
+  let lhs_vars = Expr.vars c.lhs in
+  let rhs_vars = Expr.vars c.rhs in
+  lhs_vars @ List.filter (fun v -> not (List.mem v lhs_vars)) rhs_vars
+
+let arity c = List.length (args c)
+
+let diff c = Expr.Sub (c.lhs, c.rhs)
+
+let default_eps = 1e-9
+
+let target ?(eps = default_eps) c =
+  match c.rel with
+  | Le -> Interval.make neg_infinity eps
+  | Ge -> Interval.make (-.eps) infinity
+  | Eq -> Interval.make (-.eps) eps
+
+let check_point ?(eps = default_eps) env c =
+  let d = Expr.eval env (diff c) in
+  if Float.is_nan d then false
+  else
+    match c.rel with
+    | Le -> d <= eps
+    | Ge -> d >= -.eps
+    | Eq -> abs_float d <= eps
+
+let status_on_box ?(eps = default_eps) env c =
+  match Expr.eval_interval env (diff c) with
+  | None -> Violated
+  | Some d -> (
+    let lo = Interval.lo d and hi = Interval.hi d in
+    match c.rel with
+    | Le -> if hi <= eps then Satisfied else if lo > eps then Violated else Consistent
+    | Ge ->
+      if lo >= -.eps then Satisfied else if hi < -.eps then Violated else Consistent
+    | Eq ->
+      if lo >= -.eps && hi <= eps then Satisfied
+      else if lo > eps || hi < -.eps then Violated
+      else Consistent)
+
+let pp_rel ppf rel =
+  Format.pp_print_string ppf (match rel with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+
+let pp_status ppf status =
+  Format.pp_print_string ppf
+    (match status with
+    | Satisfied -> "Satisfied"
+    | Violated -> "Violated"
+    | Consistent -> "Consistent")
+
+let status_to_string s = Format.asprintf "%a" pp_status s
+
+let pp ppf c =
+  Format.fprintf ppf "%s: %a %a %a" c.name Expr.pp c.lhs pp_rel c.rel Expr.pp
+    c.rhs
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,205 @@
+open Adpm_interval
+open Adpm_expr
+
+type prop = {
+  p_name : string;
+  p_initial : Domain.t;
+  mutable p_assigned : Value.t option;
+  mutable p_feasible : Domain.t;
+  p_meta : (string * string) list;
+}
+
+type t = {
+  props : (string, prop) Hashtbl.t;
+  mutable prop_order : string list; (* reversed insertion order *)
+  constrs : (int, Constr.t) Hashtbl.t;
+  mutable constr_order : int list; (* reversed *)
+  adjacency : (string, int list) Hashtbl.t;
+  statuses : (int, Constr.status) Hashtbl.t;
+  declared_mono : (string, Monotone.direction) Hashtbl.t;
+  (* key: "<cid>/<prop>" *)
+  mutable next_cid : int;
+}
+
+let create () =
+  {
+    props = Hashtbl.create 64;
+    prop_order = [];
+    constrs = Hashtbl.create 64;
+    constr_order = [];
+    adjacency = Hashtbl.create 64;
+    statuses = Hashtbl.create 64;
+    declared_mono = Hashtbl.create 16;
+    next_cid = 0;
+  }
+
+let copy t =
+  let fresh = create () in
+  Hashtbl.iter
+    (fun name p -> Hashtbl.replace fresh.props name { p with p_name = p.p_name })
+    t.props;
+  fresh.prop_order <- t.prop_order;
+  Hashtbl.iter (fun id c -> Hashtbl.replace fresh.constrs id c) t.constrs;
+  fresh.constr_order <- t.constr_order;
+  Hashtbl.iter (fun name ids -> Hashtbl.replace fresh.adjacency name ids) t.adjacency;
+  Hashtbl.iter (fun id s -> Hashtbl.replace fresh.statuses id s) t.statuses;
+  Hashtbl.iter (fun k d -> Hashtbl.replace fresh.declared_mono k d) t.declared_mono;
+  fresh.next_cid <- t.next_cid;
+  fresh
+
+let add_prop t ?(meta = []) name domain =
+  if Hashtbl.mem t.props name then
+    invalid_arg (Printf.sprintf "Network.add_prop: duplicate property %s" name);
+  if Domain.is_empty domain then
+    invalid_arg (Printf.sprintf "Network.add_prop: empty initial domain for %s" name);
+  Hashtbl.replace t.props name
+    { p_name = name; p_initial = domain; p_assigned = None; p_feasible = domain;
+      p_meta = meta };
+  t.prop_order <- name :: t.prop_order
+
+let prop_names t = List.rev t.prop_order
+let find_prop t name = Hashtbl.find t.props name
+let mem_prop t name = Hashtbl.mem t.props name
+let initial_domain t name = (find_prop t name).p_initial
+let feasible t name = (find_prop t name).p_feasible
+let set_feasible t name d = (find_prop t name).p_feasible <- d
+
+let reset_feasible t =
+  Hashtbl.iter (fun _ p -> p.p_feasible <- p.p_initial) t.props
+
+let assign t name value =
+  let p = find_prop t name in
+  (match (value, p.p_initial) with
+  | Value.Num x, (Domain.Continuous _ | Domain.Finite _) ->
+    (match Domain.hull p.p_initial with
+    | Some iv when Interval.mem x iv -> ()
+    | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "Network.assign: %g outside initial range of %s" x name))
+  | Value.Sym s, Domain.Symbolic _ ->
+    if not (Domain.mem_sym s p.p_initial) then
+      invalid_arg
+        (Printf.sprintf "Network.assign: %s outside initial range of %s" s name)
+  | Value.Num _, (Domain.Symbolic _ | Domain.Empty)
+  | Value.Sym _, (Domain.Continuous _ | Domain.Finite _ | Domain.Empty) ->
+    invalid_arg (Printf.sprintf "Network.assign: kind mismatch for %s" name));
+  p.p_assigned <- Some value
+
+let unassign t name = (find_prop t name).p_assigned <- None
+let assigned t name = (find_prop t name).p_assigned
+
+let assigned_num t name =
+  match assigned t name with
+  | Some (Value.Num x) -> Some x
+  | Some (Value.Sym _) | None -> None
+
+let is_bound t name = assigned t name <> None
+
+let numeric_props t =
+  List.filter (fun n -> Domain.is_numeric (initial_domain t n)) (prop_names t)
+
+let all_numeric_bound t = List.for_all (fun n -> is_bound t n) (numeric_props t)
+
+let box t name =
+  let p = find_prop t name in
+  match p.p_assigned with
+  | Some (Value.Num x) -> Some (Interval.of_point x)
+  | Some (Value.Sym _) -> None
+  | None -> Domain.hull p.p_initial
+
+let env_box t name =
+  match box t name with Some iv -> iv | None -> raise Not_found
+
+let env_point t name =
+  match assigned_num t name with
+  | Some x -> x
+  | None -> raise (Expr.Unbound_variable name)
+
+let add_constraint t ~name lhs rel rhs =
+  let c = Constr.make ~id:t.next_cid ~name lhs rel rhs in
+  List.iter
+    (fun arg ->
+      (match Hashtbl.find_opt t.props arg with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Network.add_constraint: unknown property %s in %s" arg name)
+      | Some p ->
+        if not (Domain.is_numeric p.p_initial) then
+          invalid_arg
+            (Printf.sprintf
+               "Network.add_constraint: symbolic property %s in %s" arg name));
+      let prev = try Hashtbl.find t.adjacency arg with Not_found -> [] in
+      Hashtbl.replace t.adjacency arg (c.Constr.id :: prev))
+    (Constr.args c);
+  Hashtbl.replace t.constrs c.Constr.id c;
+  t.constr_order <- c.Constr.id :: t.constr_order;
+  t.next_cid <- t.next_cid + 1;
+  c
+
+let constraints t =
+  List.rev_map (fun id -> Hashtbl.find t.constrs id) t.constr_order
+
+let find_constraint t id = Hashtbl.find t.constrs id
+let constraint_count t = Hashtbl.length t.constrs
+
+let constraints_of_prop t name =
+  match Hashtbl.find_opt t.adjacency name with
+  | None -> []
+  | Some ids -> List.rev_map (fun id -> Hashtbl.find t.constrs id) ids
+
+let status t id =
+  try Hashtbl.find t.statuses id with Not_found -> Constr.Consistent
+
+let set_status t id s = Hashtbl.replace t.statuses id s
+let reset_statuses t = Hashtbl.reset t.statuses
+
+let violated t =
+  List.filter (fun c -> status t c.Constr.id = Constr.Violated) (constraints t)
+
+let beta t name = List.length (constraints_of_prop t name)
+
+let alpha t name =
+  List.length
+    (List.filter
+       (fun c -> status t c.Constr.id = Constr.Violated)
+       (constraints_of_prop t name))
+
+let mono_key cid prop = Printf.sprintf "%d/%s" cid prop
+
+let declare_monotone t cid prop dir =
+  Hashtbl.replace t.declared_mono (mono_key cid prop) dir
+
+let diff_direction t c prop =
+  match Hashtbl.find_opt t.declared_mono (mono_key c.Constr.id prop) with
+  | Some dir -> dir
+  | None ->
+    let env name =
+      match Domain.hull (initial_domain t name) with
+      | Some iv -> iv
+      | None -> raise Not_found
+    in
+    (try Monotone.direction ~env (Constr.diff c) prop
+     with Not_found -> Monotone.Unknown)
+
+let helps_direction t c prop =
+  let dir = diff_direction t c prop in
+  match (c.Constr.rel, dir) with
+  | _, (Monotone.Constant | Monotone.Unknown) -> `None
+  | Constr.Le, Monotone.Increasing -> `Down (* shrinking lhs-rhs helps *)
+  | Constr.Le, Monotone.Decreasing -> `Up
+  | Constr.Ge, Monotone.Increasing -> `Up
+  | Constr.Ge, Monotone.Decreasing -> `Down
+  | Constr.Eq, (Monotone.Increasing | Monotone.Decreasing) -> `None
+
+let check_constraint_point t c = Constr.check_point (env_point t) c
+
+let solved t =
+  all_numeric_bound t
+  && List.for_all (fun c -> check_constraint_point t c) (constraints t)
+
+let reset_assignments t =
+  Hashtbl.iter (fun _ p -> p.p_assigned <- None) t.props
+
+let pp_summary ppf t =
+  Format.fprintf ppf "network: %d properties, %d constraints, %d violated"
+    (Hashtbl.length t.props) (constraint_count t) (List.length (violated t))

@@ -1,0 +1,126 @@
+(** The network of constraints C_n.
+
+    Holds every design property (with its initial range E_i, current
+    assignment, and feasible subspace v_F from the last propagation) and
+    every design constraint, plus the property-to-constraint adjacency used
+    by the heuristic-support computations (alpha_i, beta_i) of Section 2.3.
+
+    The network is a mutable store updated by the design process manager;
+    {!copy} produces an independent snapshot so many simulations can share
+    one scenario definition. *)
+
+open Adpm_interval
+open Adpm_expr
+
+type prop = private {
+  p_name : string;
+  p_initial : Domain.t;
+  mutable p_assigned : Value.t option;
+  mutable p_feasible : Domain.t;
+  p_meta : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+(** {1 Properties} *)
+
+val add_prop : t -> ?meta:(string * string) list -> string -> Domain.t -> unit
+(** @raise Invalid_argument on duplicate names or an [Empty] initial
+    domain. *)
+
+val prop_names : t -> string list
+(** Insertion order. *)
+
+val find_prop : t -> string -> prop
+(** @raise Not_found for unknown names. *)
+
+val mem_prop : t -> string -> bool
+val initial_domain : t -> string -> Domain.t
+val feasible : t -> string -> Domain.t
+val set_feasible : t -> string -> Domain.t -> unit
+val reset_feasible : t -> unit
+(** Restore every feasible subspace to the initial range. *)
+
+val assign : t -> string -> Value.t -> unit
+(** Bind a property. Numeric assignments must be numeric-domain properties
+    and symbolic assignments symbolic ones; the value need not lie inside
+    the current feasible subspace (designers may choose infeasible values —
+    that is what creates violations) but must lie in the initial range E_i.
+    @raise Invalid_argument on kind mismatch or out-of-range values. *)
+
+val unassign : t -> string -> unit
+val assigned : t -> string -> Value.t option
+val assigned_num : t -> string -> float option
+val is_bound : t -> string -> bool
+val all_numeric_bound : t -> bool
+
+val box : t -> string -> Interval.t option
+(** Interval view for propagation: the assigned point when bound, otherwise
+    the hull of the initial range. [None] for symbolic properties. *)
+
+val env_box : t -> string -> Interval.t
+(** As {!box} but raising [Not_found] for symbolic/unknown properties:
+    usable directly as an HC4 environment. *)
+
+val env_point : t -> string -> float
+(** Assigned numeric value.
+    @raise Expr.Unbound_variable when unbound. *)
+
+(** {1 Constraints} *)
+
+val add_constraint : t -> name:string -> Expr.t -> Constr.rel -> Expr.t -> Constr.t
+(** Registers the constraint and its adjacency.
+    @raise Invalid_argument if an argument property is unknown or
+    symbolic. *)
+
+val constraints : t -> Constr.t list
+(** Insertion order. *)
+
+val find_constraint : t -> int -> Constr.t
+val constraint_count : t -> int
+val constraints_of_prop : t -> string -> Constr.t list
+
+val status : t -> int -> Constr.status
+(** Last recorded status; [Consistent] before any evaluation. *)
+
+val set_status : t -> int -> Constr.status -> unit
+val reset_statuses : t -> unit
+val violated : t -> Constr.t list
+
+(** {1 Heuristic-support data (Section 2.3)} *)
+
+val beta : t -> string -> int
+(** Number of constraints mentioning the property. *)
+
+val alpha : t -> string -> int
+(** Number of currently-violated constraints mentioning the property
+    (equation 3). *)
+
+val declare_monotone : t -> int -> string -> Monotone.direction -> unit
+(** DDDL-style declaration overriding the structural analysis: the recorded
+    direction is that of the constraint's [diff] expression in the
+    property. *)
+
+val helps_direction : t -> Constr.t -> string -> [ `Up | `Down | `None ]
+(** Which way to move the property's value to help satisfy the constraint
+    (the paper's constraint-monotonicity notion): [`Up] means increasing
+    helps. Uses the declared direction when present, otherwise the
+    structural analysis over initial ranges. [`None] when not monotone or
+    for [Eq] relations with unknown slope. *)
+
+(** {1 Ground truth} *)
+
+val check_constraint_point : t -> Constr.t -> bool
+(** Evaluate at the current assignment (all arguments must be bound).
+    @raise Expr.Unbound_variable otherwise. *)
+
+val solved : t -> bool
+(** All numeric properties bound and every constraint satisfied at the
+    assignment — the simulation termination condition of Section 3.1.2. *)
+
+val reset_assignments : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,209 @@
+open Adpm_interval
+open Adpm_expr
+
+type outcome = {
+  feasible : (string * Domain.t) list;
+  statuses : (int * Constr.status) list;
+  evaluations : int;
+  fixpoint : bool;
+}
+
+(* [narrowed] is always a sub-interval of [old_iv] (HC4 intersects with the
+   input box); requeue only when the shrink is significant. *)
+let significantly_narrower ~eps old_iv narrowed =
+  let old_w = Interval.width old_iv and new_w = Interval.width narrowed in
+  if new_w < old_w then begin
+    if Float.is_finite old_w then old_w -. new_w > eps *. Float.max 1. old_w
+    else true
+  end
+  else false
+
+let numeric_props net =
+  List.filter
+    (fun name -> Domain.is_numeric (Network.initial_domain net name))
+    (Network.prop_names net)
+
+let initial_boxes net =
+  let boxes : (string, Interval.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      match Network.box net name with
+      | Some iv -> Hashtbl.replace boxes name iv
+      | None -> ())
+    (numeric_props net);
+  boxes
+
+(* The HC4 fixpoint core, shared by hull propagation and shaving probes.
+   Mutates [boxes]; returns the evaluation count, whether some constraint
+   became certainly unsatisfiable on the box, and whether the revision
+   budget was exhausted. Constraints found Empty are recorded in
+   [empty_marks] when provided. *)
+let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks net boxes =
+  let env name = Hashtbl.find boxes name in
+  let queue = Queue.create () in
+  let queued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let enqueue c =
+    if not (Hashtbl.mem queued c.Constr.id) then begin
+      Hashtbl.replace queued c.Constr.id ();
+      Queue.add c queue
+    end
+  in
+  List.iter enqueue (Network.constraints net);
+  let evaluations = ref 0 in
+  let budget_hit = ref false in
+  let any_empty = ref false in
+  let continue_loop () =
+    if Queue.is_empty queue then false
+    else if !evaluations >= max_revisions then begin
+      budget_hit := true;
+      false
+    end
+    else true
+  in
+  while continue_loop () do
+    let c = Queue.pop queue in
+    Hashtbl.remove queued c.Constr.id;
+    incr evaluations;
+    match Hc4.revise ~env (Constr.diff c) (Constr.target c) with
+    | Hc4.Empty ->
+      any_empty := true;
+      (match empty_marks with
+      | Some marks -> Hashtbl.replace marks c.Constr.id ()
+      | None -> ())
+    | Hc4.Narrowed bindings ->
+      List.iter
+        (fun (x, iv) ->
+          let old_iv = Hashtbl.find boxes x in
+          if not (Interval.equal old_iv iv) then begin
+            Hashtbl.replace boxes x iv;
+            if significantly_narrower ~eps old_iv iv then
+              List.iter
+                (fun c' -> if c'.Constr.id <> c.Constr.id then enqueue c')
+                (Network.constraints_of_prop net x)
+          end)
+        bindings
+  done;
+  (!evaluations, !any_empty, !budget_hit)
+
+(* 3B-style bound shaving: try to prove the outermost [1/slices] slice of a
+   variable's box infeasible by running the fixpoint on a copy; on success
+   the bound moves inward. Each probe's revisions are charged to the
+   caller's counter. *)
+let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
+  let probe x slice =
+    let copy = Hashtbl.copy boxes in
+    Hashtbl.replace copy x slice;
+    let evals, infeasible, _ =
+      fixpoint ~eps ~max_revisions:(max_revisions / 4) net copy
+    in
+    evaluations := !evaluations + evals;
+    infeasible
+  in
+  let shave_prop x =
+    let changed = ref false in
+    let attempt side =
+      let iv = Hashtbl.find boxes x in
+      let w = Interval.width iv in
+      if Float.is_finite w && w > eps then begin
+        let step = w /. float_of_int slices in
+        let lo = Interval.lo iv and hi = Interval.hi iv in
+        let slice, rest =
+          match side with
+          | `Low -> (Interval.make lo (lo +. step), Interval.make (lo +. step) hi)
+          | `High -> (Interval.make (hi -. step) hi, Interval.make lo (hi -. step))
+        in
+        if probe x slice then begin
+          Hashtbl.replace boxes x rest;
+          changed := true
+        end
+      end
+    in
+    attempt `Low;
+    attempt `High;
+    !changed
+  in
+  let unbound =
+    List.filter (fun x -> not (Network.is_bound net x)) (numeric_props net)
+  in
+  (* one shaving sweep per variable, repeated while it makes progress and
+     the budget allows; bounded to avoid slow convergence *)
+  let rec sweeps remaining =
+    if remaining = 0 || !evaluations >= max_revisions then ()
+    else begin
+      let progress =
+        List.fold_left
+          (fun acc x ->
+            if !evaluations >= max_revisions then acc
+            else shave_prop x || acc)
+          false unbound
+      in
+      if progress then begin
+        (* re-contract with plain propagation after successful shaves *)
+        let evals, _, _ = fixpoint ~eps ~max_revisions net boxes in
+        evaluations := !evaluations + evals;
+        sweeps (remaining - 1)
+      end
+    end
+  in
+  sweeps 3
+
+let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull) net =
+  let boxes = initial_boxes net in
+  let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let evals, _, budget_hit =
+    fixpoint ~eps ~max_revisions ~empty_marks net boxes
+  in
+  let evaluations = ref evals in
+  (match consistency with
+  | `Hull -> ()
+  | `Shave slices ->
+    if slices < 2 then invalid_arg "Propagate.run: shaving needs >= 2 slices";
+    shave_bounds ~eps ~max_revisions ~slices net boxes evaluations);
+  let env name = Hashtbl.find boxes name in
+  let statuses =
+    List.map
+      (fun c ->
+        incr evaluations;
+        let s =
+          if Hashtbl.mem empty_marks c.Constr.id then Constr.Violated
+          else Constr.status_on_box env c
+        in
+        (c.Constr.id, s))
+      (Network.constraints net)
+  in
+  let feasible =
+    List.map
+      (fun name ->
+        let initial = Network.initial_domain net name in
+        let d =
+          match Hashtbl.find_opt boxes name with
+          | Some iv -> Domain.refine initial iv
+          | None -> initial
+        in
+        (name, d))
+      (numeric_props net)
+  in
+  { feasible; statuses; evaluations = !evaluations; fixpoint = not budget_hit }
+
+let apply net outcome =
+  List.iter (fun (name, d) -> Network.set_feasible net name d) outcome.feasible;
+  List.iter (fun (id, s) -> Network.set_status net id s) outcome.statuses
+
+let run_and_apply ?eps ?max_revisions ?consistency net =
+  let outcome = run ?eps ?max_revisions ?consistency net in
+  apply net outcome;
+  outcome
+
+let relaxed_feasible_group ?eps ?max_revisions ?consistency net ~target ~unpin =
+  let snapshot = Network.copy net in
+  Network.unassign snapshot target;
+  List.iter (fun p -> Network.unassign snapshot p) unpin;
+  let outcome = run ?eps ?max_revisions ?consistency snapshot in
+  let d =
+    try List.assoc target outcome.feasible
+    with Not_found -> Network.initial_domain net target
+  in
+  (d, outcome.evaluations)
+
+let relaxed_feasible ?eps ?max_revisions net name =
+  relaxed_feasible_group ?eps ?max_revisions net ~target:name ~unpin:[]

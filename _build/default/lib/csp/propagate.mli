@@ -1,0 +1,73 @@
+(** Constraint propagation to fixpoint.
+
+    Implements the Design Constraint Manager's propagation step
+    (Section 2.2): starting from the current argument values — the assigned
+    point for bound properties, the initial range E_i for unbound ones —
+    HC4-revise every constraint until no domain changes, then classify every
+    constraint's status. The result is the feasible subspace v_F(a_i) of
+    every property plus the status of every constraint.
+
+    Every HC4 revision and every final status classification counts as one
+    "constraint evaluation", the cost unit of the paper's evaluation
+    (each corresponds to a run of a constraint-based system or verification
+    tool in the real environment).
+
+    Two consistency levels are available: hull consistency (the default,
+    one HC4 fixpoint) and a stronger 3B-style {e bound shaving} that tries
+    to refute the outermost slices of each unbound variable's box with
+    probe propagations — narrower feasible subspaces at a higher
+    evaluation cost. *)
+
+open Adpm_interval
+
+type outcome = {
+  feasible : (string * Domain.t) list;
+      (** Feasible subspace per numeric property. *)
+  statuses : (int * Constr.status) list;  (** Per constraint id. *)
+  evaluations : int;  (** Constraint evaluations performed. *)
+  fixpoint : bool;  (** False when stopped by the revision budget. *)
+}
+
+val run :
+  ?eps:float ->
+  ?max_revisions:int ->
+  ?consistency:[ `Hull | `Shave of int ] ->
+  Network.t ->
+  outcome
+(** Pure with respect to the network: reads assignments and initial domains,
+    writes nothing. [max_revisions] (default 10_000) bounds non-terminating
+    slow convergence; [eps] is the relative narrowing threshold below which
+    a domain change does not requeue neighbours (default 1e-9).
+    [consistency] defaults to [`Hull]; [`Shave n] additionally shaves each
+    unbound variable's bounds in [1/n]-width slices (n >= 2). *)
+
+val apply : Network.t -> outcome -> unit
+(** Store feasible subspaces and statuses into the network. *)
+
+val run_and_apply :
+  ?eps:float ->
+  ?max_revisions:int ->
+  ?consistency:[ `Hull | `Shave of int ] ->
+  Network.t ->
+  outcome
+
+val relaxed_feasible :
+  ?eps:float -> ?max_revisions:int -> Network.t -> string -> Domain.t * int
+(** [relaxed_feasible net p]: the feasible subspace of [p] computed with
+    [p]'s own assignment ignored (all other assignments kept) — the
+    "constraint margin" trade-off information the browser of Fig. 2 shows
+    for bound properties and that conflict resolution exploits. Returns the
+    domain and the number of constraint evaluations spent. *)
+
+val relaxed_feasible_group :
+  ?eps:float ->
+  ?max_revisions:int ->
+  ?consistency:[ `Hull | `Shave of int ] ->
+  Network.t ->
+  target:string ->
+  unpin:string list ->
+  Domain.t * int
+(** As {!relaxed_feasible} for [target], but additionally ignoring the
+    assignments of the [unpin] properties — used when [target] is a design
+    parameter whose dependent performance properties must be free to move
+    with it. *)

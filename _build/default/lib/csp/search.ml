@@ -1,0 +1,232 @@
+open Adpm_util
+
+type heuristic =
+  | Lexicographic
+  | Random_order
+  | Min_domain
+  | Max_degree
+  | Min_domain_over_degree
+
+let heuristic_name = function
+  | Lexicographic -> "lex"
+  | Random_order -> "random"
+  | Min_domain -> "min-domain"
+  | Max_degree -> "max-degree"
+  | Min_domain_over_degree -> "dom/deg"
+
+let all_heuristics =
+  [ Lexicographic; Random_order; Min_domain; Max_degree; Min_domain_over_degree ]
+
+type inference = No_inference | Forward_check | Mac
+
+let inference_name = function
+  | No_inference -> "backtracking"
+  | Forward_check -> "forward checking"
+  | Mac -> "MAC"
+
+type stats = {
+  solution : int array option;
+  nodes : int;
+  backtracks : int;
+  checks : int;
+}
+
+let solve ?rng ?(inference = Forward_check) ~heuristic (csp : Fcsp.t) =
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let n = csp.Fcsp.nvars in
+  let domains = Array.map (fun d -> ref d) csp.Fcsp.domains in
+  let assigned = Array.make n false in
+  let assignment = Array.make n min_int in
+  let nodes = ref 0 and backtracks = ref 0 and checks = ref 0 in
+  let static_order =
+    match heuristic with
+    | Random_order -> Array.of_list (Rng.shuffle rng (List.init n Fun.id))
+    | Lexicographic | Min_domain | Max_degree | Min_domain_over_degree ->
+      Array.init n Fun.id
+  in
+  let degree = Array.init n (fun v -> Fcsp.degree csp v) in
+  let pick_var () =
+    let candidates = List.filter (fun v -> not assigned.(v)) (List.init n Fun.id) in
+    match candidates with
+    | [] -> None
+    | _ ->
+      let score v =
+        match heuristic with
+        | Lexicographic -> float_of_int v
+        | Random_order ->
+          let pos = ref 0 in
+          Array.iteri (fun i x -> if x = v then pos := i) static_order;
+          float_of_int !pos
+        | Min_domain -> float_of_int (List.length !(domains.(v)))
+        | Max_degree -> -.float_of_int degree.(v)
+        | Min_domain_over_degree ->
+          float_of_int (List.length !(domains.(v)))
+          /. float_of_int (max 1 degree.(v))
+      in
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some b -> if score v < score b then Some v else acc)
+        None candidates
+  in
+  (* No_inference: check the new assignment against already-assigned
+     neighbours only. *)
+  let consistent_with_past v value =
+    List.for_all
+      (fun (i, j, test) ->
+        if i = v && assigned.(j) then begin
+          incr checks;
+          test value assignment.(j)
+        end
+        else if j = v && assigned.(i) then begin
+          incr checks;
+          test assignment.(i) value
+        end
+        else true)
+      csp.Fcsp.constraints
+  in
+  (* Forward checking: prune unassigned neighbours of [v]; returns the undo
+     list or None on wipeout. *)
+  let forward_check v value =
+    let undo = ref [] in
+    let ok = ref true in
+    List.iter
+      (fun (i, j, test) ->
+        if !ok then begin
+          let neighbour, check =
+            if i = v then (j, fun w -> test value w)
+            else if j = v then (i, fun w -> test w value)
+            else (-1, fun _ -> true)
+          in
+          if neighbour >= 0 && not assigned.(neighbour) then begin
+            let before = !(domains.(neighbour)) in
+            let kept =
+              List.filter
+                (fun w ->
+                  incr checks;
+                  check w)
+                before
+            in
+            if List.length kept < List.length before then begin
+              undo := (neighbour, before) :: !undo;
+              domains.(neighbour) := kept;
+              if kept = [] then ok := false
+            end
+          end
+        end)
+      csp.Fcsp.constraints;
+    if !ok then Some !undo
+    else begin
+      List.iter (fun (w, before) -> domains.(w) := before) !undo;
+      None
+    end
+  in
+  (* MAC: after the assignment, enforce arc consistency on the current
+     domains (assigned variables are singletons); returns the undo list or
+     None on wipeout. *)
+  let maintain_arc_consistency () =
+    let snapshot = Array.map (fun d -> !d) domains in
+    let queue = Queue.create () in
+    List.iter
+      (fun (i, j, test) ->
+        Queue.add (i, j, test) queue;
+        Queue.add (j, i, fun a b -> test b a) queue)
+      csp.Fcsp.constraints;
+    let wiped = ref false in
+    while (not !wiped) && not (Queue.is_empty queue) do
+      let i, j, test = Queue.pop queue in
+      let supported vi =
+        List.exists
+          (fun vj ->
+            incr checks;
+            test vi vj)
+          !(domains.(j))
+      in
+      let kept = List.filter supported !(domains.(i)) in
+      if List.length kept < List.length !(domains.(i)) then begin
+        domains.(i) := kept;
+        if kept = [] then wiped := true
+        else
+          List.iter
+            (fun (a, b, t) ->
+              if b = i && a <> j then Queue.add (a, b, t) queue;
+              if a = i && b <> j then Queue.add (b, a, (fun x y -> t y x)) queue)
+            csp.Fcsp.constraints
+      end
+    done;
+    let undo =
+      Array.to_list
+        (Array.mapi (fun v before -> (v, before)) snapshot)
+    in
+    if !wiped then begin
+      List.iter (fun (v, before) -> domains.(v) := before) undo;
+      None
+    end
+    else Some undo
+  in
+  let infer v value =
+    match inference with
+    | No_inference ->
+      if consistent_with_past v value then Some [] else None
+    | Forward_check -> forward_check v value
+    | Mac ->
+      domains.(v) := [ value ];
+      maintain_arc_consistency ()
+  in
+  let rec go depth =
+    if depth = n then true
+    else
+      match pick_var () with
+      | None -> true
+      | Some v ->
+        let saved_domain = !(domains.(v)) in
+        let try_value value =
+          incr nodes;
+          assignment.(v) <- value;
+          assigned.(v) <- true;
+          match infer v value with
+          | Some undo ->
+            if go (depth + 1) then true
+            else begin
+              List.iter (fun (w, before) -> domains.(w) := before) undo;
+              domains.(v) := saved_domain;
+              assigned.(v) <- false;
+              incr backtracks;
+              false
+            end
+          | None ->
+            domains.(v) := saved_domain;
+            assigned.(v) <- false;
+            incr backtracks;
+            false
+        in
+        List.exists try_value saved_domain
+  in
+  let found = go 0 in
+  {
+    solution = (if found then Some (Array.copy assignment) else None);
+    nodes = !nodes;
+    backtracks = !backtracks;
+    checks = !checks;
+  }
+
+let random_csp rng ~nvars ~domain_size ~density ~tightness =
+  let domains = Array.make nvars (List.init domain_size Fun.id) in
+  let constraints = ref [] in
+  for i = 0 to nvars - 2 do
+    for j = i + 1 to nvars - 1 do
+      if Rng.float rng 1.0 < density then begin
+        let forbidden = Hashtbl.create 16 in
+        for vi = 0 to domain_size - 1 do
+          for vj = 0 to domain_size - 1 do
+            if Rng.float rng 1.0 < tightness then
+              Hashtbl.replace forbidden (vi, vj) ()
+          done
+        done;
+        let ok vi vj = not (Hashtbl.mem forbidden (vi, vj)) in
+        constraints := (i, j, ok) :: !constraints
+      end
+    done
+  done;
+  Fcsp.make ~nvars ~domains ~constraints:!constraints

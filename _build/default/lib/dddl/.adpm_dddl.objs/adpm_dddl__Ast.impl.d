@@ -1,0 +1,1 @@
+lib/dddl/ast.ml: Adpm_csp Adpm_expr Constr Expr

@@ -1,0 +1,1 @@
+lib/dddl/ast.mli: Adpm_csp Adpm_expr Constr Expr

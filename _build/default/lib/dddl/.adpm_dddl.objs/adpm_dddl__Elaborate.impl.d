@@ -1,0 +1,1 @@
+lib/dddl/elaborate.ml: Adpm_core Adpm_csp Adpm_expr Adpm_interval Adpm_teamsim Ast Constr Design_object Domain Dpm Expr Hashtbl List Monotone Network Parser Printf Problem Scenario String Value

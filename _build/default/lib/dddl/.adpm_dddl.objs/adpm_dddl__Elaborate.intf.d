@@ -1,0 +1,1 @@
+lib/dddl/elaborate.mli: Adpm_teamsim Ast

@@ -1,0 +1,1 @@
+lib/dddl/lexer.ml: Buffer List Printf String Token

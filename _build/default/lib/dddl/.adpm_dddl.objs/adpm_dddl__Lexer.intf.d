@@ -1,0 +1,1 @@
+lib/dddl/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/dddl/parser.ml: Adpm_csp Adpm_expr Ast Constr Expr Float Lexer List Printf String Token

@@ -1,0 +1,1 @@
+lib/dddl/parser.mli: Adpm_expr Ast

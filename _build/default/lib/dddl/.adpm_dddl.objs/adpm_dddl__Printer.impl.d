@@ -1,0 +1,1 @@
+lib/dddl/printer.ml: Adpm_csp Adpm_expr Ast Buffer Constr Expr List Printf String Token

@@ -1,0 +1,1 @@
+lib/dddl/printer.mli: Adpm_expr Ast

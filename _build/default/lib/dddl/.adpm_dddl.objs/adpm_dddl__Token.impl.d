@@ -1,0 +1,1 @@
+lib/dddl/token.ml: List Printf

@@ -1,0 +1,47 @@
+open Adpm_expr
+open Adpm_csp
+
+type domain_decl =
+  | D_real of float * float
+  | D_discrete of float list
+  | D_symbol of string list
+
+type property_decl = {
+  pd_name : string;
+  pd_domain : domain_decl;
+  pd_levels : string option;
+}
+
+type monotone_decl = {
+  md_helps : [ `Increasing | `Decreasing ];
+  md_prop : string;
+}
+
+type constraint_decl = {
+  cd_name : string;
+  cd_lhs : Expr.t;
+  cd_rel : Constr.rel;
+  cd_rhs : Expr.t;
+  cd_monotone : monotone_decl list;
+}
+
+type problem_decl = {
+  prd_name : string;
+  prd_owner : string;
+  prd_inputs : string list;
+  prd_outputs : string list;
+  prd_constraints : string list;
+  prd_object : string option;
+  prd_after : string list;
+  prd_children : problem_decl list;
+}
+
+type scenario_decl = {
+  sd_name : string;
+  sd_properties : property_decl list;
+  sd_constraints : constraint_decl list;
+  sd_models : (string * Expr.t) list;
+  sd_requirements : (string * float) list;
+  sd_objects : (string * string list) list;
+  sd_problem : problem_decl;
+}

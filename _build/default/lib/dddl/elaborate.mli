@@ -1,0 +1,17 @@
+(** Elaboration of a DDDL description into a runnable TeamSim scenario.
+
+    Performs the semantic checks the parser cannot (unknown property and
+    constraint references, duplicate declarations, models targeting
+    non-properties, monotonicity declarations naming properties outside the
+    constraint) and produces a {!Adpm_teamsim.Scenario.t} whose build
+    function constructs a fresh network, problem hierarchy and DPM per
+    run. *)
+
+exception Error of string
+
+val scenario : Ast.scenario_decl -> Adpm_teamsim.Scenario.t
+(** @raise Error on semantic errors. *)
+
+val load_string : string -> Adpm_teamsim.Scenario.t
+(** Parse then elaborate.
+    @raise Parser.Error / Lexer.Error / Error accordingly. *)

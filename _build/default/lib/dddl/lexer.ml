@@ -1,0 +1,150 @@
+exception Error of { line : int; col : int; message : string }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st message = raise (Error { line = st.line; col = st.col; message })
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec scan () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        scan ()
+      | None, _ -> error st "unterminated block comment"
+    in
+    scan ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  if peek st = Some '.' && (match peek2 st with Some c -> is_digit c | _ -> false)
+  then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    if not (match peek st with Some c -> is_digit c | None -> false) then
+      error st "malformed exponent";
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  | Some _ | None -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some x -> Token.NUMBER x
+  | None -> error st (Printf.sprintf "malformed number %s" text)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> kw
+  | None -> Token.IDENT text
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec scan () =
+    match peek st with
+    | Some '"' -> advance st
+    | Some '\n' | None -> error st "unterminated string literal"
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      scan ()
+  in
+  scan ();
+  Token.STRING (Buffer.contents buf)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit line col token = tokens := { Token.token; line; col } :: !tokens in
+  let rec loop () =
+    skip_trivia st;
+    let line = st.line and col = st.col in
+    match peek st with
+    | None -> emit line col Token.EOF
+    | Some c ->
+      (match c with
+      | '{' -> advance st; emit line col Token.LBRACE
+      | '}' -> advance st; emit line col Token.RBRACE
+      | '[' -> advance st; emit line col Token.LBRACKET
+      | ']' -> advance st; emit line col Token.RBRACKET
+      | '(' -> advance st; emit line col Token.LPAREN
+      | ')' -> advance st; emit line col Token.RPAREN
+      | ':' -> advance st; emit line col Token.COLON
+      | ';' -> advance st; emit line col Token.SEMI
+      | ',' -> advance st; emit line col Token.COMMA
+      | '=' -> advance st; emit line col Token.EQUAL
+      | '+' -> advance st; emit line col Token.PLUS
+      | '-' -> advance st; emit line col Token.MINUS
+      | '*' -> advance st; emit line col Token.STAR
+      | '/' -> advance st; emit line col Token.SLASH
+      | '^' -> advance st; emit line col Token.CARET
+      | '<' when peek2 st = Some '=' ->
+        advance st; advance st;
+        emit line col Token.LE
+      | '>' when peek2 st = Some '=' ->
+        advance st; advance st;
+        emit line col Token.GE
+      | '"' -> emit line col (lex_string st)
+      | c when is_digit c -> emit line col (lex_number st)
+      | c when is_ident_start c -> emit line col (lex_ident st)
+      | c -> error st (Printf.sprintf "unexpected character %C" c));
+      loop ()
+  in
+  loop ();
+  List.rev !tokens

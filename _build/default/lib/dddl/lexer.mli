@@ -1,0 +1,12 @@
+(** Hand-written lexer for DDDL.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    numbers with optional exponent, identifiers (which may be keywords),
+    and double-quoted strings (used for names containing characters outside
+    the identifier alphabet, such as ["Diff-pair-W"]). *)
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> Token.located list
+(** The result always ends with an [EOF] token.
+    @raise Error on malformed input. *)

@@ -1,0 +1,369 @@
+open Adpm_expr
+open Adpm_csp
+
+exception Error of { line : int; col : int; message : string }
+
+type state = { mutable tokens : Token.located list }
+
+let current st =
+  match st.tokens with
+  | tok :: _ -> tok
+  | [] -> { Token.token = Token.EOF; line = 0; col = 0 }
+
+let fail st message =
+  let tok = current st in
+  raise (Error { line = tok.Token.line; col = tok.Token.col; message })
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let peek st = (current st).Token.token
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.to_string token)
+         (Token.to_string (peek st)))
+
+let accept st token =
+  if peek st = token then begin
+    advance st;
+    true
+  end
+  else false
+
+(* property / constraint / problem names: identifier or quoted string *)
+let name st =
+  match peek st with
+  | Token.IDENT s | Token.STRING s ->
+    advance st;
+    s
+  | t -> fail st (Printf.sprintf "expected a name but found %s" (Token.to_string t))
+
+let number st =
+  match peek st with
+  | Token.NUMBER x ->
+    advance st;
+    x
+  | Token.MINUS -> (
+    advance st;
+    match peek st with
+    | Token.NUMBER x ->
+      advance st;
+      -.x
+    | t -> fail st (Printf.sprintf "expected a number but found %s" (Token.to_string t)))
+  | t -> fail st (Printf.sprintf "expected a number but found %s" (Token.to_string t))
+
+let name_list st =
+  let first = name st in
+  let rec more acc =
+    if accept st Token.COMMA then more (name st :: acc) else List.rev acc
+  in
+  more [ first ]
+
+(* {2 Expressions} *)
+
+let rec expr st = additive st
+
+and additive st =
+  let rec loop lhs =
+    if accept st Token.PLUS then loop (Expr.Add (lhs, multiplicative st))
+    else if accept st Token.MINUS then loop (Expr.Sub (lhs, multiplicative st))
+    else lhs
+  in
+  loop (multiplicative st)
+
+and multiplicative st =
+  let rec loop lhs =
+    if accept st Token.STAR then loop (Expr.Mul (lhs, unary st))
+    else if accept st Token.SLASH then loop (Expr.Div (lhs, unary st))
+    else lhs
+  in
+  loop (unary st)
+
+and unary st =
+  if accept st Token.MINUS then begin
+    (* fold unary minus on literals so "-3.5" reads as the constant -3.5 *)
+    match unary st with
+    | Expr.Const c -> Expr.Const (-.c)
+    | e -> Expr.Neg e
+  end
+  else power st
+
+and power st =
+  let base = atom st in
+  if accept st Token.CARET then begin
+    match peek st with
+    | Token.NUMBER x when Float.is_integer x && x >= 0. ->
+      advance st;
+      Expr.Pow (base, int_of_float x)
+    | _ -> fail st "exponent must be a non-negative integer"
+  end
+  else base
+
+and atom st =
+  match peek st with
+  | Token.NUMBER x ->
+    advance st;
+    Expr.Const x
+  | Token.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.STRING s ->
+    advance st;
+    Expr.Var s
+  | Token.IDENT fn when is_function st fn -> function_call st fn
+  | Token.IDENT s ->
+    advance st;
+    Expr.Var s
+  | t -> fail st (Printf.sprintf "expected an expression but found %s" (Token.to_string t))
+
+and is_function st fn =
+  (* a function name must be followed by '(' *)
+  (match fn with
+  | "sqrt" | "exp" | "ln" | "abs" | "min" | "max" -> true
+  | _ -> false)
+  &&
+  match st.tokens with
+  | _ :: { Token.token = Token.LPAREN; _ } :: _ -> true
+  | _ -> false
+
+and function_call st fn =
+  advance st;
+  expect st Token.LPAREN;
+  let first = expr st in
+  let result =
+    match fn with
+    | "sqrt" -> Expr.Sqrt first
+    | "exp" -> Expr.Exp first
+    | "ln" -> Expr.Ln first
+    | "abs" -> Expr.Abs first
+    | "min" | "max" ->
+      expect st Token.COMMA;
+      let second = expr st in
+      if String.equal fn "min" then Expr.Min (first, second)
+      else Expr.Max (first, second)
+    | _ -> fail st (Printf.sprintf "unknown function %s" fn)
+  in
+  expect st Token.RPAREN;
+  result
+
+(* {2 Declarations} *)
+
+let domain_decl st =
+  if accept st Token.KW_REAL then begin
+    expect st Token.LBRACKET;
+    let lo = number st in
+    expect st Token.COMMA;
+    let hi = number st in
+    expect st Token.RBRACKET;
+    Ast.D_real (lo, hi)
+  end
+  else if accept st Token.KW_DISCRETE then begin
+    expect st Token.LBRACE;
+    let first = number st in
+    let rec more acc =
+      if accept st Token.COMMA then more (number st :: acc) else List.rev acc
+    in
+    let values = more [ first ] in
+    expect st Token.RBRACE;
+    Ast.D_discrete values
+  end
+  else if accept st Token.KW_SYMBOL then begin
+    expect st Token.LBRACE;
+    let values = name_list st in
+    expect st Token.RBRACE;
+    Ast.D_symbol values
+  end
+  else fail st "expected a domain ('real', 'discrete' or 'symbol')"
+
+let property_decl st =
+  let pd_name = name st in
+  expect st Token.COLON;
+  let pd_domain = domain_decl st in
+  let pd_levels =
+    if accept st Token.KW_LEVELS then
+      match peek st with
+      | Token.STRING s ->
+        advance st;
+        Some s
+      | _ -> fail st "expected a string after 'levels'"
+    else None
+  in
+  expect st Token.SEMI;
+  { Ast.pd_name; pd_domain; pd_levels }
+
+let relation st =
+  if accept st Token.LE then Constr.Le
+  else if accept st Token.GE then Constr.Ge
+  else if accept st Token.EQUAL then Constr.Eq
+  else fail st "expected a relation ('<=', '>=' or '=')"
+
+let monotone_decl st =
+  expect st Token.KW_MONOTONE;
+  let md_helps =
+    if accept st Token.KW_INCREASING then `Increasing
+    else if accept st Token.KW_DECREASING then `Decreasing
+    else fail st "expected 'increasing' or 'decreasing'"
+  in
+  expect st Token.KW_IN;
+  let md_prop = name st in
+  expect st Token.SEMI;
+  { Ast.md_helps; md_prop }
+
+let constraint_decl st =
+  let cd_name = name st in
+  expect st Token.COLON;
+  let cd_lhs = expr st in
+  let cd_rel = relation st in
+  let cd_rhs = expr st in
+  let cd_monotone =
+    if accept st Token.LBRACE then begin
+      let rec loop acc =
+        if peek st = Token.RBRACE then List.rev acc
+        else loop (monotone_decl st :: acc)
+      in
+      let decls = loop [] in
+      expect st Token.RBRACE;
+      decls
+    end
+    else begin
+      expect st Token.SEMI;
+      []
+    end
+  in
+  { Ast.cd_name; cd_lhs; cd_rel; cd_rhs; cd_monotone }
+
+let rec problem_body st prd_name prd_owner =
+  expect st Token.LBRACE;
+  let inputs = ref [] and outputs = ref [] and constraints = ref [] in
+  let object_name = ref None and after = ref [] and children = ref [] in
+  let rec loop () =
+    if accept st Token.RBRACE then ()
+    else begin
+      (if accept st Token.KW_INPUTS then begin
+         expect st Token.COLON;
+         inputs := !inputs @ name_list st;
+         expect st Token.SEMI
+       end
+       else if accept st Token.KW_OUTPUTS then begin
+         expect st Token.COLON;
+         outputs := !outputs @ name_list st;
+         expect st Token.SEMI
+       end
+       else if accept st Token.KW_CONSTRAINTS then begin
+         expect st Token.COLON;
+         constraints := !constraints @ name_list st;
+         expect st Token.SEMI
+       end
+       else if accept st Token.KW_OBJECT then begin
+         expect st Token.COLON;
+         object_name := Some (name st);
+         expect st Token.SEMI
+       end
+       else if accept st Token.KW_AFTER then begin
+         expect st Token.COLON;
+         after := !after @ name_list st;
+         expect st Token.SEMI
+       end
+       else if accept st Token.KW_SUBPROBLEM then begin
+         let child_name = name st in
+         expect st Token.KW_OWNER;
+         let child_owner = name st in
+         children := problem_body st child_name child_owner :: !children
+       end
+       else fail st "expected a problem item");
+      loop ()
+    end
+  in
+  loop ();
+  {
+    Ast.prd_name;
+    prd_owner;
+    prd_inputs = !inputs;
+    prd_outputs = !outputs;
+    prd_constraints = !constraints;
+    prd_object = !object_name;
+    prd_after = !after;
+    prd_children = List.rev !children;
+  }
+
+let object_decl st =
+  let obj_name = name st in
+  expect st Token.LBRACE;
+  expect st Token.KW_PROPERTIES;
+  expect st Token.COLON;
+  let props = name_list st in
+  expect st Token.SEMI;
+  expect st Token.RBRACE;
+  (obj_name, props)
+
+let scenario st =
+  expect st Token.KW_SCENARIO;
+  let sd_name = name st in
+  expect st Token.LBRACE;
+  let properties = ref [] and constraints = ref [] and models = ref [] in
+  let requirements = ref [] and objects = ref [] and problem = ref None in
+  let rec loop () =
+    if accept st Token.RBRACE then ()
+    else begin
+      (if accept st Token.KW_PROPERTY then
+         properties := property_decl st :: !properties
+       else if accept st Token.KW_CONSTRAINT then
+         constraints := constraint_decl st :: !constraints
+       else if accept st Token.KW_MODEL then begin
+         let target = name st in
+         expect st Token.EQUAL;
+         let model = expr st in
+         expect st Token.SEMI;
+         models := (target, model) :: !models
+       end
+       else if accept st Token.KW_REQUIREMENT then begin
+         let target = name st in
+         expect st Token.EQUAL;
+         let value = number st in
+         expect st Token.SEMI;
+         requirements := (target, value) :: !requirements
+       end
+       else if accept st Token.KW_OBJECT then
+         objects := object_decl st :: !objects
+       else if accept st Token.KW_PROBLEM then begin
+         let prob_name = name st in
+         expect st Token.KW_OWNER;
+         let owner = name st in
+         let decl = problem_body st prob_name owner in
+         match !problem with
+         | None -> problem := Some decl
+         | Some _ -> fail st "a scenario has exactly one top-level problem"
+       end
+       else fail st "expected a scenario item");
+      loop ()
+    end
+  in
+  loop ();
+  expect st Token.EOF;
+  match !problem with
+  | None -> fail st "scenario is missing its top-level problem"
+  | Some sd_problem ->
+    {
+      Ast.sd_name;
+      sd_properties = List.rev !properties;
+      sd_constraints = List.rev !constraints;
+      sd_models = List.rev !models;
+      sd_requirements = List.rev !requirements;
+      sd_objects = List.rev !objects;
+      sd_problem;
+    }
+
+let parse src =
+  let st = { tokens = Lexer.tokenize src } in
+  scenario st
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = expr st in
+  expect st Token.EOF;
+  e

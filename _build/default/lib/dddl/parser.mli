@@ -1,0 +1,11 @@
+(** Recursive-descent parser for DDDL. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val parse : string -> Ast.scenario_decl
+(** Parse a complete scenario description.
+    @raise Error on syntax errors (with source position).
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr : string -> Adpm_expr.Expr.t
+(** Parse a standalone arithmetic expression (testing hook). *)

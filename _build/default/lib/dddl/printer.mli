@@ -1,0 +1,17 @@
+(** Pretty-printer for DDDL.
+
+    Produces text that the parser reads back to a structurally identical
+    AST (the round-trip property tested in the suite). Useful for exporting
+    programmatically built scenarios — e.g. generated ones — as editable
+    DDDL sources. *)
+
+val name : string -> string
+(** A property/constraint/problem name, quoted when it is not a plain
+    identifier (or collides with a keyword). *)
+
+val expr : Adpm_expr.Expr.t -> string
+(** Infix rendering with minimal parentheses, parseable by
+    {!Parser.parse_expr}. *)
+
+val scenario : Ast.scenario_decl -> string
+(** A complete scenario description, parseable by {!Parser.parse}. *)

@@ -1,0 +1,119 @@
+type t =
+  | IDENT of string
+  | STRING of string
+  | NUMBER of float
+  | KW_SCENARIO
+  | KW_PROPERTY
+  | KW_REAL
+  | KW_DISCRETE
+  | KW_SYMBOL
+  | KW_CONSTRAINT
+  | KW_MONOTONE
+  | KW_INCREASING
+  | KW_DECREASING
+  | KW_IN
+  | KW_MODEL
+  | KW_REQUIREMENT
+  | KW_OBJECT
+  | KW_PROPERTIES
+  | KW_PROBLEM
+  | KW_SUBPROBLEM
+  | KW_OWNER
+  | KW_INPUTS
+  | KW_OUTPUTS
+  | KW_CONSTRAINTS
+  | KW_AFTER
+  | KW_LEVELS
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | EQUAL
+  | LE
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+let keywords =
+  [
+    ("scenario", KW_SCENARIO);
+    ("property", KW_PROPERTY);
+    ("real", KW_REAL);
+    ("discrete", KW_DISCRETE);
+    ("symbol", KW_SYMBOL);
+    ("constraint", KW_CONSTRAINT);
+    ("monotone", KW_MONOTONE);
+    ("increasing", KW_INCREASING);
+    ("decreasing", KW_DECREASING);
+    ("in", KW_IN);
+    ("model", KW_MODEL);
+    ("requirement", KW_REQUIREMENT);
+    ("object", KW_OBJECT);
+    ("properties", KW_PROPERTIES);
+    ("problem", KW_PROBLEM);
+    ("subproblem", KW_SUBPROBLEM);
+    ("owner", KW_OWNER);
+    ("inputs", KW_INPUTS);
+    ("outputs", KW_OUTPUTS);
+    ("constraints", KW_CONSTRAINTS);
+    ("after", KW_AFTER);
+    ("levels", KW_LEVELS);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | NUMBER x -> Printf.sprintf "number %g" x
+  | KW_SCENARIO -> "'scenario'"
+  | KW_PROPERTY -> "'property'"
+  | KW_REAL -> "'real'"
+  | KW_DISCRETE -> "'discrete'"
+  | KW_SYMBOL -> "'symbol'"
+  | KW_CONSTRAINT -> "'constraint'"
+  | KW_MONOTONE -> "'monotone'"
+  | KW_INCREASING -> "'increasing'"
+  | KW_DECREASING -> "'decreasing'"
+  | KW_IN -> "'in'"
+  | KW_MODEL -> "'model'"
+  | KW_REQUIREMENT -> "'requirement'"
+  | KW_OBJECT -> "'object'"
+  | KW_PROPERTIES -> "'properties'"
+  | KW_PROBLEM -> "'problem'"
+  | KW_SUBPROBLEM -> "'subproblem'"
+  | KW_OWNER -> "'owner'"
+  | KW_INPUTS -> "'inputs'"
+  | KW_OUTPUTS -> "'outputs'"
+  | KW_CONSTRAINTS -> "'constraints'"
+  | KW_AFTER -> "'after'"
+  | KW_LEVELS -> "'levels'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | EQUAL -> "'='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | EOF -> "end of input"

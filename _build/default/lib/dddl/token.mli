@@ -1,0 +1,51 @@
+(** Tokens of the DDDL scenario-description language. *)
+
+type t =
+  | IDENT of string
+  | STRING of string
+  | NUMBER of float
+  | KW_SCENARIO
+  | KW_PROPERTY
+  | KW_REAL
+  | KW_DISCRETE
+  | KW_SYMBOL
+  | KW_CONSTRAINT
+  | KW_MONOTONE
+  | KW_INCREASING
+  | KW_DECREASING
+  | KW_IN
+  | KW_MODEL
+  | KW_REQUIREMENT
+  | KW_OBJECT
+  | KW_PROPERTIES
+  | KW_PROBLEM
+  | KW_SUBPROBLEM
+  | KW_OWNER
+  | KW_INPUTS
+  | KW_OUTPUTS
+  | KW_CONSTRAINTS
+  | KW_AFTER
+  | KW_LEVELS
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | EQUAL
+  | LE
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | EOF
+
+type located = { token : t; line : int; col : int }
+
+val keyword_of_string : string -> t option
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Adpm_core Adpm_scenarios Adpm_teamsim Adpm_util Ascii_chart Buffer Config Dpm Engine List Metrics Printf Receiver Scenario Stats_acc Table

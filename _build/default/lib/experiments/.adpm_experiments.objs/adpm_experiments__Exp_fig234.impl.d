@@ -1,0 +1,1 @@
+lib/experiments/exp_fig234.ml: Adpm_core Adpm_csp Adpm_interval Adpm_scenarios Browser Buffer Constr Domain Dpm Interval List Lna Network Operator Printf String Value

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Adpm_core Adpm_scenarios Adpm_teamsim Adpm_util Array Ascii_chart Buffer Config Dpm Engine List Metrics Printf Report Simple

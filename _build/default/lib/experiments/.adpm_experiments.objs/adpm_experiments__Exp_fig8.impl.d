@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Adpm_core Adpm_csp Adpm_scenarios Adpm_teamsim Adpm_util Ascii_chart Buffer Config Dpm Engine List Metrics Network Printf Receiver Table

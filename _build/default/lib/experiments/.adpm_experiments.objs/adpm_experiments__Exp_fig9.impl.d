@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Adpm_core Adpm_scenarios Adpm_teamsim Adpm_util Ascii_chart Buffer Config Dpm Engine List Printf Receiver Report Sensor Stats_acc

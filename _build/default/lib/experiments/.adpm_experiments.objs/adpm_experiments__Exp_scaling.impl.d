@@ -1,0 +1,1 @@
+lib/experiments/exp_scaling.ml: Adpm_core Adpm_scenarios Adpm_teamsim Adpm_util Buffer Config Dpm Engine Generated List Metrics Printf Stats_acc Table

@@ -1,0 +1,59 @@
+(** Ablation studies (the "other heuristics" evaluation the paper's
+    conclusion defers to future work, plus the CSP premise it builds on).
+
+    (a) TeamSim ablation: disable each ADPM heuristic in isolation —
+    smallest-feasible-subspace ordering (2.3.1), alpha-guided conflict
+    repair (2.3.3), monotone direction hints, constraint-margin repair
+    windows, and the design-history tabu — and measure operations and
+    evaluations on the receiver case.
+
+    (b) CSP search ablation: compare the variable-ordering heuristics the
+    paper imports from the constraint-satisfaction literature
+    (smallest-domain-first = 2.3.1, max-degree = 2.3.2) against
+    uninformed orderings, on random binary CSPs near the phase
+    transition: backtracking nodes and constraint checks.
+
+    (c) DCM consistency ablation: hull consistency (one HC4 fixpoint, the
+    default) against 3B-style bound shaving, measured by the mean relative
+    feasible-window width on a mid-design receiver state (tight gain spec,
+    two committed parameters) and the constraint evaluations spent — the precision/cost dial of the constraint
+    management infrastructure the paper identifies as the key
+    challenge. *)
+
+type teamsim_row = {
+  label : string;
+  mean_ops : float;
+  sd_ops : float;
+  mean_evals : float;
+  completion : int;  (** completed runs *)
+  runs : int;
+}
+
+type search_row = {
+  s_label : string;  (** "heuristic / inference" *)
+  heuristic : Adpm_csp.Search.heuristic;
+  inference : Adpm_csp.Search.inference;
+  mean_nodes : float;
+  mean_checks : float;
+  solved : int;
+  instances : int;
+}
+
+type consistency_row = {
+  c_label : string;
+  c_mean_window : float;
+      (** mean relative feasible-window width over unbound properties *)
+  c_evaluations : int;
+}
+
+type result = {
+  teamsim : teamsim_row list;
+  search : search_row list;
+  consistency : consistency_row list;
+}
+
+val run : ?seeds:int -> ?instances:int -> unit -> result
+(** Defaults: 15 seeds per TeamSim configuration, 30 random CSP
+    instances. *)
+
+val render : result -> string

@@ -1,0 +1,32 @@
+(** Figures 2, 3 and 4: the Section 2.4 walkthrough.
+
+    Scripts the paper's narrative on the LNA + MEMS-filter case: the device
+    engineer sets the beam length to 13 um; the circuit designer inspects
+    the object browser (Fig. 2) and the constraint/property browser
+    (Fig. 3), chooses the load inductor (0.2 uH) and the smallest
+    potentially feasible differential-pair width (2.5 um); the gain
+    requirement is violated, the leader tightens the input-impedance
+    requirement to 40 Ohm adding a second violation (Fig. 4); guided by the
+    connected-violations count, the designer re-sizes the pair to 3.5 um,
+    fixing both violations with a single operation. *)
+
+type result = {
+  freq_ind_window : float * float;
+      (** propagated feasible window of the frequency inductor; the paper
+          reports (0.174255, 0.5) *)
+  diff_pair_window : float * float;
+      (** propagated window of the differential pair width; the paper
+          reports (2.5, 3.698225) *)
+  beta_diff_pair : int;  (** paper: 3 *)
+  alpha_after_conflicts : int;  (** paper: 2 *)
+  violations_after_gain_choice : string list;
+  violations_after_tightening : string list;
+  resolved_by_resize : string list;
+  remaining_violations : int;  (** paper: 0 — both fixed in one iteration *)
+  fig2_text : string;
+  fig3_text : string;
+  fig4_text : string;
+}
+
+val run : unit -> result
+val render : result -> string

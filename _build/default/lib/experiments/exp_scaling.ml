@@ -1,0 +1,131 @@
+open Adpm_util
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+type point = {
+  label : string;
+  properties : int;
+  constraints : int;
+  conv_ops : float;
+  adpm_ops : float;
+  conv_evals : float;
+  adpm_evals : float;
+  ops_ratio : float;
+  eval_penalty : float;
+  completed : bool;
+}
+
+type result = { by_size : point list; by_tightness : point list }
+
+let measure params ~label ~seeds =
+  let scenario = Generated.scenario params in
+  let run mode =
+    let cfg = Config.default ~mode ~seed:0 in
+    let summaries =
+      Engine.run_many cfg scenario ~seeds:(List.init seeds (fun i -> i + 1))
+    in
+    let ops = Stats_acc.create () and evals = Stats_acc.create () in
+    let all_done = ref true in
+    List.iter
+      (fun s ->
+        if not s.Metrics.s_completed then all_done := false;
+        Stats_acc.add_int ops s.Metrics.s_operations;
+        Stats_acc.add_int evals s.Metrics.s_evaluations)
+      summaries;
+    (Stats_acc.mean ops, Stats_acc.mean evals, !all_done)
+  in
+  let conv_ops, conv_evals, conv_done = run Dpm.Conventional in
+  let adpm_ops, adpm_evals, adpm_done = run Dpm.Adpm in
+  {
+    label;
+    properties = Generated.property_count params;
+    constraints = Generated.constraint_count params;
+    conv_ops;
+    adpm_ops;
+    conv_evals;
+    adpm_evals;
+    ops_ratio = conv_ops /. adpm_ops;
+    eval_penalty = adpm_evals /. conv_evals;
+    completed = conv_done && adpm_done;
+  }
+
+let size_sweep = [ (2, 2); (3, 2); (4, 3); (6, 3); (8, 4) ]
+let size_slack = 0.06
+let tightness_sweep = [ 0.3; 0.15; 0.08; 0.05 ]
+
+let run ?(seeds = 8) () =
+  let by_size =
+    List.map
+      (fun (n, k) ->
+        measure
+          { (Generated.default_params ~subsystems:n ~vars:k) with
+            Generated.g_slack = size_slack }
+          ~label:(Printf.sprintf "%d subsystems x %d vars" n k)
+          ~seeds)
+      size_sweep
+  in
+  let by_tightness =
+    List.map
+      (fun slack ->
+        measure
+          { (Generated.default_params ~subsystems:4 ~vars:3) with
+            Generated.g_slack = slack }
+          ~label:(Printf.sprintf "slack %.0f%%" (slack *. 100.))
+          ~seeds)
+      tightness_sweep
+  in
+  { by_size; by_tightness }
+
+let table title points =
+  let t =
+    Table.create ~title
+      [
+        "Point"; "Props"; "Cons"; "Conv ops"; "ADPM ops"; "Accel";
+        "Conv evals"; "ADPM evals"; "Penalty"; "Done";
+      ]
+  in
+  Table.set_align t
+    [
+      Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+      Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+    ];
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.label;
+          string_of_int p.properties;
+          string_of_int p.constraints;
+          Printf.sprintf "%.1f" p.conv_ops;
+          Printf.sprintf "%.1f" p.adpm_ops;
+          Printf.sprintf "%.2fx" p.ops_ratio;
+          Printf.sprintf "%.0f" p.conv_evals;
+          Printf.sprintf "%.0f" p.adpm_evals;
+          Printf.sprintf "%.1fx" p.eval_penalty;
+          (if p.completed then "yes" else "NO");
+        ])
+    points;
+  Table.render t
+
+let render r =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "=== Scaling study (extension of the Section 4 claim) ===\n\n";
+  add "%s\n" (table "hardness via problem size (slack 6%)" r.by_size);
+  add "%s\n" (table "hardness via requirement tightness (4x3)" r.by_tightness);
+  add "paper's concluding claim: harder problems => larger acceleration\n";
+  add "(Accel column grows) and a proportionally smaller computational\n";
+  add "penalty (Penalty column shrinks).\n";
+  let first = List.hd r.by_tightness
+  and last = List.nth r.by_tightness (List.length r.by_tightness - 1) in
+  add "measured on the tightness axis: acceleration %.2fx -> %.2fx,\n"
+    first.ops_ratio last.ops_ratio;
+  add "penalty %.1fx -> %.1fx from loosest to tightest - the claim holds\n"
+    first.eval_penalty last.eval_penalty;
+  add "when hardness means conflict density. On the raw-size axis ADPM's\n";
+  add "operation count is already near its floor (one operation per\n";
+  add "parameter), so acceleration tracks conventional's conflicts while\n";
+  add "the propagation penalty grows with network size: the acceleration\n";
+  add "is driven by coupling tightness, not instance size alone.\n";
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Scaling study (extension): testing the paper's concluding claim.
+
+    "For more complex design problems ADPM may provide a more substantial
+    design process acceleration for a proportionally smaller computational
+    penalty" (Section 4). The paper supports this with two data points
+    (sensor vs receiver); this experiment sweeps problem hardness
+    systematically on generated ring scenarios, along two axes:
+
+    - {b size}: number of subsystems and parameters, at fixed requirement
+      slack (6%);
+    - {b tightness}: requirement slack around the witness, at fixed size.
+
+    For each point it reports the operation ratio (conventional / ADPM —
+    the acceleration) and the evaluation penalty (ADPM / conventional).
+    Expected shape: acceleration grows and the relative penalty shrinks as
+    problems harden. *)
+
+type point = {
+  label : string;
+  properties : int;
+  constraints : int;
+  conv_ops : float;
+  adpm_ops : float;
+  conv_evals : float;
+  adpm_evals : float;
+  ops_ratio : float;  (** conventional / ADPM *)
+  eval_penalty : float;  (** ADPM / conventional *)
+  completed : bool;  (** all runs in both modes completed *)
+}
+
+type result = { by_size : point list; by_tightness : point list }
+
+val run : ?seeds:int -> unit -> result
+(** Default 8 seeds per (point, mode). *)
+
+val render : result -> string

@@ -1,0 +1,1 @@
+lib/expr/deriv.ml: Expr List Option Stdlib String

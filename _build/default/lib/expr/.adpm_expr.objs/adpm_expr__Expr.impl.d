@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Adpm_interval Float Format Interval List Option Stdlib String

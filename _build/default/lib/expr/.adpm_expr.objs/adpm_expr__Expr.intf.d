@@ -1,0 +1,1 @@
+lib/expr/expr.mli: Adpm_interval Format Interval

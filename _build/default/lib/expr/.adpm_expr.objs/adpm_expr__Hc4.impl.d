@@ -1,0 +1,1 @@
+lib/expr/hc4.ml: Adpm_interval Expr Float Hashtbl Interval List

@@ -1,0 +1,1 @@
+lib/expr/hc4.mli: Adpm_interval Expr Interval

@@ -1,0 +1,1 @@
+lib/expr/monotone.ml: Adpm_interval Expr Format Interval String

@@ -1,0 +1,1 @@
+lib/expr/monotone.mli: Adpm_interval Expr Format Interval

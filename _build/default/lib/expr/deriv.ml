@@ -1,0 +1,33 @@
+open Expr
+
+let rec d e x =
+  match e with
+  | Const _ -> Some (Const 0.)
+  | Var y -> Some (Const (if String.equal x y then 1. else 0.))
+  | Neg a -> Option.map (fun a' -> Neg a') (d a x)
+  | Add (a, b) -> map2 (fun a' b' -> Add (a', b')) a b x
+  | Sub (a, b) -> map2 (fun a' b' -> Sub (a', b')) a b x
+  | Mul (a, b) -> map2 (fun a' b' -> Add (Mul (a', b), Mul (a, b'))) a b x
+  | Div (a, b) ->
+    map2 (fun a' b' -> Div (Sub (Mul (a', b), Mul (a, b')), Pow (b, 2))) a b x
+  | Pow (a, n) ->
+    if n = 0 then Some (Const 0.)
+    else
+      Option.map
+        (fun a' -> Mul (Mul (Const (float_of_int n), Pow (a, Stdlib.( - ) n 1)), a'))
+        (d a x)
+  | Sqrt a ->
+    Option.map (fun a' -> Div (a', Mul (Const 2., Sqrt a))) (d a x)
+  | Exp a -> Option.map (fun a' -> Mul (Exp a, a')) (d a x)
+  | Ln a -> Option.map (fun a' -> Div (a', a)) (d a x)
+  | Abs a | Min (a, _) | Max (a, _) ->
+    let args = match e with Min (_, b) | Max (_, b) -> [ a; b ] | _ -> [ a ] in
+    if List.exists (fun arg -> mentions arg x) args then None
+    else Some (Const 0.)
+
+and map2 f a b x =
+  match (d a x, d b x) with
+  | Some a', Some b' -> Some (f a' b')
+  | _, _ -> None
+
+let deriv e x = Option.map simplify (d e x)

@@ -1,0 +1,9 @@
+(** Symbolic differentiation.
+
+    Used by tests to cross-check the structural monotonicity analysis and by
+    the heuristic-support layer to quantify constraint sensitivity. *)
+
+val deriv : Expr.t -> string -> Expr.t option
+(** [deriv e x] is the partial derivative of [e] with respect to [x], or
+    [None] when [e] contains a non-smooth node ([Abs], [Min], [Max]) whose
+    argument mentions [x]. The result is simplified. *)

@@ -1,0 +1,29 @@
+(** HC4 revision: the propagation workhorse.
+
+    The paper's Design Constraint Manager "runs a constraint propagation
+    algorithm to compute infeasible property values and the status of all
+    constraints" (Section 2.2), delegating numeric work to constraint-based
+    systems. HC4 (Benhamou et al., "Revising hull and box consistency",
+    ICLP 1999) is the classical such algorithm for arithmetic constraints:
+    a forward interval-evaluation sweep annotates every node of the
+    expression tree, then a backward sweep projects the constraint's target
+    interval onto each variable, shrinking its domain.
+
+    One call to {!revise} is one "constraint evaluation" in the paper's cost
+    accounting. *)
+
+open Adpm_interval
+
+type result =
+  | Empty
+      (** No point of the box can satisfy the constraint: the constraint is
+          certainly violated over the current domains. *)
+  | Narrowed of (string * Interval.t) list
+      (** For each variable of the expression, the narrowed interval (the
+          intersection of its input box with every occurrence's projection).
+          Unchanged variables are included. *)
+
+val revise :
+  env:(string -> Interval.t) -> Expr.t -> Interval.t -> result
+(** [revise ~env e target] enforces [e IN target] on the box [env].
+    [env] must provide an interval for every variable of [e]. *)

@@ -1,0 +1,1 @@
+lib/interval/domain.ml: Array Format Interval List

@@ -1,0 +1,1 @@
+lib/interval/domain.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/scenarios/builder.ml: Adpm_core Adpm_csp Adpm_interval Constr Domain Dpm List Network Problem Value

@@ -1,0 +1,1 @@
+lib/scenarios/builder.mli: Adpm_core Adpm_csp Adpm_expr Constr Design_object Dpm Expr Network

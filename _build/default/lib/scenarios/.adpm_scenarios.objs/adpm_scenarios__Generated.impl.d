@@ -1,0 +1,1 @@
+lib/scenarios/generated.ml: Adpm_core Adpm_csp Adpm_expr Adpm_teamsim Adpm_util Array Builder Design_object Expr List Network Printf Rng Scenario

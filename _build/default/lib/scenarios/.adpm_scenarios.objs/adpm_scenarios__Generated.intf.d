@@ -1,0 +1,1 @@
+lib/scenarios/generated.mli: Adpm_core Adpm_teamsim Dpm Scenario

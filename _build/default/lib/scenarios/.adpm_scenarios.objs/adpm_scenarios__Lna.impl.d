@@ -1,0 +1,1 @@
+lib/scenarios/lna.ml: Adpm_core Adpm_csp Adpm_expr Adpm_interval Adpm_teamsim Builder Constr Design_object Dpm Expr List Network Problem Scenario Value

@@ -1,0 +1,1 @@
+lib/scenarios/lna.mli: Adpm_core Adpm_teamsim Dpm Scenario

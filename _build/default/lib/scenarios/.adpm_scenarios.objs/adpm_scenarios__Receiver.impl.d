@@ -1,0 +1,1 @@
+lib/scenarios/receiver.ml: Adpm_core Adpm_csp Adpm_expr Adpm_teamsim Builder Design_object Expr Network Scenario

@@ -1,0 +1,1 @@
+lib/scenarios/receiver_dddl.mli: Adpm_teamsim

@@ -1,0 +1,1 @@
+lib/scenarios/sensor.ml: Adpm_core Adpm_csp Adpm_expr Adpm_interval Adpm_teamsim Builder Design_object Domain Expr Network Scenario

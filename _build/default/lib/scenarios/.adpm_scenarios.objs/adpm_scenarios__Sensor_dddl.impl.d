@@ -1,0 +1,1 @@
+lib/scenarios/sensor_dddl.ml: Adpm_dddl

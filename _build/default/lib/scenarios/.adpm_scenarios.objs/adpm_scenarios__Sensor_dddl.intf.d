@@ -1,0 +1,1 @@
+lib/scenarios/sensor_dddl.mli: Adpm_teamsim

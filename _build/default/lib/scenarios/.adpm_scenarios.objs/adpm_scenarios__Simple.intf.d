@@ -1,0 +1,1 @@
+lib/scenarios/simple.mli: Adpm_core Adpm_expr Adpm_teamsim Dpm Scenario

@@ -1,0 +1,1 @@
+lib/scenarios/simple_dddl.ml: Adpm_dddl

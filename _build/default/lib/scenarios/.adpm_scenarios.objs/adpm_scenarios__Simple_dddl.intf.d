@@ -1,0 +1,1 @@
+lib/scenarios/simple_dddl.mli: Adpm_teamsim

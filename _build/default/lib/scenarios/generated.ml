@@ -1,0 +1,199 @@
+open Adpm_util
+open Adpm_expr
+open Adpm_csp
+open Adpm_core
+open Adpm_teamsim
+
+type params = {
+  g_subsystems : int;
+  g_vars_per_subsystem : int;
+  g_seed : int;
+  g_slack : float;
+}
+
+let default_params ~subsystems ~vars =
+  { g_subsystems = subsystems; g_vars_per_subsystem = vars; g_seed = 0;
+    g_slack = 0.15 }
+
+let validate p =
+  if p.g_subsystems < 2 then invalid_arg "Generated: need >= 2 subsystems";
+  if p.g_vars_per_subsystem < 1 then invalid_arg "Generated: need >= 1 var";
+  if p.g_slack <= 0. then invalid_arg "Generated: slack must be positive"
+
+let var_name i j = Printf.sprintf "x%d_%d" i j
+let power_name i = Printf.sprintf "power%d" i
+let gain_name i = Printf.sprintf "gain%d" i
+let gmin_name e = Printf.sprintf "gmin%d" e
+
+let ring_edges n =
+  if n = 2 then [ (0, 1) ] else List.init n (fun i -> (i, (i + 1) mod n))
+
+let property_count p =
+  validate p;
+  let n = p.g_subsystems and k = p.g_vars_per_subsystem in
+  (n * (k + 2)) + 1 + List.length (ring_edges n)
+
+let constraint_count p =
+  validate p;
+  let n = p.g_subsystems in
+  (2 * n) + 1 + List.length (ring_edges n)
+
+(* Per-instance structure: the random coefficients of each subsystem's
+   power and gain models, derived deterministically from the seed. *)
+type instance = {
+  i_power_base : float array;  (* per subsystem *)
+  i_power_coeff : float array array;  (* per subsystem, per var *)
+  i_gain_coeff : float array array;
+}
+
+let instance p =
+  let rng = Rng.create (0x9e37 + p.g_seed) in
+  let n = p.g_subsystems and k = p.g_vars_per_subsystem in
+  {
+    i_power_base = Array.init n (fun _ -> Rng.float_range rng 1. 3.);
+    i_power_coeff =
+      Array.init n (fun _ -> Array.init k (fun _ -> Rng.float_range rng 0.3 1.0));
+    i_gain_coeff =
+      Array.init n (fun _ -> Array.init k (fun _ -> Rng.float_range rng 0.4 1.2));
+  }
+
+let witness_value = 5.
+
+let power_model inst i k =
+  Expr.sum
+    (Expr.const inst.i_power_base.(i)
+    :: List.init k (fun j ->
+           Expr.scale inst.i_power_coeff.(i).(j) (Expr.var (var_name i j))))
+
+let gain_model inst i k =
+  Expr.sum
+    (List.init k (fun j ->
+         Expr.scale inst.i_gain_coeff.(i).(j) (Expr.var (var_name i j))))
+
+let power_at_witness inst i k =
+  inst.i_power_base.(i)
+  +. (witness_value *. Array.fold_left ( +. ) 0. inst.i_power_coeff.(i))
+  |> fun x ->
+  ignore k;
+  x
+
+let gain_at_witness inst i =
+  witness_value *. Array.fold_left ( +. ) 0. inst.i_gain_coeff.(i)
+
+let models p =
+  validate p;
+  let inst = instance p in
+  let n = p.g_subsystems and k = p.g_vars_per_subsystem in
+  List.concat
+    (List.init n (fun i ->
+         [ (power_name i, power_model inst i k); (gain_name i, gain_model inst i k) ]))
+
+let build p ~mode =
+  validate p;
+  let inst = instance p in
+  let n = p.g_subsystems and k = p.g_vars_per_subsystem in
+  let net = Network.create () in
+  let open Builder in
+  for i = 0 to n - 1 do
+    for j = 0 to k - 1 do
+      continuous net (var_name i j) 0. 10.
+    done;
+    let p_max =
+      inst.i_power_base.(i)
+      +. (10. *. Array.fold_left ( +. ) 0. inst.i_power_coeff.(i))
+    in
+    continuous net (power_name i) 0. (p_max +. 1.);
+    let g_max = 10. *. Array.fold_left ( +. ) 0. inst.i_gain_coeff.(i) in
+    continuous net (gain_name i) 0. (g_max +. 1.)
+  done;
+  let edges = ring_edges n in
+  let total_power_witness =
+    List.fold_left ( +. ) 0.
+      (List.init n (fun i -> power_at_witness inst i k))
+  in
+  let budget = total_power_witness *. (1. +. p.g_slack) in
+  continuous net "p_budget" 1. (budget *. 2.);
+  List.iteri
+    (fun e (a, b) ->
+      let floor_v =
+        (gain_at_witness inst a +. gain_at_witness inst b) *. (1. -. p.g_slack)
+      in
+      continuous net (gmin_name e) 0.1 (floor_v *. 2.))
+    edges;
+  (* model bands: power from below (the budget pushes it down), gain from
+     above (the floors push it up) *)
+  let band_constraints =
+    List.concat
+      (List.init n (fun i ->
+           [
+             ge net (Printf.sprintf "PowerBand%d" i)
+               (Expr.var (power_name i))
+               Expr.(power_model inst i k - const 0.5);
+             le net (Printf.sprintf "GainBand%d" i)
+               (Expr.var (gain_name i))
+               Expr.(gain_model inst i k + const 0.4);
+           ]))
+  in
+  let total_power =
+    le net "TotalPower"
+      (Expr.sum (List.init n (fun i -> Expr.var (power_name i))))
+      (Expr.var "p_budget")
+  in
+  let gain_floors =
+    List.mapi
+      (fun e (a, b) ->
+        ge net (Printf.sprintf "GainFloor%d" e)
+          Expr.(Expr.var (gain_name a) + Expr.var (gain_name b))
+          (Expr.var (gmin_name e)))
+      edges
+  in
+  let objects =
+    List.init n (fun i ->
+        Design_object.make
+          ~name:(Printf.sprintf "Subsystem%d" i)
+          ~properties:
+            (List.init k (var_name i) @ [ power_name i; gain_name i ])
+          ())
+  in
+  let requirements =
+    ("p_budget", budget)
+    :: List.mapi
+         (fun e (a, b) ->
+           ( gmin_name e,
+             (gain_at_witness inst a +. gain_at_witness inst b)
+             *. (1. -. p.g_slack) ))
+         edges
+  in
+  let subproblems =
+    List.init n (fun i ->
+        let bands =
+          List.filteri
+            (fun idx _ -> idx = 2 * i || idx = (2 * i) + 1)
+            band_constraints
+        in
+        {
+          ps_name = Printf.sprintf "subsystem-%d" i;
+          ps_owner = Printf.sprintf "designer%d" i;
+          ps_inputs = [ "p_budget" ];
+          ps_outputs =
+            List.init k (var_name i) @ [ power_name i; gain_name i ];
+          ps_constraints = bands;
+          ps_object = Some (Printf.sprintf "Subsystem%d" i);
+        })
+  in
+  assemble ~mode ~net ~objects
+    ~top_name:(Printf.sprintf "generated-%dx%d" n k)
+    ~leader:"leader" ~requirements
+    ~system_constraints:(total_power :: gain_floors)
+    ~subproblems
+
+let scenario p =
+  validate p;
+  Scenario.make
+    ~name:(Printf.sprintf "generated-%dx%d" p.g_subsystems p.g_vars_per_subsystem)
+    ~description:
+      (Printf.sprintf
+         "generated ring scenario: %d subsystems, %d parameters each, seed %d"
+         p.g_subsystems p.g_vars_per_subsystem p.g_seed)
+    ~models:(models p)
+    (fun ~mode -> build p ~mode)

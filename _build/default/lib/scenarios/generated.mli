@@ -1,0 +1,38 @@
+(** Randomly generated collaborative-design scenarios.
+
+    The paper's two cases are fixed points in problem-size space; its
+    conclusion extrapolates — "for more complex design problems ADPM may
+    provide a more substantial design process acceleration for a
+    proportionally smaller computational penalty". This generator produces
+    structurally similar scenarios of arbitrary size so the scaling
+    experiment can test that claim: [n] subsystems in a ring, each with [k]
+    free design parameters, a tool-computed power and gain per subsystem
+    (linear models with random coefficients plus accuracy bands), a global
+    power budget, and per-edge gain floors coupling neighbouring
+    subsystems.
+
+    Every instance is satisfiable by construction: requirements are derived
+    from a nominal witness point with controlled slack. *)
+
+open Adpm_core
+open Adpm_teamsim
+
+type params = {
+  g_subsystems : int;  (** >= 2 *)
+  g_vars_per_subsystem : int;  (** >= 1 *)
+  g_seed : int;  (** generator seed: same seed, same network *)
+  g_slack : float;
+      (** requirement slack around the witness, e.g. 0.15 = 15% *)
+}
+
+val default_params : subsystems:int -> vars:int -> params
+(** Seed 0, slack 0.15. *)
+
+val build : params -> mode:Dpm.mode -> Dpm.t
+val scenario : params -> Scenario.t
+(** Named ["generated-<n>x<k>"]. *)
+
+val property_count : params -> int
+(** Numeric properties the instance will have (for reporting). *)
+
+val constraint_count : params -> int

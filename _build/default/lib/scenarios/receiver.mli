@@ -1,0 +1,20 @@
+(** The MEMS-based wireless receiver front-end design case (Section 3.2).
+
+    Mixed-signal circuitry (LNA + mixer) and a MEMS channel-selection filter
+    designed concurrently, with constraints on channel bandwidth, system
+    gain, input impedance, frequency-selection precision, and power
+    consumption. The network holds 35 properties and 30 constraints, most
+    of them non-linear — matching the statistics the paper reports, which
+    makes this the "harder" of the two cases. *)
+
+open Adpm_core
+open Adpm_teamsim
+
+val build : ?req_gain:float -> unit -> mode:Dpm.mode -> Dpm.t
+(** [req_gain] is the minimum end-to-end voltage gain (default 30). Fig. 10
+    sweeps its tightness. *)
+
+val scenario : Scenario.t
+
+val gain_sweep : float list
+(** The requirement values used by the Fig. 10 tightness sweep. *)

@@ -1,0 +1,5 @@
+(** The wireless-receiver case written in DDDL — the exact twin of
+    {!Receiver} (tests assert identical simulations). *)
+
+val source : string
+val scenario : Adpm_teamsim.Scenario.t

@@ -1,0 +1,21 @@
+(** The MEMS-based pressure sensing system design case (Section 3.2).
+
+    A capacitive pressure sensor and a mixed-signal interface circuit are
+    designed concurrently, with top-level constraints on sensing resolution,
+    estimated yield, and achievable pressure range. The network holds 26
+    properties and 21 constraints, most of them linear and monotonic —
+    matching the statistics the paper reports for this case. *)
+
+open Adpm_core
+open Adpm_teamsim
+
+val build :
+  ?req_resolution:float ->
+  ?req_yield:float ->
+  ?req_range:float ->
+  unit ->
+  mode:Dpm.mode ->
+  Dpm.t
+(** Defaults: resolution 2.3 kPa, yield 78 %, range 180 kPa. *)
+
+val scenario : Scenario.t

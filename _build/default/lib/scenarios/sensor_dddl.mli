@@ -1,0 +1,5 @@
+(** The pressure-sensor case written in DDDL — the exact twin of {!Sensor}
+    (tests assert identical simulations). *)
+
+val source : string
+val scenario : Adpm_teamsim.Scenario.t

@@ -1,0 +1,20 @@
+(** The simplified design case of Fig. 7.
+
+    Two subsystems designed concurrently by two designers, each with two
+    free design variables and two performance parameters tied to them by
+    model bands, plus three cross-subsystem constraints (a power budget
+    [pa + pb <= p_max] — the paper's introductory example constraint — a
+    gain floor [ga + gb >= g_min], and a gain-balance coupling). Small
+    enough that per-operation profiles (violations found, evaluations
+    executed) are easy to read. *)
+
+open Adpm_core
+open Adpm_teamsim
+
+val build : ?p_max:float -> ?g_min:float -> unit -> mode:Dpm.mode -> Dpm.t
+(** Defaults: [p_max = 19.], [g_min = 14.5]. *)
+
+val models : (string * Adpm_expr.Expr.t) list
+(** Tool models of the derived performance properties (band centres). *)
+
+val scenario : Scenario.t

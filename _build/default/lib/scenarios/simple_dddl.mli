@@ -1,0 +1,12 @@
+(** The simplified design case expressed in DDDL.
+
+    Exactly the network of {!Simple}, written in the scenario-description
+    language instead of OCaml — used by the quickstart example and by the
+    tests that check the DDDL pipeline (lexer, parser, elaborator) builds
+    the same design process. *)
+
+val source : string
+(** The DDDL text. *)
+
+val scenario : Adpm_teamsim.Scenario.t
+(** [Elaborate.load_string source]. *)

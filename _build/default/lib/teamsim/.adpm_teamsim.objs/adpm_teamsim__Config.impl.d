@@ -1,0 +1,1 @@
+lib/teamsim/config.ml: Adpm_core Dpm

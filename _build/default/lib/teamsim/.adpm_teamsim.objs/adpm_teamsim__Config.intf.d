@@ -1,0 +1,1 @@
+lib/teamsim/config.mli: Adpm_core Dpm

@@ -1,0 +1,1 @@
+lib/teamsim/designer.mli: Adpm_core Adpm_expr Adpm_util Config Dpm Expr Operator Rng

@@ -1,0 +1,1 @@
+lib/teamsim/engine.ml: Adpm_core Adpm_csp Adpm_util Config Constr Designer Dpm List Metrics Operator Propagate Rng Scenario

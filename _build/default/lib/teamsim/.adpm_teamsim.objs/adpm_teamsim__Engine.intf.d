@@ -1,0 +1,1 @@
+lib/teamsim/engine.mli: Adpm_core Config Dpm Metrics Scenario

@@ -1,0 +1,1 @@
+lib/teamsim/export.ml: Adpm_core Buffer Char Dpm List Metrics Printf String

@@ -1,0 +1,1 @@
+lib/teamsim/export.mli: Metrics

@@ -1,0 +1,1 @@
+lib/teamsim/interactive.mli: Adpm_core Dpm Scenario

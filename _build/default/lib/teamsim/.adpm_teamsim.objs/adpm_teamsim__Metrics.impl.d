@@ -1,0 +1,1 @@
+lib/teamsim/metrics.ml: Adpm_core Dpm List Printf

@@ -1,0 +1,1 @@
+lib/teamsim/metrics.mli: Adpm_core Dpm

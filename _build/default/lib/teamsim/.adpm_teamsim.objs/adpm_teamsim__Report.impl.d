@@ -1,0 +1,1 @@
+lib/teamsim/report.ml: Adpm_core Adpm_util Dpm List Metrics Printf Stats_acc String Table

@@ -1,0 +1,1 @@
+lib/teamsim/report.mli: Adpm_core Adpm_util Dpm Metrics Stats_acc

@@ -1,0 +1,1 @@
+lib/teamsim/scenario.ml: Adpm_core Adpm_expr Dpm Expr

@@ -1,0 +1,1 @@
+lib/teamsim/scenario.mli: Adpm_core Adpm_expr Dpm Expr

@@ -1,0 +1,34 @@
+open Adpm_core
+
+type forward_ordering = Smallest_subspace | Most_constrained | Random_target
+
+type t = {
+  mode : Dpm.mode;
+  seed : int;
+  max_ops : int;
+  max_revisions : int;
+  delta_divisor : float;
+  adaptive_delta : bool;
+  forward_ordering : forward_ordering;
+  use_alpha_repair : bool;
+  use_monotone_hints : bool;
+  use_history_tabu : bool;
+  use_relaxed_feasible : bool;
+}
+
+let default ~mode ~seed =
+  {
+    mode;
+    seed;
+    max_ops = 2000;
+    max_revisions = 10_000;
+    delta_divisor = 100.;
+    adaptive_delta = true;
+    forward_ordering = Smallest_subspace;
+    use_alpha_repair = true;
+    use_monotone_hints = true;
+    use_history_tabu = true;
+    use_relaxed_feasible = true;
+  }
+
+let with_seed t seed = { t with seed }

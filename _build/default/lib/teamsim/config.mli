@@ -1,0 +1,47 @@
+(** Simulation configuration.
+
+    Bundles the paper's lambda switch (ADPM vs conventional, Section 3.1.2),
+    the delta parameter of the value-selection function f_v (Section 3.1.1:
+    "delta values around 100 times smaller than the size of E_i worked
+    well"), and ablation switches for the individual heuristics, which the
+    paper's conclusion calls out as future evaluation work. *)
+
+open Adpm_core
+
+type forward_ordering =
+  | Smallest_subspace
+      (** heuristic 2.3.1: the unbound parameter with the smallest feasible
+          subspace first (needs ADPM's propagation; conventional mode falls
+          back to random) *)
+  | Most_constrained
+      (** heuristic 2.3.2: the parameter appearing in the most constraints
+          first (static knowledge, effective in both modes) *)
+  | Random_target  (** uninformed baseline *)
+
+type t = {
+  mode : Dpm.mode;  (** the paper's lambda *)
+  seed : int;
+  max_ops : int;  (** safety bound on executed operations *)
+  max_revisions : int;  (** propagation fixpoint budget per run *)
+  delta_divisor : float;
+      (** repair step = |E_i| / delta_divisor (paper: about 100) *)
+  adaptive_delta : bool;
+      (** double the step on consecutive same-direction repairs *)
+  forward_ordering : forward_ordering;
+      (** how f_a orders unbound parameters during forward design *)
+  use_alpha_repair : bool;
+      (** heuristic 2.3.3: repair the property with most connected
+          violations *)
+  use_monotone_hints : bool;
+      (** use repair-direction votes from monotonic constraints *)
+  use_history_tabu : bool;
+      (** consult design history to avoid previously-bad assignments *)
+  use_relaxed_feasible : bool;
+      (** ADPM repair values from constraint-margin propagation *)
+}
+
+val default : mode:Dpm.mode -> seed:int -> t
+(** All heuristics on ([forward_ordering = Smallest_subspace]),
+    [max_ops = 2000], [delta_divisor = 100.]. *)
+
+val with_seed : t -> int -> t

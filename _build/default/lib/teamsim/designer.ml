@@ -1,0 +1,650 @@
+open Adpm_util
+open Adpm_interval
+open Adpm_expr
+open Adpm_csp
+open Adpm_core
+
+type t = {
+  d_name : string;
+  cfg : Config.t;
+  rng : Rng.t;
+  models : (string * Expr.t) list;
+  tabu : (string, unit) Hashtbl.t;
+  (* last repair direction and step per property, for adaptive delta *)
+  repair_memory : (string, [ `Up | `Down ] * float) Hashtbl.t;
+  (* violations that motivated repairs and await re-verification *)
+  pending_reverify : (int, unit) Hashtbl.t;
+  (* most recent own parameter assignment, so conventional-mode
+     verifications can attribute freshly discovered violations to it
+     (design-history tabu) *)
+  mutable last_synthesis : (string * float) option;
+  (* consecutive repairs of a parameter that resolved nothing: such
+     parameters are demoted so siblings get a chance (design-history
+     consultation, ADPM mode where feedback is immediate) *)
+  failed_repairs : (string, int) Hashtbl.t;
+}
+
+let create cfg ~rng ~models name =
+  {
+    d_name = name;
+    cfg;
+    rng;
+    models;
+    tabu = Hashtbl.create 64;
+    repair_memory = Hashtbl.create 16;
+    pending_reverify = Hashtbl.create 16;
+    last_synthesis = None;
+    failed_repairs = Hashtbl.create 16;
+  }
+
+let name d = d.d_name
+
+let tabu_key prop value = Printf.sprintf "%s@%.9g" prop value
+
+let is_tabu d prop value =
+  d.cfg.Config.use_history_tabu && Hashtbl.mem d.tabu (tabu_key prop value)
+
+let is_derived d prop = List.mem_assoc prop d.models
+
+(* f_p: assigned problems that are not Waiting. *)
+let addressable_problems d dpm =
+  List.filter
+    (fun p -> p.Problem.pr_status <> Problem.Waiting)
+    (Dpm.problems_owned_by dpm d.d_name)
+
+let numeric_outputs dpm p =
+  let net = Dpm.network dpm in
+  List.filter
+    (fun o ->
+      Network.mem_prop net o
+      && Domain.is_numeric (Network.initial_domain net o))
+    p.Problem.pr_outputs
+
+let my_outputs dpm probs =
+  List.sort_uniq compare (List.concat_map (numeric_outputs dpm) probs)
+
+(* Design parameters: outputs the designer assigns directly (not computed
+   by a tool model). *)
+let free_outputs d dpm probs =
+  List.filter (fun o -> not (is_derived d o)) (my_outputs dpm probs)
+
+let derived_outputs d dpm probs =
+  List.filter (fun o -> is_derived d o) (my_outputs dpm probs)
+
+let initial_hull_env net prop =
+  match Domain.hull (Network.initial_domain net prop) with
+  | Some iv -> iv
+  | None -> raise Not_found
+
+(* Direction (as seen from parameter [x]) in which moving [x] helps satisfy
+   constraint [c], routing through the model of a derived argument when
+   needed. *)
+let helps_through_models d dpm c x =
+  let net = Dpm.network dpm in
+  let compose outer inner =
+    match (outer, inner) with
+    | `None, _ -> `None
+    | _, (Monotone.Constant | Monotone.Unknown) -> `None
+    | `Up, Monotone.Increasing | `Down, Monotone.Decreasing -> `Up
+    | `Up, Monotone.Decreasing | `Down, Monotone.Increasing -> `Down
+  in
+  List.filter_map
+    (fun arg ->
+      if String.equal arg x then
+        match Network.helps_direction net c arg with
+        | `None -> None
+        | (`Up | `Down) as dir -> Some dir
+      else
+        match List.assoc_opt arg d.models with
+        | Some model when Expr.mentions model x -> (
+          let inner =
+            try Monotone.direction ~env:(initial_hull_env net) model x
+            with Not_found -> Monotone.Unknown
+          in
+          match compose (Network.helps_direction net c arg) inner with
+          | `None -> None
+          | (`Up | `Down) as dir -> Some dir)
+        | Some _ | None -> None)
+    (Constr.args c)
+
+(* Does constraint [c] reach parameter [x] directly or through a model? *)
+let touches_through_models d c x =
+  List.exists
+    (fun arg ->
+      String.equal arg x
+      ||
+      match List.assoc_opt arg d.models with
+      | Some model -> Expr.mentions model x
+      | None -> false)
+    (Constr.args c)
+
+let known_violated_constraints dpm =
+  List.filter
+    (fun c -> Dpm.known_status dpm c.Constr.id = Constr.Violated)
+    (Network.constraints (Dpm.network dpm))
+
+(* Repair votes for parameter [x]: how many known violations a move up
+   (resp. down) would help fix, counting model-mediated influence. *)
+let repair_votes d dpm x =
+  List.fold_left
+    (fun (up, down, alpha) c ->
+      if touches_through_models d c x then begin
+        let dirs = helps_through_models d dpm c x in
+        let up' = List.length (List.filter (fun dir -> dir = `Up) dirs) in
+        let down' = List.length (List.filter (fun dir -> dir = `Down) dirs) in
+        (up + min 1 up', down + min 1 down', alpha + 1)
+      end
+      else (up, down, alpha))
+    (0, 0, 0)
+    (known_violated_constraints dpm)
+
+(* {2 Tool emulation}
+
+   Recompute every derived output whose model inputs are available, to a
+   fixpoint (models may reference other derived properties). [extra]
+   overrides the network's current assignments. *)
+let recompute_derived d dpm probs extra =
+  let net = Dpm.network dpm in
+  let values : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun prop ->
+      match Network.assigned_num net prop with
+      | Some v -> Hashtbl.replace values prop v
+      | None -> ())
+    (Network.prop_names net);
+  List.iter (fun (prop, v) -> Hashtbl.replace values prop v) extra;
+  let targets = derived_outputs d dpm probs in
+  let computed : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun prop ->
+        if not (Hashtbl.mem computed prop) then begin
+          let model = List.assoc prop d.models in
+          let lookup v = Hashtbl.find_opt values v in
+          match Expr.eval_opt lookup model with
+          | Some raw when Float.is_finite raw ->
+            (* the tool's output is clamped to the property's legal range *)
+            let value =
+              match Domain.hull (Network.initial_domain net prop) with
+              | Some hull ->
+                Float.min (Interval.hi hull) (Float.max (Interval.lo hull) raw)
+              | None -> raw
+            in
+            Hashtbl.replace computed prop value;
+            Hashtbl.replace values prop value;
+            progress := true
+          | Some _ | None -> ()
+        end)
+      targets
+  done;
+  List.filter_map
+    (fun prop ->
+      match Hashtbl.find_opt computed prop with
+      | Some v when Network.assigned_num net prop <> Some v ->
+        Some (prop, Value.Num v)
+      | Some _ | None -> None)
+    targets
+
+let problem_of_output dpm probs prop =
+  List.find_opt (fun p -> List.mem prop (numeric_outputs dpm p)) probs
+
+let synthesis_op d dpm probs ?(motivated_by = []) prop v =
+  match problem_of_output dpm probs prop with
+  | None -> None
+  | Some p ->
+    let derived = recompute_derived d dpm probs [ (prop, v) ] in
+    Some
+      (Operator.synthesis ~motivated_by ~designer:d.d_name
+         ~problem:p.Problem.pr_id
+         ((prop, Value.Num v) :: derived))
+
+(* {2 Value selection helpers} *)
+
+let clamp iv x = Float.min (Interval.hi iv) (Float.max (Interval.lo iv) x)
+
+let quantile_of_domain dom q =
+  match dom with
+  | Domain.Empty | Domain.Symbolic _ -> None
+  | Domain.Continuous iv ->
+    if Interval.is_bounded iv then
+      Some (Interval.lo iv +. (q *. Interval.width iv))
+    else Some (Interval.midpoint iv)
+  | Domain.Finite arr ->
+    let n = Array.length arr in
+    let i = int_of_float (q *. float_of_int (n - 1)) in
+    Some arr.(max 0 (min (n - 1) i))
+
+let random_in_domain d dom =
+  match dom with
+  | Domain.Empty | Domain.Symbolic _ -> None
+  | Domain.Continuous iv ->
+    if Interval.is_bounded iv then
+      Some (Rng.float_range d.rng (Interval.lo iv) (Interval.hi iv))
+    else Some (Interval.midpoint iv)
+  | Domain.Finite arr -> Some (Rng.pick_array d.rng arr)
+
+(* Choose a value from a non-empty domain, preferring the quantile the
+   direction votes suggest; repeated failed repairs escalate the choice
+   toward the window's corner (the fix may only exist at the margin). *)
+let pick_from_domain d prop dom direction =
+  let fatigue =
+    float_of_int (try Hashtbl.find d.failed_repairs prop with Not_found -> 0)
+  in
+  let push = Float.min 0.25 (0.08 *. fatigue) in
+  let q =
+    match direction with
+    | `Up -> 0.75 +. push
+    | `Down -> 0.25 -. push
+    | `None -> 0.5
+  in
+  match quantile_of_domain dom q with
+  | None -> None
+  | Some v -> if is_tabu d prop v then None else Some v
+
+(* The feasible-endpoint choice of f_v for forward synthesis: the top or
+   bottom value according to which direction helps satisfy the most
+   connected constraints (counting model-mediated connections). *)
+let endpoint_from_votes d dpm prop dom =
+  let net = Dpm.network dpm in
+  let up, down =
+    if not d.cfg.Config.use_monotone_hints then (0, 0)
+    else
+      List.fold_left
+        (fun (u, w) c ->
+          let dirs = helps_through_models d dpm c prop in
+          ( u + List.length (List.filter (fun dir -> dir = `Up) dirs),
+            w + List.length (List.filter (fun dir -> dir = `Down) dirs) ))
+        (0, 0)
+        (Network.constraints net)
+  in
+  (* top or bottom of the feasible window per the votes, pulled slightly
+     inside (with a little designer-to-designer jitter) so a boundary
+     choice does not immediately pinch the margins of the other designers'
+     windows *)
+  let jitter = Rng.float d.rng 0.1 in
+  let choice =
+    if up > down then quantile_of_domain dom (0.75 +. jitter)
+    else if down > up then quantile_of_domain dom (0.15 +. jitter)
+    else quantile_of_domain dom (0.45 +. jitter)
+  in
+  match choice with
+  | Some v when not (is_tabu d prop v) -> Some v
+  | Some _ -> random_in_domain d dom
+  | None -> None
+
+(* Delta move for repairs (f_v's "choose from initial subspace" branch):
+   exponential search while the direction persists, bisection on flip. *)
+let delta_move d dpm prop direction =
+  let net = Dpm.network dpm in
+  let initial = Network.initial_domain net prop in
+  match Domain.hull initial with
+  | None -> None
+  | Some hull ->
+    let width = if Interval.is_bounded hull then Interval.width hull else 1.0 in
+    let base_step = width /. d.cfg.Config.delta_divisor in
+    let step =
+      if d.cfg.Config.adaptive_delta then
+        match Hashtbl.find_opt d.repair_memory prop with
+        | Some (last_dir, last_step) when last_dir = direction ->
+          Float.min (last_step *. 2.) (width /. 2.)
+        | Some (_, last_step) -> Float.max (last_step /. 2.) (base_step /. 16.)
+        | None -> base_step
+      else base_step
+    in
+    Hashtbl.replace d.repair_memory prop (direction, step);
+    let cur =
+      match Network.assigned_num net prop with
+      | Some v -> v
+      | None -> Interval.midpoint hull
+    in
+    let signed s = match direction with `Up -> s | `Down -> -.s in
+    let snap v =
+      match initial with
+      | Domain.Finite arr ->
+        let beyond =
+          Array.to_list arr
+          |> List.filter (fun x ->
+                 match direction with `Up -> x > cur | `Down -> x < cur)
+        in
+        (match (direction, beyond) with
+        | `Up, x :: _ -> x
+        | `Down, _ :: _ -> List.nth beyond (List.length beyond - 1)
+        | _, [] -> v)
+      | Domain.Continuous _ | Domain.Empty | Domain.Symbolic _ -> v
+    in
+    let discrete = match initial with Domain.Finite _ -> true | _ -> false in
+    let rec attempt step tries =
+      let candidate = snap (clamp hull (cur +. signed step)) in
+      if candidate = cur then None (* saturated at a range bound *)
+      else if
+        (* pinned against a bound: the residual move is too small to fix
+           anything and would starve better repair candidates *)
+        (not discrete)
+        && Float.abs (candidate -. cur) < base_step /. 8.
+      then None
+      else if is_tabu d prop candidate && tries < 6 then
+        attempt (step *. 2.) (tries + 1)
+      else if is_tabu d prop candidate then None
+      else Some candidate
+    in
+    attempt step 0
+
+(* {2 Operation construction} *)
+
+(* Conventional mode: request verification of every eligible constraint of
+   one owned problem (one tool-run batch; Section 3.1.2: verification
+   operators run when a subsystem is complete). *)
+let verification_op d dpm probs =
+  match Dpm.mode dpm with
+  | Dpm.Adpm -> None
+  | Dpm.Conventional -> (
+    let eligible = Dpm.eligible_verifications dpm ~designer:d.d_name in
+    match eligible with
+    | [] -> None
+    | _ ->
+      let candidates =
+        List.filter_map
+          (fun p ->
+            let cids =
+              List.filter (fun c -> List.mem c eligible) p.Problem.pr_constraints
+            in
+            match cids with [] -> None | _ -> Some (p, cids))
+          probs
+      in
+      (match candidates with
+      | [] -> None
+      | _ ->
+        let p, cids = Rng.pick d.rng candidates in
+        let motivated_by =
+          List.filter (fun cid -> Hashtbl.mem d.pending_reverify cid) cids
+        in
+        Some
+          (Operator.verification ~motivated_by ~designer:d.d_name
+             ~problem:p.Problem.pr_id cids)))
+
+(* Repair: f_a picks the parameter whose single directed move is likely to
+   fix the most known violations; f_v picks its new value. *)
+let repair_op d dpm probs =
+  let params = free_outputs d dpm probs in
+  let votes = List.map (fun x -> (x, repair_votes d dpm x)) params in
+  let candidates = List.filter (fun (_, (_, _, a)) -> a > 0) votes in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let score (prop, (up, down, alpha)) =
+      if d.cfg.Config.use_alpha_repair then begin
+        (* primary: violations fixable by one directed move, discounted
+           when other violations pull the opposite way and when recent
+           repairs of this parameter resolved nothing; secondary: alpha *)
+        let fixable =
+          if d.cfg.Config.use_monotone_hints then
+            float_of_int (max up down) -. (0.5 *. float_of_int (min up down))
+          else 0.
+        in
+        let fatigue =
+          float_of_int
+            (try Hashtbl.find d.failed_repairs prop with Not_found -> 0)
+        in
+        -.(fixable -. fatigue +. (float_of_int alpha /. 1000.))
+      end
+      else Rng.float d.rng 1.0
+    in
+    let ranked =
+      List.sort (fun a b -> compare (score a) (score b))
+        (Rng.shuffle d.rng candidates)
+    in
+    let direction_for (up, down) =
+      if not d.cfg.Config.use_monotone_hints then
+        if Rng.bool d.rng then `Up else `Down
+      else if up > down then `Up
+      else if down > up then `Down
+      else if Rng.bool d.rng then `Up
+      else `Down
+    in
+    let motivated_for x =
+      List.filter_map
+        (fun c ->
+          if touches_through_models d c x then Some c.Constr.id else None)
+        (known_violated_constraints dpm)
+    in
+    let repair_value prop direction =
+      let net = Dpm.network dpm in
+      let current = Network.assigned_num net prop in
+      let differs = function
+        | Some v when current <> Some v -> Some v
+        | Some _ | None -> None
+      in
+      match Dpm.mode dpm with
+      | Dpm.Adpm when d.cfg.Config.use_relaxed_feasible -> (
+        (* constraint-margin window for the parameter, letting its
+           dependent performance properties move with it *)
+        let unpin =
+          List.filter
+            (fun p ->
+              match List.assoc_opt p d.models with
+              | Some model -> Expr.mentions model prop
+              | None -> false)
+            (my_outputs dpm probs)
+        in
+        let dom = Dpm.relaxed_feasible_group dpm ~target:prop ~unpin in
+        match differs (pick_from_domain d prop dom direction) with
+        | Some v when not (is_tabu d prop v) -> Some v
+        | Some _ | None -> (
+          match differs (random_in_domain d dom) with
+          | Some v -> Some v
+          | None -> delta_move d dpm prop direction))
+      | Dpm.Adpm | Dpm.Conventional -> delta_move d dpm prop direction
+    in
+    (* escape of last resort: every candidate is tabu-locked or saturated —
+       restart one of them at a fresh random value inside E_i *)
+    let random_restart () =
+      let net = Dpm.network dpm in
+      let viable =
+        List.filter_map
+          (fun (prop, _) ->
+            let current = Network.assigned_num net prop in
+            let rec draw tries =
+              if tries = 0 then None
+              else
+                match random_in_domain d (Network.initial_domain net prop) with
+                | Some v when current <> Some v && not (is_tabu d prop v) ->
+                  Some (prop, v)
+                | Some _ | None -> draw (tries - 1)
+            in
+            draw 8)
+          ranked
+      in
+      match viable with [] -> None | _ -> Some (Rng.pick d.rng viable)
+    in
+    let rec try_candidates = function
+      | [] -> (
+        match random_restart () with
+        | None -> None
+        | Some (prop, v) ->
+          synthesis_op d dpm probs ~motivated_by:(motivated_for prop) prop v)
+      | (prop, (up, down, _)) :: rest -> (
+        let direction = direction_for (up, down) in
+        match repair_value prop direction with
+        | None -> try_candidates rest
+        | Some v ->
+          synthesis_op d dpm probs ~motivated_by:(motivated_for prop) prop v)
+    in
+    try_candidates ranked
+
+(* Forward progress: f_a picks the unbound parameter with the smallest
+   feasible subspace (ADPM) or a random one (conventional); f_v picks the
+   value. *)
+let forward_op d dpm probs =
+  let net = Dpm.network dpm in
+  let unbound =
+    List.filter (fun p -> not (Network.is_bound net p)) (free_outputs d dpm probs)
+  in
+  match unbound with
+  | [] -> (
+    (* all parameters placed: run the tool once more if some performance
+       property is still uncomputed *)
+    let stale = recompute_derived d dpm probs [] in
+    let pending =
+      List.filter
+        (fun (prop, _) -> not (Network.is_bound net prop))
+        stale
+    in
+    match pending with
+    | [] -> None
+    | (prop, _) :: _ -> (
+      match problem_of_output dpm probs prop with
+      | None -> None
+      | Some p ->
+        Some
+          (Operator.synthesis ~designer:d.d_name ~problem:p.Problem.pr_id stale)))
+  | _ ->
+    let pick_by score =
+      match
+        List.sort (fun a b -> compare (score a) (score b))
+          (Rng.shuffle d.rng unbound)
+      with
+      | [] -> None
+      | x :: _ -> Some x
+    in
+    let target =
+      match (d.cfg.Config.forward_ordering, Dpm.mode dpm) with
+      | Config.Smallest_subspace, Dpm.Adpm ->
+        pick_by (fun prop ->
+            match Dpm.heuristic_info dpm prop with
+            | Some info -> info.Heuristic_data.hi_relative_size
+            | None -> 1.)
+      | Config.Most_constrained, (Dpm.Adpm | Dpm.Conventional) ->
+        (* constraint membership is static knowledge, available either way;
+           count model-mediated membership too (the 2.3.2 extension) *)
+        pick_by (fun prop ->
+            -.float_of_int
+                (List.length
+                   (List.filter
+                      (fun c -> touches_through_models d c prop)
+                      (Network.constraints net))))
+      | (Config.Smallest_subspace | Config.Random_target), _ ->
+        Some (Rng.pick d.rng unbound)
+    in
+    (match target with
+    | None -> None
+    | Some prop ->
+      let value =
+        match Dpm.mode dpm with
+        | Dpm.Adpm -> (
+          let feasible = Network.feasible net prop in
+          if Domain.is_empty feasible then
+            (* v_F = empty: choose from the initial range *)
+            random_in_domain d (Network.initial_domain net prop)
+          else
+            match endpoint_from_votes d dpm prop feasible with
+            | Some v -> Some v
+            | None -> random_in_domain d (Network.initial_domain net prop))
+        | Dpm.Conventional ->
+          (* no feasibility information: an engineering guess from the
+             middle half of the initial range *)
+          quantile_of_domain
+            (Network.initial_domain net prop)
+            (0.25 +. Rng.float d.rng 0.5)
+      in
+      (match value with
+      | None -> None
+      | Some v -> synthesis_op d dpm probs prop v))
+
+let choose_operation d dpm =
+  let probs = addressable_problems d dpm in
+  match probs with
+  | [] -> None
+  | _ ->
+    let violations_known = Dpm.known_violations dpm <> [] in
+    if violations_known then
+      match repair_op d dpm probs with
+      | Some op -> Some op
+      | None -> (
+        match verification_op d dpm probs with
+        | Some op -> Some op
+        | None -> forward_op d dpm probs)
+    else (
+      match forward_op d dpm probs with
+      | Some op -> Some op
+      | None -> verification_op d dpm probs)
+
+let synthesis_with_tools d dpm prop v =
+  let probs = addressable_problems d dpm in
+  let motivated_by =
+    List.filter_map
+      (fun c ->
+        if touches_through_models d c prop then Some c.Constr.id else None)
+      (known_violated_constraints dpm)
+  in
+  synthesis_op d dpm probs ~motivated_by prop v
+
+let request_verification d dpm =
+  verification_op d dpm (addressable_problems d dpm)
+
+let observe d dpm ~own op result =
+  match op.Operator.op_kind with
+  | Operator.Synthesis assignments when own ->
+    if result.Dpm.r_newly_violated <> [] && d.cfg.Config.use_history_tabu then
+      List.iter
+        (fun (prop, value) ->
+          match value with
+          | Value.Num v when not (is_derived d prop) ->
+            Hashtbl.replace d.tabu (tabu_key prop v) ()
+          | Value.Num _ | Value.Sym _ -> ())
+        assignments;
+    (match assignments with
+    | (prop, Value.Num v) :: _ when not (is_derived d prop) ->
+      d.last_synthesis <- Some (prop, v);
+      (* ADPM feedback is immediate: a repair that resolved nothing tires
+         out its parameter; one that helped restores it *)
+      if Dpm.mode dpm = Dpm.Adpm && op.Operator.op_motivated_by <> [] then begin
+        if result.Dpm.r_resolved = [] then begin
+          let n = try Hashtbl.find d.failed_repairs prop with Not_found -> 0 in
+          Hashtbl.replace d.failed_repairs prop (n + 1)
+        end
+        else Hashtbl.reset d.failed_repairs
+      end
+    | _ -> d.last_synthesis <- None);
+    (* repairs await re-verification before the fix is trusted *)
+    List.iter
+      (fun cid -> Hashtbl.replace d.pending_reverify cid ())
+      op.Operator.op_motivated_by
+  | Operator.Verification cids ->
+    (* Verification results — whoever ran them, including the leader's
+       integration checks — are how conventional mode discovers damage.
+       Attribute fresh violations touching my last assignment to it (the
+       design-history consultation, Section 3.1.1 footnote). *)
+    let touches_last prop =
+      List.exists
+        (fun cid ->
+          touches_through_models d
+            (Network.find_constraint (Dpm.network dpm) cid)
+            prop)
+        result.Dpm.r_newly_violated
+    in
+    (if d.cfg.Config.use_history_tabu then
+       match d.last_synthesis with
+       | Some (prop, v) when touches_last prop ->
+         Hashtbl.replace d.tabu (tabu_key prop v) ()
+       | Some _ | None -> ());
+    (* repair fatigue, conventional flavour: a verification that re-finds a
+       violation my repairs were supposed to fix — or surfaces a new one on
+       the parameter I just moved — tires out that parameter; a resolution
+       restores everyone *)
+    (match d.last_synthesis with
+    | Some (prop, _) ->
+      let refound =
+        List.exists
+          (fun cid -> Hashtbl.mem d.pending_reverify cid)
+          result.Dpm.r_newly_violated
+      in
+      if refound || touches_last prop then begin
+        let n = try Hashtbl.find d.failed_repairs prop with Not_found -> 0 in
+        Hashtbl.replace d.failed_repairs prop (n + 1)
+      end
+      else if result.Dpm.r_resolved <> [] then Hashtbl.reset d.failed_repairs
+    | None -> ());
+    List.iter (fun cid -> Hashtbl.remove d.pending_reverify cid) cids
+  | Operator.Synthesis _ | Operator.Decompose _ -> ()

@@ -1,0 +1,102 @@
+open Adpm_util
+open Adpm_csp
+open Adpm_core
+
+type outcome = { o_summary : Metrics.run_summary; o_dpm : Dpm.t }
+
+let run ?(on_op = fun _ -> ()) cfg scenario =
+  let dpm = scenario.Scenario.sc_build ~mode:cfg.Config.mode in
+  let rng = Rng.create cfg.Config.seed in
+  let designers =
+    List.map
+      (fun name ->
+        Designer.create cfg ~rng:(Rng.split rng)
+          ~models:scenario.Scenario.sc_models name)
+      (Dpm.designers dpm)
+  in
+  let profile = ref [] in
+  let record r =
+    profile := r :: !profile;
+    on_op r
+  in
+  let setup_evals =
+    match cfg.Config.mode with
+    | Dpm.Conventional -> 0
+    | Dpm.Adpm ->
+      let outcome =
+        Propagate.run_and_apply ~max_revisions:cfg.Config.max_revisions
+          (Dpm.network dpm)
+      in
+      record
+        {
+          Metrics.m_index = 0;
+          m_designer = "<setup>";
+          m_kind = "setup";
+          m_evaluations = outcome.Propagate.evaluations;
+          m_new_violations =
+            List.length
+              (List.filter
+                 (fun (_, s) -> s = Constr.Violated)
+                 outcome.Propagate.statuses);
+          m_known_violations = List.length (Dpm.known_violations dpm);
+          m_spin = false;
+        };
+      outcome.Propagate.evaluations
+  in
+  let finished = ref false in
+  let continue_run () =
+    (not !finished) && Dpm.op_count dpm < cfg.Config.max_ops
+  in
+  while continue_run () do
+    let order = Rng.shuffle rng designers in
+    let acted = ref false in
+    List.iter
+      (fun designer ->
+        if continue_run () then begin
+          (* include evaluations spent while *choosing* (e.g. relaxed
+             feasibility queries) in this operation's cost *)
+          let evals_before = Dpm.eval_count dpm in
+          match Designer.choose_operation designer dpm with
+          | None -> ()
+          | Some op ->
+            acted := true;
+            let result = Dpm.apply dpm op in
+            (* everyone learns the outcome (the NM relays it) *)
+            List.iter
+              (fun peer ->
+                Designer.observe peer dpm ~own:(peer == designer) op result)
+              designers;
+            record
+              {
+                Metrics.m_index = result.Dpm.r_index;
+                m_designer = Designer.name designer;
+                m_kind = Operator.kind_label op;
+                m_evaluations = Dpm.eval_count dpm - evals_before;
+                m_new_violations = List.length result.Dpm.r_newly_violated;
+                m_known_violations = List.length (Dpm.known_violations dpm);
+                m_spin = result.Dpm.r_spin;
+              };
+            if Dpm.solved dpm then finished := true
+        end)
+      order;
+    if not !acted then finished := true
+  done;
+  let completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm in
+  let summary =
+    {
+      Metrics.s_scenario = scenario.Scenario.sc_name;
+      s_mode = cfg.Config.mode;
+      s_seed = cfg.Config.seed;
+      s_completed = completed;
+      s_operations = Dpm.op_count dpm;
+      s_evaluations = Dpm.eval_count dpm + setup_evals;
+      s_spins = Dpm.spin_count dpm;
+      s_profile = List.rev !profile;
+    }
+  in
+  { o_summary = summary; o_dpm = dpm }
+
+let run_many cfg scenario ~seeds =
+  List.map
+    (fun seed -> (run (Config.with_seed cfg seed) scenario).o_summary)
+    seeds

@@ -1,0 +1,27 @@
+(** The simulation engine.
+
+    Drives a scenario: simulated designers take turns requesting operations
+    (in a per-round shuffled order — designers act independently), the DPM
+    executes them, and statistics are captured per operation. A simulation
+    terminates when the top-level problem is solved — all outputs have a
+    value and no constraint is violated (Section 3.1.2) — or when every
+    designer idles for a full round, or when the operation budget runs
+    out. *)
+
+open Adpm_core
+
+type outcome = {
+  o_summary : Metrics.run_summary;
+  o_dpm : Dpm.t;  (** final state, for inspection *)
+}
+
+val run :
+  ?on_op:(Metrics.op_record -> unit) -> Config.t -> Scenario.t -> outcome
+(** Execute one simulation. In ADPM mode an initial propagation runs before
+    the first designer turn (constraints are propagated "beginning when
+    these constraints are generated"); its evaluations are charged to the
+    run as a setup record. *)
+
+val run_many :
+  Config.t -> Scenario.t -> seeds:int list -> Metrics.run_summary list
+(** One run per seed, same configuration otherwise. *)

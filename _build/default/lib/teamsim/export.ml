@@ -1,0 +1,77 @@
+open Adpm_core
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let profile_csv summary =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "op,designer,kind,evaluations,new_violations,known_violations,spin\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%d,%d,%d,%b\n" r.Metrics.m_index
+           (csv_escape r.Metrics.m_designer)
+           (csv_escape r.Metrics.m_kind)
+           r.Metrics.m_evaluations r.Metrics.m_new_violations
+           r.Metrics.m_known_violations r.Metrics.m_spin))
+    summary.Metrics.s_profile;
+  Buffer.contents buf
+
+let summary_json summary =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"scenario":"%s","mode":"%s","seed":%d,"completed":%b,"operations":%d,"evaluations":%d,"spins":%d,"profile":[|}
+       (json_escape summary.Metrics.s_scenario)
+       (json_escape (Dpm.mode_to_string summary.Metrics.s_mode))
+       summary.Metrics.s_seed summary.Metrics.s_completed
+       summary.Metrics.s_operations summary.Metrics.s_evaluations
+       summary.Metrics.s_spins);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"op":%d,"designer":"%s","kind":"%s","evaluations":%d,"new_violations":%d,"known_violations":%d,"spin":%b}|}
+           r.Metrics.m_index
+           (json_escape r.Metrics.m_designer)
+           (json_escape r.Metrics.m_kind)
+           r.Metrics.m_evaluations r.Metrics.m_new_violations
+           r.Metrics.m_known_violations r.Metrics.m_spin))
+    summary.Metrics.s_profile;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let runs_csv summaries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "scenario,mode,seed,completed,operations,evaluations,spins,violations\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%b,%d,%d,%d,%d\n"
+           (csv_escape s.Metrics.s_scenario)
+           (csv_escape (Dpm.mode_to_string s.Metrics.s_mode))
+           s.Metrics.s_seed s.Metrics.s_completed s.Metrics.s_operations
+           s.Metrics.s_evaluations s.Metrics.s_spins
+           (Metrics.violations_found s)))
+    summaries;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Interactive design sessions.
+
+    "Minerva III's interactive windows can also be viewed and used during
+    simulations" (Section 3.1): here a human plays one designer while the
+    remaining team members are simulated. The session exposes the same
+    browsers the paper's figures show and executes operations through the
+    same DPM the simulator uses; command parsing is pure string-in /
+    string-out so clients (the CLI, tests) just feed lines. *)
+
+open Adpm_core
+
+type t
+
+val create : mode:Dpm.mode -> seed:int -> Scenario.t -> designer:string -> t
+(** Start a session playing [designer]. In ADPM mode the initial
+    propagation runs immediately (as the engine would).
+    @raise Invalid_argument if the scenario has no such designer. *)
+
+val prompt : t -> string
+(** Short status line for the prompt: mode, operations so far, known
+    violations. *)
+
+val finished : t -> bool
+(** The top-level problem is solved. *)
+
+val execute : t -> string -> (string, string) result
+(** Run one command line; [Ok output] or [Error message]. Commands:
+
+    - [help] — list commands
+    - [status] — problems, own outputs with values, known violations
+    - [browse OBJECT] — the Fig. 2 object browser
+    - [props] — the Fig. 3 property browser over the player's properties
+    - [conflicts] — the Fig. 4 conflict-resolution view
+    - [set PROP VALUE] — synthesis operation (the tool recomputes dependent
+      performance properties)
+    - [verify] — request the verification the designer would issue now
+    - [suggest] — show the operation the simulated designer model would
+      pick, without executing it
+    - [auto] — execute that operation
+    - [step] — every other (simulated) team member takes one turn *)

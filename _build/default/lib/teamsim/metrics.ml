@@ -1,0 +1,39 @@
+open Adpm_core
+
+type op_record = {
+  m_index : int;
+  m_designer : string;
+  m_kind : string;
+  m_evaluations : int;
+  m_new_violations : int;
+  m_known_violations : int;
+  m_spin : bool;
+}
+
+type run_summary = {
+  s_scenario : string;
+  s_mode : Dpm.mode;
+  s_seed : int;
+  s_completed : bool;
+  s_operations : int;
+  s_evaluations : int;
+  s_spins : int;
+  s_profile : op_record list;
+}
+
+let evaluations_per_op s =
+  if s.s_operations = 0 then nan
+  else float_of_int s.s_evaluations /. float_of_int s.s_operations
+
+let violations_found s =
+  List.fold_left (fun acc r -> acc + r.m_new_violations) 0 s.s_profile
+
+let summary_line s =
+  Printf.sprintf
+    "%s/%s seed=%d: %s in %d ops, %d evals (%.1f/op), %d spins, %d violations"
+    s.s_scenario
+    (Dpm.mode_to_string s.s_mode)
+    s.s_seed
+    (if s.s_completed then "completed" else "DID NOT COMPLETE")
+    s.s_operations s.s_evaluations (evaluations_per_op s) s.s_spins
+    (violations_found s)

@@ -1,0 +1,109 @@
+open Adpm_util
+open Adpm_core
+
+type aggregate = {
+  a_scenario : string;
+  a_mode : Dpm.mode;
+  a_runs : int;
+  a_completed : int;
+  a_ops : Stats_acc.t;
+  a_evals : Stats_acc.t;
+  a_evals_per_op : Stats_acc.t;
+  a_spins : Stats_acc.t;
+  a_violations : Stats_acc.t;
+}
+
+let aggregate summaries =
+  match summaries with
+  | [] -> invalid_arg "Report.aggregate: no runs"
+  | first :: _ ->
+    List.iter
+      (fun s ->
+        if
+          (not (String.equal s.Metrics.s_scenario first.Metrics.s_scenario))
+          || s.Metrics.s_mode <> first.Metrics.s_mode
+        then invalid_arg "Report.aggregate: mixed scenarios or modes")
+      summaries;
+    let ops = Stats_acc.create () in
+    let evals = Stats_acc.create () in
+    let per_op = Stats_acc.create () in
+    let spins = Stats_acc.create () in
+    let violations = Stats_acc.create () in
+    let completed = ref 0 in
+    List.iter
+      (fun s ->
+        if s.Metrics.s_completed then incr completed;
+        Stats_acc.add_int ops s.Metrics.s_operations;
+        Stats_acc.add_int evals s.Metrics.s_evaluations;
+        Stats_acc.add per_op (Metrics.evaluations_per_op s);
+        Stats_acc.add_int spins s.Metrics.s_spins;
+        Stats_acc.add_int violations (Metrics.violations_found s))
+      summaries;
+    {
+      a_scenario = first.Metrics.s_scenario;
+      a_mode = first.Metrics.s_mode;
+      a_runs = List.length summaries;
+      a_completed = !completed;
+      a_ops = ops;
+      a_evals = evals;
+      a_evals_per_op = per_op;
+      a_spins = spins;
+      a_violations = violations;
+    }
+
+let mean_profile summaries =
+  let max_index =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left
+          (fun acc r -> max acc r.Metrics.m_index)
+          acc s.Metrics.s_profile)
+      0 summaries
+  in
+  List.init max_index (fun i ->
+      let index = i + 1 in
+      let viols = ref 0. and evals = ref 0. and n = ref 0 in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun r ->
+              if r.Metrics.m_index = index then begin
+                incr n;
+                viols := !viols +. float_of_int r.Metrics.m_new_violations;
+                evals := !evals +. float_of_int r.Metrics.m_evaluations
+              end)
+            s.Metrics.s_profile)
+        summaries;
+      let n = float_of_int (max 1 !n) in
+      (index, !viols /. n, !evals /. n))
+
+let comparison_table ~title aggregates =
+  let table =
+    Table.create ~title
+      [
+        "Scenario"; "Mode"; "Runs"; "Done"; "Ops (mean)"; "Ops (sd)";
+        "Evals (mean)"; "Evals/op"; "Spins (mean)"; "Violations";
+      ]
+  in
+  Table.set_align table
+    [
+      Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+      Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+    ];
+  List.iter
+    (fun a ->
+      Table.add_row table
+        [
+          a.a_scenario;
+          Dpm.mode_to_string a.a_mode;
+          string_of_int a.a_runs;
+          string_of_int a.a_completed;
+          Printf.sprintf "%.1f" (Stats_acc.mean a.a_ops);
+          Printf.sprintf "%.1f" (Stats_acc.stddev a.a_ops);
+          Printf.sprintf "%.0f" (Stats_acc.mean a.a_evals);
+          Printf.sprintf "%.2f" (Stats_acc.mean a.a_evals_per_op);
+          Printf.sprintf "%.2f" (Stats_acc.mean a.a_spins);
+          Printf.sprintf "%.1f" (Stats_acc.mean a.a_violations);
+        ])
+    aggregates;
+  Table.render table

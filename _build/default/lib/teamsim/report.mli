@@ -1,0 +1,31 @@
+(** Consolidation of multi-run statistics.
+
+    Aggregates run summaries into the quantities Fig. 9 reports — average
+    and standard deviation of the number of design operations, total and
+    per-operation constraint evaluations, spins — and renders them. *)
+
+open Adpm_util
+open Adpm_core
+
+type aggregate = {
+  a_scenario : string;
+  a_mode : Dpm.mode;
+  a_runs : int;
+  a_completed : int;
+  a_ops : Stats_acc.t;
+  a_evals : Stats_acc.t;
+  a_evals_per_op : Stats_acc.t;
+  a_spins : Stats_acc.t;
+  a_violations : Stats_acc.t;
+}
+
+val aggregate : Metrics.run_summary list -> aggregate
+(** @raise Invalid_argument on an empty list or on mixed scenarios/modes. *)
+
+val mean_profile : Metrics.run_summary list -> (int * float * float) list
+(** Per operation index: (index, mean new violations, mean evaluations)
+    averaged across runs that reached that index — the data of Fig. 7. *)
+
+val comparison_table :
+  title:string -> aggregate list -> string
+(** Fig. 9-style table: one row per (scenario, mode) aggregate. *)

@@ -1,0 +1,17 @@
+open Adpm_expr
+open Adpm_core
+
+type t = {
+  sc_name : string;
+  sc_description : string;
+  sc_models : (string * Expr.t) list;
+  sc_build : mode:Dpm.mode -> Dpm.t;
+}
+
+let make ~name ~description ?(models = []) build =
+  {
+    sc_name = name;
+    sc_description = description;
+    sc_models = models;
+    sc_build = build;
+  }

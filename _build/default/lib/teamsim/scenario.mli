@@ -1,0 +1,36 @@
+(** Problem scenarios.
+
+    "Each simulation has an initial problem scenario given by a top-level
+    problem formulation, an initial decomposition into subproblems, a set
+    of designers, an assignment of subproblems to designers, and initial
+    values for top-level requirements" (Section 3.1.2). A scenario is a
+    factory: every run builds a fresh DPM so simulations are independent.
+
+    Scenarios also declare the {e models} behind derived performance
+    properties. Design operators are "typically implemented by CAD tools"
+    (Section 2.1): when a simulated designer executes a synthesis operation
+    on a design parameter, the tool recomputes every dependent performance
+    property from its model, so performance values stay consistent with the
+    parameters (the model-band constraints in the network express the
+    tool's accuracy tolerance and tie the properties together for
+    propagation). *)
+
+open Adpm_expr
+open Adpm_core
+
+type t = {
+  sc_name : string;
+  sc_description : string;
+  sc_models : (string * Expr.t) list;
+      (** derived property -> model expression the synthesis tool
+          evaluates; may reference other derived properties (resolved to a
+          fixpoint) *)
+  sc_build : mode:Dpm.mode -> Dpm.t;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  ?models:(string * Expr.t) list ->
+  (mode:Dpm.mode -> Dpm.t) ->
+  t

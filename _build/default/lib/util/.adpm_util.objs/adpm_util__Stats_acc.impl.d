@@ -1,0 +1,1 @@
+lib/util/stats_acc.ml: Array Float List Printf

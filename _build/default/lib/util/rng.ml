@@ -1,0 +1,58 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014). The mixing constants below
+   are the reference ones; the generator passes BigCrush when used as here. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy rng = { state = rng.state }
+
+let bits64 rng =
+  rng.state <- Int64.add rng.state golden_gamma;
+  mix64 rng.state
+
+let split rng = { state = mix64 (bits64 rng) }
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible because
+     bounds are tiny compared to 2^62. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 rng) 2) in
+  x mod bound
+
+let float rng x =
+  (* 53 uniform bits into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 rng) 11) in
+  bits /. 9007199254740992.0 *. x
+
+let float_range rng lo hi =
+  if hi <= lo then lo else lo +. float rng (hi -. lo)
+
+let bool rng = Int64.logand (bits64 rng) 1L = 1L
+
+let pick_array rng arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick_array: empty array";
+  arr.(int rng (Array.length arr))
+
+let pick rng xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> pick_array rng (Array.of_list xs)
+
+let shuffle rng xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, fast, splittable SplitMix64 generator. Every stochastic choice
+    in the simulator flows through a value of type {!t}, so that a simulation
+    run is fully reproducible from its seed, and independent subsystems
+    (e.g. each simulated designer) can draw from split, non-interfering
+    streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Generators created with the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy rng] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split rng] advances [rng] and returns a new generator whose stream is
+    statistically independent from the remainder of [rng]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)]. [bound] must be positive.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [\[0, x)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range rng lo hi] is uniform in [\[lo, hi)]. Requires [lo <= hi];
+    returns [lo] when the range is degenerate. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.
+
+    @raise Invalid_argument on the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array.
+
+    @raise Invalid_argument on the empty array. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation (Fisher-Yates). *)

@@ -1,0 +1,69 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations, Welford *)
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+  mutable samples : float list; (* reverse insertion order *)
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min_v = nan; max_v = nan; sum = 0.; samples = [] }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  t.sum <- t.sum +. x;
+  if t.n = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end;
+  t.samples <- x :: t.samples
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+
+let mean t = if t.n = 0 then nan else t.mean
+
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t = t.min_v
+
+let max_value t = t.max_v
+
+let total t = t.sum
+
+let to_list t = List.rev t.samples
+
+let quantile t q =
+  if t.n = 0 then nan
+  else begin
+    let arr = Array.of_list t.samples in
+    Array.sort compare arr;
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let pos = q *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then arr.(lo)
+    else begin
+      let frac = pos -. float_of_int lo in
+      (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+    end
+  end
+
+let median t = quantile t 0.5
+
+let summary t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+      (stddev t) t.min_v t.max_v

@@ -1,0 +1,1 @@
+test/test_core.ml: Adpm_core Adpm_csp Adpm_expr Adpm_interval Alcotest Browser Constr Design_object Domain Dpm Expr Heuristic_data Interval List Network Notify Operator Problem String Value

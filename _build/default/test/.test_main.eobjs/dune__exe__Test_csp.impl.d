@@ -1,0 +1,1 @@
+test/test_csp.ml: Adpm_csp Adpm_expr Adpm_interval Adpm_util Alcotest Array Constr Domain Expr Fcsp Interval List Network Printf Propagate QCheck QCheck_alcotest Rng Search Value

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Adpm_csp Adpm_experiments Alcotest Exp_ablation Exp_fig10 Exp_fig234 Exp_fig7 Exp_fig8 Exp_fig9 List String

@@ -1,0 +1,1 @@
+test/test_expr.ml: Adpm_expr Adpm_interval Alcotest Deriv Expr Float Interval List Monotone QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hc4.ml: Adpm_expr Adpm_interval Alcotest Expr Float Hc4 Interval List Printf QCheck QCheck_alcotest

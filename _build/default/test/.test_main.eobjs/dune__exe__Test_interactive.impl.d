@@ -1,0 +1,1 @@
+test/test_interactive.ml: Adpm_core Adpm_scenarios Adpm_teamsim Alcotest Config Dpm Engine Interactive List Lna Metrics Printf Receiver Receiver_dddl Sensor Sensor_dddl Simple String

@@ -1,0 +1,1 @@
+test/test_interval.ml: Adpm_interval Alcotest Domain Float Interval Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_teamsim.ml: Adpm_core Adpm_csp Adpm_expr Adpm_scenarios Adpm_teamsim Adpm_util Alcotest Config Dpm Engine List Metrics Network Printf Report Simple Stats_acc String

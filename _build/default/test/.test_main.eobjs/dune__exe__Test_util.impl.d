@@ -1,0 +1,1 @@
+test/test_util.ml: Adpm_util Alcotest Array Ascii_chart Float Gen List QCheck QCheck_alcotest Rng Stats_acc String Table

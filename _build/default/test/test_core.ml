@@ -1,0 +1,443 @@
+(* Tests for Adpm_core: design objects, problems, the DPM transition
+   function in both modes (status freshness, verification eligibility,
+   cross-subsystem detection, spins), heuristic-support mining, the
+   notification manager, and the browser renderings. *)
+
+open Adpm_interval
+open Adpm_expr
+open Adpm_csp
+open Adpm_core
+
+let v = Expr.var
+let c = Expr.const
+let status = Alcotest.testable Constr.pp_status ( = )
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* {2 Design_object} *)
+
+let test_object_versioning () =
+  let o = Design_object.make ~name:"o" ~properties:[ "a"; "b" ] () in
+  Alcotest.(check string) "initial" "1.0.0" (Design_object.version_string o);
+  Design_object.bump_patch o;
+  Alcotest.(check string) "patch" "1.0.1" (Design_object.version_string o);
+  Design_object.bump_minor o;
+  Alcotest.(check string) "minor resets patch" "1.1.0" (Design_object.version_string o);
+  Alcotest.(check bool) "owns" true (Design_object.owns o "a");
+  Alcotest.(check bool) "not owns" false (Design_object.owns o "z")
+
+(* {2 Problem} *)
+
+let test_problem_links () =
+  let parent = Problem.make ~id:0 ~name:"top" ~owner:"lead" () in
+  let child = Problem.make ~id:1 ~name:"sub" ~owner:"des" ~outputs:[ "x" ] () in
+  Problem.link_child ~parent ~child;
+  Alcotest.(check (list int)) "children" [ 1 ] parent.Problem.pr_children;
+  Alcotest.(check (option int)) "parent" (Some 0) child.Problem.pr_parent;
+  Alcotest.(check bool) "leaf" true (Problem.is_leaf child);
+  Alcotest.(check bool) "not leaf" false (Problem.is_leaf parent);
+  Problem.add_dependency child 5;
+  Problem.add_dependency child 5;
+  Alcotest.(check (list int)) "dependency dedup" [ 5 ] child.Problem.pr_depends_on;
+  Problem.add_constraint_id child 3;
+  Problem.add_constraint_id child 3;
+  Alcotest.(check (list int)) "constraint dedup" [ 3 ] child.Problem.pr_constraints
+
+let test_problem_properties () =
+  let p = Problem.make ~id:0 ~name:"p" ~owner:"o" ~inputs:[ "a"; "b" ]
+      ~outputs:[ "b"; "c" ] () in
+  Alcotest.(check (list string)) "inputs then new outputs" [ "a"; "b"; "c" ]
+    (Problem.properties p)
+
+(* {2 A two-subsystem fixture} *)
+
+(* system: leader owns the cross constraint xa + xb <= budget;
+   alice owns A (output xa), bob owns B (output xb). *)
+let fixture mode =
+  let net = Network.create () in
+  Network.add_prop net "xa" (Domain.continuous 0. 10.);
+  Network.add_prop net "xb" (Domain.continuous 0. 10.);
+  Network.add_prop net "budget" (Domain.continuous 1. 20.);
+  let c_cross =
+    Network.add_constraint net ~name:"cross" Expr.(v "xa" + v "xb") Constr.Le
+      (v "budget")
+  in
+  let c_a = Network.add_constraint net ~name:"amin" (v "xa") Constr.Ge (c 1.) in
+  let c_b = Network.add_constraint net ~name:"bmin" (v "xb") Constr.Ge (c 1.) in
+  Network.assign net "budget" (Value.Num 10.);
+  let objects =
+    [
+      Design_object.make ~name:"A" ~properties:[ "xa" ] ();
+      Design_object.make ~name:"B" ~properties:[ "xb" ] ();
+    ]
+  in
+  let top =
+    Problem.make ~id:0 ~name:"system" ~owner:"leader" ~inputs:[ "budget" ]
+      ~constraints:[ c_cross.Constr.id ] ()
+  in
+  let dpm = Dpm.create ~mode net ~objects ~top in
+  let pa =
+    Problem.make ~id:1 ~name:"A" ~owner:"alice" ~outputs:[ "xa" ]
+      ~constraints:[ c_a.Constr.id ] ~object_name:"A" ()
+  in
+  let pb =
+    Problem.make ~id:2 ~name:"B" ~owner:"bob" ~outputs:[ "xb" ]
+      ~constraints:[ c_b.Constr.id ] ~object_name:"B" ()
+  in
+  Dpm.register_problem dpm ~parent:(Some 0) pa;
+  Dpm.register_problem dpm ~parent:(Some 0) pb;
+  (dpm, c_cross, c_a, c_b)
+
+let synth designer problem bindings =
+  Operator.synthesis ~designer ~problem
+    (List.map (fun (p, x) -> (p, Value.Num x)) bindings)
+
+(* {2 DPM structure} *)
+
+let test_dpm_accessors () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  Alcotest.(check (list string)) "designers in order" [ "leader"; "alice"; "bob" ]
+    (Dpm.designers dpm);
+  Alcotest.(check int) "three problems" 3 (List.length (Dpm.problems dpm));
+  Alcotest.(check int) "alice owns one" 1
+    (List.length (Dpm.problems_owned_by dpm "alice"));
+  Alcotest.(check bool) "object lookup" true (Dpm.find_object dpm "A" <> None);
+  Alcotest.(check int) "fresh id" 3 (Dpm.fresh_problem_id dpm)
+
+let test_subsystems_and_cross () =
+  let dpm, c_cross, c_a, _ = fixture Dpm.Adpm in
+  Alcotest.(check (option int)) "xa in subsystem 1" (Some 1)
+    (Dpm.subsystem_of_prop dpm "xa");
+  Alcotest.(check (option int)) "xb in subsystem 2" (Some 2)
+    (Dpm.subsystem_of_prop dpm "xb");
+  Alcotest.(check (option int)) "budget is system-level" None
+    (Dpm.subsystem_of_prop dpm "budget");
+  Alcotest.(check bool) "cross constraint" true (Dpm.is_cross_subsystem dpm c_cross);
+  Alcotest.(check bool) "internal constraint" false (Dpm.is_cross_subsystem dpm c_a)
+
+let test_synthesis_validation () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  Alcotest.(check bool) "assigning a non-output fails" true
+    (try
+       ignore (Dpm.apply dpm (synth "alice" 1 [ ("xb", 2.) ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* {2 ADPM mode semantics} *)
+
+let test_adpm_propagation_after_synthesis () =
+  let dpm, _, _, c_b = fixture Dpm.Adpm in
+  let r = Dpm.apply dpm (synth "alice" 1 [ ("xa", 9.5) ]) in
+  Alcotest.(check bool) "evaluations charged" true (r.Dpm.r_evaluations > 0);
+  (* xa = 9.5 narrows xb to <= 0.5 through the cross budget, which makes
+     bmin (xb >= 1) certainly violated: the conflict is detected before bob
+     binds anything *)
+  Alcotest.(check status) "conflict detected early" Constr.Violated
+    (Dpm.known_status dpm c_b.Constr.id);
+  Alcotest.(check bool) "bmin in newly violated" true
+    (List.mem c_b.Constr.id r.Dpm.r_newly_violated)
+
+let test_adpm_heuristic_info () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  match Dpm.heuristic_info dpm "xb" with
+  | None -> Alcotest.fail "ADPM must expose heuristic data"
+  | Some info ->
+    Alcotest.(check int) "beta xb" 2 info.Heuristic_data.hi_beta;
+    (match Domain.hull info.Heuristic_data.hi_feasible with
+    | Some iv ->
+      Alcotest.(check bool) "xb window [1,6]" true
+        (Interval.lo iv >= 0.99 && Interval.hi iv <= 6.01)
+    | None -> Alcotest.fail "xb window expected")
+
+let test_adpm_object_version_bumped () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  match Dpm.find_object dpm "A" with
+  | Some o ->
+    Alcotest.(check string) "patch bumped" "1.0.1" (Design_object.version_string o)
+  | None -> Alcotest.fail "object A"
+
+let test_adpm_solved () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  Alcotest.(check bool) "not solved yet" false (Dpm.solved dpm);
+  ignore (Dpm.apply dpm (synth "bob" 2 [ ("xb", 5.) ]));
+  Alcotest.(check bool) "solved" true (Dpm.solved dpm);
+  Alcotest.(check bool) "ground truth agrees" true (Dpm.ground_truth_solved dpm)
+
+let test_adpm_notifications_routed () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  let r = Dpm.apply dpm (synth "alice" 1 [ ("xa", 9.5) ]) in
+  (* bob must hear about the cross violation / window reductions *)
+  Alcotest.(check bool) "bob notified" true
+    (List.exists
+       (fun n -> String.equal n.Notify.n_recipient "bob")
+       r.Dpm.r_notifications)
+
+let test_relaxed_feasible_mode_gate () =
+  let dpm, _, _, _ = fixture Dpm.Conventional in
+  Alcotest.(check bool) "conventional mode rejects" true
+    (try
+       ignore (Dpm.relaxed_feasible dpm "xa");
+       false
+     with Invalid_argument _ -> true)
+
+(* {2 Conventional mode semantics} *)
+
+let test_conventional_no_propagation () =
+  let dpm, c_cross, _, _ = fixture Dpm.Conventional in
+  let r = Dpm.apply dpm (synth "alice" 1 [ ("xa", 9.5) ]) in
+  Alcotest.(check int) "no evaluations" 0 r.Dpm.r_evaluations;
+  Alcotest.(check status) "no knowledge of conflict" Constr.Consistent
+    (Dpm.known_status dpm c_cross.Constr.id);
+  (* feasible subspaces stay at the initial ranges *)
+  Alcotest.(check bool) "no feasibility info" true
+    (Domain.equal
+       (Network.feasible (Dpm.network dpm) "xb")
+       (Network.initial_domain (Dpm.network dpm) "xb"))
+
+let test_conventional_verification_and_staleness () =
+  let dpm, _, c_a, _ = fixture Dpm.Conventional in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 0.5) ]));
+  (* eligible: amin has bound args and was never verified *)
+  let eligible = Dpm.eligible_verifications dpm ~designer:"alice" in
+  Alcotest.(check (list int)) "amin eligible" [ c_a.Constr.id ] eligible;
+  let r =
+    Dpm.apply dpm
+      (Operator.verification ~designer:"alice" ~problem:1 [ c_a.Constr.id ])
+  in
+  Alcotest.(check int) "one evaluation" 1 r.Dpm.r_evaluations;
+  Alcotest.(check status) "violation found" Constr.Violated
+    (Dpm.known_status dpm c_a.Constr.id);
+  (* repair makes the verified status stale *)
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 2.) ]));
+  Alcotest.(check status) "stale after reassignment" Constr.Consistent
+    (Dpm.known_status dpm c_a.Constr.id);
+  Alcotest.(check bool) "re-verification eligible" true
+    (List.mem c_a.Constr.id (Dpm.eligible_verifications dpm ~designer:"alice"))
+
+let test_conventional_cross_rule () =
+  let dpm, c_cross, c_a, c_b = fixture Dpm.Conventional in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 6.) ]));
+  ignore (Dpm.apply dpm (synth "bob" 2 [ ("xb", 6.) ]));
+  (* both args bound, but subproblems are not Solved yet: cross blocked *)
+  Alcotest.(check (list int)) "cross not yet eligible" []
+    (Dpm.eligible_verifications dpm ~designer:"leader");
+  ignore
+    (Dpm.apply dpm (Operator.verification ~designer:"alice" ~problem:1 [ c_a.Constr.id ]));
+  ignore
+    (Dpm.apply dpm (Operator.verification ~designer:"bob" ~problem:2 [ c_b.Constr.id ]));
+  Alcotest.(check bool) "integration ready" true (Dpm.integration_ready dpm);
+  Alcotest.(check (list int)) "cross now eligible" [ c_cross.Constr.id ]
+    (Dpm.eligible_verifications dpm ~designer:"leader");
+  (* the integration check finds the conflict: 6 + 6 > 10 *)
+  let r =
+    Dpm.apply dpm
+      (Operator.verification ~designer:"leader" ~problem:0 [ c_cross.Constr.id ])
+  in
+  Alcotest.(check (list int)) "conflict at integration" [ c_cross.Constr.id ]
+    r.Dpm.r_newly_violated
+
+let test_conventional_skipped_verifications () =
+  let dpm, c_cross, _, _ = fixture Dpm.Conventional in
+  (* xa unbound: the verification request is filtered *)
+  let r =
+    Dpm.apply dpm
+      (Operator.verification ~designer:"leader" ~problem:0 [ c_cross.Constr.id ])
+  in
+  Alcotest.(check (list int)) "skipped" [ c_cross.Constr.id ] r.Dpm.r_skipped;
+  Alcotest.(check int) "no evaluations" 0 r.Dpm.r_evaluations
+
+let test_spin_counting () =
+  let dpm, c_cross, c_a, c_b = fixture Dpm.Conventional in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 6.) ]));
+  ignore (Dpm.apply dpm (synth "bob" 2 [ ("xb", 6.) ]));
+  ignore (Dpm.apply dpm (Operator.verification ~designer:"alice" ~problem:1 [ c_a.Constr.id ]));
+  ignore (Dpm.apply dpm (Operator.verification ~designer:"bob" ~problem:2 [ c_b.Constr.id ]));
+  ignore (Dpm.apply dpm (Operator.verification ~designer:"leader" ~problem:0 [ c_cross.Constr.id ]));
+  Alcotest.(check int) "no spins yet" 0 (Dpm.spin_count dpm);
+  (* the repair reacting to the cross violation at integration is a spin *)
+  let r =
+    Dpm.apply dpm
+      (Operator.synthesis ~designer:"alice" ~problem:1
+         ~motivated_by:[ c_cross.Constr.id ]
+         [ ("xa", Value.Num 3.) ])
+  in
+  Alcotest.(check bool) "spin" true r.Dpm.r_spin;
+  Alcotest.(check int) "spin counted" 1 (Dpm.spin_count dpm);
+  (* a repair for an internal violation is not a spin *)
+  let r2 =
+    Dpm.apply dpm
+      (Operator.synthesis ~designer:"alice" ~problem:1
+         ~motivated_by:[ c_a.Constr.id ]
+         [ ("xa", Value.Num 4.) ])
+  in
+  Alcotest.(check bool) "not a spin" false r2.Dpm.r_spin
+
+let test_spin_requires_integration_level () =
+  let dpm, c_cross, _, _ = fixture Dpm.Adpm in
+  (* xa bound, xb not: an early cross-violation repair is not a spin *)
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 9.5) ]));
+  let r =
+    Dpm.apply dpm
+      (Operator.synthesis ~designer:"alice" ~problem:1
+         ~motivated_by:[ c_cross.Constr.id ]
+         [ ("xa", Value.Num 5.) ])
+  in
+  Alcotest.(check bool) "early correction, not a spin" false r.Dpm.r_spin
+
+let test_decompose_operation () =
+  let net = Network.create () in
+  Network.add_prop net "x" (Domain.continuous 0. 1.);
+  let top = Problem.make ~id:0 ~name:"top" ~owner:"leader" () in
+  let dpm = Dpm.create ~mode:Dpm.Adpm net ~objects:[] ~top in
+  let spec =
+    {
+      Operator.sp_name = "child";
+      sp_owner = "worker";
+      sp_inputs = [];
+      sp_outputs = [ "x" ];
+      sp_constraints = [];
+      sp_depends_on_names = [];
+      sp_object = None;
+    }
+  in
+  let spec2 = { spec with Operator.sp_name = "child2"; sp_depends_on_names = [ "child" ] } in
+  ignore (Dpm.apply dpm (Operator.decompose ~designer:"leader" ~problem:0 [ spec; spec2 ]));
+  Alcotest.(check int) "three problems" 3 (List.length (Dpm.problems dpm));
+  let child2 =
+    List.find (fun p -> p.Problem.pr_name = "child2") (Dpm.problems dpm)
+  in
+  Alcotest.(check bool) "ordering resolved" true
+    (child2.Problem.pr_depends_on <> []);
+  (* dependent problem is Waiting until its sibling solves *)
+  Alcotest.(check bool) "waiting" true (child2.Problem.pr_status = Problem.Waiting)
+
+let test_history_records () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  ignore (Dpm.apply dpm (synth "bob" 2 [ ("xb", 5.) ]));
+  let h = Dpm.history dpm in
+  Alcotest.(check int) "two entries" 2 (List.length h);
+  Alcotest.(check (list int)) "indices chronological" [ 1; 2 ]
+    (List.map (fun e -> e.Dpm.h_index) h)
+
+(* {2 Heuristic_data} *)
+
+let test_heuristic_mining () =
+  let dpm, c_cross, _, c_b = fixture Dpm.Adpm in
+  let net = Dpm.network dpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 9.5) ]));
+  (* the early conflict lands on bmin, whose only argument is xb *)
+  let info = Heuristic_data.mine_prop net "xb" in
+  Alcotest.(check int) "alpha counts bmin violation" 1 info.Heuristic_data.hi_alpha;
+  Alcotest.(check int) "beta" 2 info.Heuristic_data.hi_beta;
+  Alcotest.(check bool) "bmin wants xb up" true
+    (List.mem c_b.Constr.id info.Heuristic_data.hi_up_helps);
+  Alcotest.(check bool) "repair votes up" true
+    (Heuristic_data.preferred_direction info = `Up);
+  let xa_info = Heuristic_data.mine_prop net "xa" in
+  Alcotest.(check int) "alpha xa is 0 (its constraints hold)" 0
+    xa_info.Heuristic_data.hi_alpha;
+  Alcotest.(check bool) "cross wants xa down" true
+    (List.mem c_cross.Constr.id xa_info.Heuristic_data.hi_down_helps);
+  let all = Heuristic_data.mine net in
+  Alcotest.(check int) "all numeric props mined" 3 (List.length all)
+
+(* {2 Notify} *)
+
+let test_notify_diff () =
+  let subs = [ ("alice", [ "xa" ]); ("bob", [ "xb" ]) ] in
+  let args_of = function 0 -> [ "xa"; "xb" ] | _ -> [] in
+  let old_statuses _ = Constr.Consistent in
+  let notifications =
+    Notify.diff ~subscriptions:subs ~args_of ~old_statuses
+      ~new_statuses:[ (0, Constr.Violated) ]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 10.)
+      ~new_feasible:
+        [ ("xa", Domain.continuous 0. 4.); ("xb", Domain.continuous 0. 10.) ]
+  in
+  let for_alice =
+    List.find (fun n -> n.Notify.n_recipient = "alice") notifications
+  in
+  Alcotest.(check int) "alice gets violation + reduction" 2
+    (List.length for_alice.Notify.n_events);
+  let for_bob = List.find (fun n -> n.Notify.n_recipient = "bob") notifications in
+  Alcotest.(check int) "bob only the violation" 1 (List.length for_bob.Notify.n_events)
+
+let test_notify_empty_domain_event () =
+  let notifications =
+    Notify.diff
+      ~subscriptions:[ ("d", [ "p" ]) ]
+      ~args_of:(fun _ -> [])
+      ~old_statuses:(fun _ -> Constr.Consistent)
+      ~new_statuses:[]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[ ("p", Domain.Empty) ]
+  in
+  match notifications with
+  | [ { Notify.n_events = [ Notify.Feasible_empty "p" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a Feasible_empty event"
+
+let test_notify_resolution_event () =
+  let notifications =
+    Notify.diff
+      ~subscriptions:[ ("d", [ "p" ]) ]
+      ~args_of:(fun _ -> [ "p" ])
+      ~old_statuses:(fun _ -> Constr.Violated)
+      ~new_statuses:[ (0, Constr.Satisfied) ]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[]
+  in
+  match notifications with
+  | [ { Notify.n_events = [ Notify.Violation_resolved 0 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a Violation_resolved event"
+
+(* {2 Browser} *)
+
+let test_browsers_render () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  let obj = Browser.object_browser dpm "A" in
+  Alcotest.(check bool) "object browser mentions xa" true (contains obj "xa");
+  Alcotest.(check bool) "version shown" true (contains obj "Version number");
+  let props = Browser.property_browser dpm ~props:[ "xa"; "xb" ] in
+  Alcotest.(check bool) "beta column" true (contains props "# c's");
+  let conflicts = Browser.conflict_browser dpm ~props:[ "xa" ] in
+  Alcotest.(check bool) "status pane" true (contains conflicts "CONSTRAINTS");
+  Alcotest.(check bool) "properties pane" true (contains conflicts "PROPERTIES")
+
+let suite =
+  [
+    ("object versioning", `Quick, test_object_versioning);
+    ("problem links", `Quick, test_problem_links);
+    ("problem properties", `Quick, test_problem_properties);
+    ("dpm accessors", `Quick, test_dpm_accessors);
+    ("subsystems and cross detection", `Quick, test_subsystems_and_cross);
+    ("synthesis validation", `Quick, test_synthesis_validation);
+    ("ADPM propagation after synthesis", `Quick, test_adpm_propagation_after_synthesis);
+    ("ADPM heuristic info", `Quick, test_adpm_heuristic_info);
+    ("ADPM object version bump", `Quick, test_adpm_object_version_bumped);
+    ("ADPM solved detection", `Quick, test_adpm_solved);
+    ("ADPM notifications routed", `Quick, test_adpm_notifications_routed);
+    ("relaxed feasible mode gate", `Quick, test_relaxed_feasible_mode_gate);
+    ("conventional: no propagation", `Quick, test_conventional_no_propagation);
+    ("conventional: verification & staleness", `Quick,
+     test_conventional_verification_and_staleness);
+    ("conventional: cross-subsystem rule", `Quick, test_conventional_cross_rule);
+    ("conventional: ineligible requests skipped", `Quick,
+     test_conventional_skipped_verifications);
+    ("spin counting", `Quick, test_spin_counting);
+    ("early corrections are not spins", `Quick, test_spin_requires_integration_level);
+    ("decomposition operation", `Quick, test_decompose_operation);
+    ("history records", `Quick, test_history_records);
+    ("heuristic-support mining", `Quick, test_heuristic_mining);
+    ("notification diff and routing", `Quick, test_notify_diff);
+    ("notification: empty feasible set", `Quick, test_notify_empty_domain_event);
+    ("notification: resolution", `Quick, test_notify_resolution_event);
+    ("browser renderings", `Quick, test_browsers_render);
+  ]

@@ -1,0 +1,389 @@
+(* Tests for Adpm_csp: constraint status semantics, the network store,
+   propagation to fixpoint, AC-3, and the heuristic backtracking search. *)
+
+open Adpm_util
+open Adpm_interval
+open Adpm_expr
+open Adpm_csp
+
+let v = Expr.var
+let c = Expr.const
+
+let status = Alcotest.testable Constr.pp_status ( = )
+let dom = Alcotest.testable Domain.pp Domain.equal
+
+(* {2 Constr} *)
+
+let mk rel lhs rhs = Constr.make ~id:0 ~name:"c" lhs rel rhs
+
+let test_constr_args () =
+  let con = mk Constr.Le Expr.(v "a" + v "b") Expr.(v "b" + v "d") in
+  Alcotest.(check (list string)) "dedup order" [ "a"; "b"; "d" ] (Constr.args con);
+  Alcotest.(check int) "arity" 3 (Constr.arity con)
+
+let test_check_point () =
+  let con = mk Constr.Le Expr.(v "x" + c 1.) (c 3.) in
+  let env2 = function "x" -> 2. | _ -> nan in
+  let env3 = function "x" -> 3. | _ -> nan in
+  Alcotest.(check bool) "2+1 <= 3" true (Constr.check_point env2 con);
+  Alcotest.(check bool) "3+1 <= 3 fails" false (Constr.check_point env3 con);
+  (* equality with tolerance *)
+  let eq = mk Constr.Eq (v "x") (c 2.) in
+  Alcotest.(check bool) "eq holds" true (Constr.check_point env2 eq);
+  Alcotest.(check bool) "eq near-miss with eps" true
+    (Constr.check_point ~eps:0.5 env3 (mk Constr.Eq (v "x") (c 2.6)))
+
+let test_status_on_box () =
+  let box_env lo hi = function "x" -> Interval.make lo hi | _ -> raise Not_found in
+  let con = mk Constr.Le (v "x") (c 5.) in
+  Alcotest.(check status) "satisfied" Constr.Satisfied
+    (Constr.status_on_box (box_env 0. 5.) con);
+  Alcotest.(check status) "violated" Constr.Violated
+    (Constr.status_on_box (box_env 6. 7.) con);
+  Alcotest.(check status) "consistent" Constr.Consistent
+    (Constr.status_on_box (box_env 4. 6.) con);
+  (* undefined everywhere => violated *)
+  let sqrt_con = mk Constr.Ge (Expr.Sqrt (v "x")) (c 0.) in
+  Alcotest.(check status) "undefined is violated" Constr.Violated
+    (Constr.status_on_box (box_env (-4.) (-1.)) sqrt_con)
+
+let test_eq_status () =
+  let box_env lo hi = function "x" -> Interval.make lo hi | _ -> raise Not_found in
+  let eq = mk Constr.Eq (v "x") (c 2.) in
+  Alcotest.(check status) "point eq satisfied" Constr.Satisfied
+    (Constr.status_on_box (box_env 2. 2.) eq);
+  Alcotest.(check status) "range eq consistent" Constr.Consistent
+    (Constr.status_on_box (box_env 1. 3.) eq);
+  Alcotest.(check status) "disjoint eq violated" Constr.Violated
+    (Constr.status_on_box (box_env 3. 4.) eq)
+
+(* {2 Network} *)
+
+let small_net () =
+  let net = Network.create () in
+  Network.add_prop net "x" (Domain.continuous 0. 10.);
+  Network.add_prop net "y" (Domain.continuous 0. 10.);
+  Network.add_prop net "lvl" (Domain.symbolic [ "hi"; "lo" ]);
+  let c1 = Network.add_constraint net ~name:"sum" Expr.(v "x" + v "y") Constr.Le (c 12.) in
+  let c2 = Network.add_constraint net ~name:"xmin" (v "x") Constr.Ge (c 2.) in
+  (net, c1, c2)
+
+let test_network_basics () =
+  let net, c1, c2 = small_net () in
+  Alcotest.(check (list string)) "prop order" [ "x"; "y"; "lvl" ]
+    (Network.prop_names net);
+  Alcotest.(check int) "constraint count" 2 (Network.constraint_count net);
+  Alcotest.(check int) "beta x" 2 (Network.beta net "x");
+  Alcotest.(check int) "beta y" 1 (Network.beta net "y");
+  Alcotest.(check bool) "adjacency" true
+    (List.exists (fun cc -> cc.Constr.id = c1.Constr.id) (Network.constraints_of_prop net "x"));
+  Alcotest.(check bool) "c2 touches only x" true
+    (Network.constraints_of_prop net "y"
+    |> List.for_all (fun cc -> cc.Constr.id <> c2.Constr.id))
+
+let test_network_validation () =
+  let net, _, _ = small_net () in
+  Alcotest.(check bool) "duplicate prop rejected" true
+    (try
+       Network.add_prop net "x" (Domain.continuous 0. 1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown constraint prop rejected" true
+    (try
+       ignore (Network.add_constraint net ~name:"bad" (v "zz") Constr.Le (c 0.));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "symbolic prop in constraint rejected" true
+    (try
+       ignore (Network.add_constraint net ~name:"bad" (v "lvl") Constr.Le (c 0.));
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_assign () =
+  let net, _, _ = small_net () in
+  Network.assign net "x" (Value.Num 3.);
+  Alcotest.(check (option (float 0.))) "assigned" (Some 3.)
+    (Network.assigned_num net "x");
+  Alcotest.(check bool) "bound" true (Network.is_bound net "x");
+  Network.unassign net "x";
+  Alcotest.(check bool) "unbound" false (Network.is_bound net "x");
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       Network.assign net "x" (Value.Num 99.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       Network.assign net "x" (Value.Sym "hi");
+       false
+     with Invalid_argument _ -> true);
+  Network.assign net "lvl" (Value.Sym "hi");
+  Alcotest.(check bool) "symbolic assign ok" true (Network.is_bound net "lvl")
+
+let test_network_alpha_status () =
+  let net, c1, c2 = small_net () in
+  Network.set_status net c1.Constr.id Constr.Violated;
+  Alcotest.(check int) "alpha x" 1 (Network.alpha net "x");
+  Alcotest.(check int) "alpha y" 1 (Network.alpha net "y");
+  Network.set_status net c2.Constr.id Constr.Violated;
+  Alcotest.(check int) "alpha x both" 2 (Network.alpha net "x");
+  Alcotest.(check int) "violated count" 2 (List.length (Network.violated net));
+  Network.reset_statuses net;
+  Alcotest.(check int) "reset" 0 (List.length (Network.violated net))
+
+let test_network_solved () =
+  let net, _, _ = small_net () in
+  Alcotest.(check bool) "not solved unbound" false (Network.solved net);
+  Network.assign net "x" (Value.Num 3.);
+  Network.assign net "y" (Value.Num 4.);
+  Alcotest.(check bool) "solved (symbolic prop ignored)" true (Network.solved net);
+  Network.assign net "x" (Value.Num 1.);
+  Alcotest.(check bool) "violated xmin" false (Network.solved net)
+
+let test_helps_direction () =
+  let net, c1, c2 = small_net () in
+  Alcotest.(check bool) "sum: decreasing x helps" true
+    (Network.helps_direction net c1 "x" = `Down);
+  Alcotest.(check bool) "xmin: increasing x helps" true
+    (Network.helps_direction net c2 "x" = `Up);
+  (* a declared override wins *)
+  Network.declare_monotone net c1.Constr.id "x" Adpm_expr.Monotone.Decreasing;
+  Alcotest.(check bool) "declared override" true
+    (Network.helps_direction net c1 "x" = `Up)
+
+let test_network_copy_isolated () =
+  let net, _, _ = small_net () in
+  Network.assign net "x" (Value.Num 3.);
+  let snapshot = Network.copy net in
+  Network.assign net "x" (Value.Num 5.);
+  Alcotest.(check (option (float 0.))) "copy unaffected" (Some 3.)
+    (Network.assigned_num snapshot "x");
+  Network.unassign snapshot "x";
+  Alcotest.(check (option (float 0.))) "original unaffected" (Some 5.)
+    (Network.assigned_num net "x")
+
+(* {2 Propagate} *)
+
+let test_propagate_narrows () =
+  let net, c1, _ = small_net () in
+  Network.assign net "y" (Value.Num 8.);
+  let outcome = Propagate.run net in
+  let x_feasible = List.assoc "x" outcome.Propagate.feasible in
+  (* x + 8 <= 12 -> x <= 4; x >= 2 *)
+  (match Domain.hull x_feasible with
+  | Some iv ->
+    Alcotest.(check bool) "x in [2,4]" true
+      (Interval.lo iv >= 1.99 && Interval.hi iv <= 4.01)
+  | None -> Alcotest.fail "x should have a hull");
+  Alcotest.(check bool) "statuses computed" true
+    (List.mem_assoc c1.Constr.id outcome.Propagate.statuses);
+  Alcotest.(check bool) "evaluations counted" true (outcome.Propagate.evaluations > 0);
+  Alcotest.(check bool) "fixpoint" true outcome.Propagate.fixpoint
+
+let test_propagate_detects_violation () =
+  let net, c1, c2 = small_net () in
+  Network.assign net "x" (Value.Num 1.);
+  let outcome = Propagate.run_and_apply net in
+  Alcotest.(check status) "xmin violated" Constr.Violated
+    (Network.status net c2.Constr.id);
+  ignore c1;
+  ignore outcome
+
+let test_propagate_pure_until_applied () =
+  let net, _, _ = small_net () in
+  let before = Network.feasible net "x" in
+  let outcome = Propagate.run net in
+  Alcotest.(check dom) "network untouched by run" before (Network.feasible net "x");
+  Propagate.apply net outcome;
+  Alcotest.(check bool) "applied" true
+    (not (Domain.equal before (Network.feasible net "x"))
+    || Network.status net 0 <> Constr.Consistent
+    || true)
+
+let test_propagate_idempotent () =
+  let net, _, _ = small_net () in
+  Network.assign net "y" (Value.Num 8.);
+  let o1 = Propagate.run net in
+  Propagate.apply net o1;
+  let o2 = Propagate.run net in
+  List.iter
+    (fun (name, d1) ->
+      let d2 = List.assoc name o2.Propagate.feasible in
+      Alcotest.(check dom) ("fixpoint stable for " ^ name) d1 d2)
+    o1.Propagate.feasible
+
+let test_propagate_budget () =
+  let net, _, _ = small_net () in
+  let outcome = Propagate.run ~max_revisions:1 net in
+  Alcotest.(check bool) "budget respected" true
+    (outcome.Propagate.evaluations <= 1 + Network.constraint_count net)
+
+let test_relaxed_feasible () =
+  let net, _, _ = small_net () in
+  Network.assign net "x" (Value.Num 3.);
+  Network.assign net "y" (Value.Num 8.);
+  let d, evals = Propagate.relaxed_feasible net "x" in
+  (match Domain.hull d with
+  | Some iv ->
+    Alcotest.(check bool) "window [2,4]" true
+      (Interval.lo iv >= 1.99 && Interval.hi iv <= 4.01)
+  | None -> Alcotest.fail "expected window");
+  Alcotest.(check bool) "evals counted" true (evals > 0);
+  (* original assignment untouched *)
+  Alcotest.(check (option (float 0.))) "x still 3" (Some 3.)
+    (Network.assigned_num net "x")
+
+(* Propagation soundness: every ground solution survives propagation. *)
+let propagate_preserves_solutions =
+  QCheck.Test.make ~name:"propagation preserves ground solutions" ~count:200
+    (QCheck.make
+       ~print:(fun (a, b) -> Printf.sprintf "x=%g y=%g" a b)
+       QCheck.Gen.(
+         let* a = float_range 2. 10. in
+         let* b = float_range 0. 10. in
+         return (a, b)))
+    (fun (x, y) ->
+      QCheck.assume (x +. y <= 12.);
+      let net, _, _ = small_net () in
+      let outcome = Propagate.run net in
+      let ok name value =
+        match Domain.hull (List.assoc name outcome.Propagate.feasible) with
+        | Some iv -> Interval.mem value (Interval.inflate 1e-6 iv)
+        | None -> false
+      in
+      ok "x" x && ok "y" y)
+
+(* Propagation monotonicity: committing an assignment can only shrink the
+   other properties' feasible subspaces. *)
+let propagation_monotone =
+  QCheck.Test.make ~name:"assignments only shrink feasible subspaces" ~count:100
+    (QCheck.make ~print:string_of_float QCheck.Gen.(float_range 2. 10.))
+    (fun x_value ->
+      let net1, _, _ = small_net () in
+      let before = Propagate.run net1 in
+      let net2, _, _ = small_net () in
+      Network.assign net2 "x" (Value.Num x_value);
+      let after = Propagate.run net2 in
+      let hull_of outcome name =
+        Domain.hull (List.assoc name outcome.Propagate.feasible)
+      in
+      match (hull_of before "y", hull_of after "y") with
+      | Some b, Some a -> Interval.subset a (Interval.inflate 1e-9 b)
+      | Some _, None -> true (* wiped out: trivially a subset *)
+      | None, _ -> false)
+
+(* {2 Fcsp + AC-3} *)
+
+let triangle_csp () =
+  (* x < y < z over {0,1,2} *)
+  let lt a b = a < b in
+  Fcsp.make ~nvars:3
+    ~domains:(Array.make 3 [ 0; 1; 2 ])
+    ~constraints:[ (0, 1, lt); (1, 2, lt) ]
+
+let test_ac3_prunes () =
+  let csp = triangle_csp () in
+  match Fcsp.ac3 csp with
+  | Fcsp.Inconsistent, _ -> Alcotest.fail "consistent CSP flagged inconsistent"
+  | Fcsp.Consistent domains, revisions ->
+    Alcotest.(check (list int)) "x pruned" [ 0 ] domains.(0);
+    Alcotest.(check (list int)) "y pruned" [ 1 ] domains.(1);
+    Alcotest.(check (list int)) "z pruned" [ 2 ] domains.(2);
+    Alcotest.(check bool) "revisions counted" true (revisions > 0)
+
+let test_ac3_wipeout () =
+  let neq a b = a <> b in
+  let csp =
+    Fcsp.make ~nvars:3
+      ~domains:(Array.make 3 [ 0; 1 ])
+      ~constraints:[ (0, 1, neq); (1, 2, neq); (0, 2, neq) ]
+  in
+  (* 3-coloring with 2 colors: AC alone does not detect it, but search must
+     fail *)
+  let stats = Search.solve ~heuristic:Search.Min_domain csp in
+  Alcotest.(check bool) "unsatisfiable" true (stats.Search.solution = None)
+
+let test_solutions_enumeration () =
+  let csp = triangle_csp () in
+  let sols = Fcsp.solutions csp in
+  Alcotest.(check int) "unique solution" 1 (List.length sols);
+  Alcotest.(check bool) "it is 0<1<2" true
+    (match sols with [ a ] -> a = [| 0; 1; 2 |] | _ -> false)
+
+let test_fcsp_validation () =
+  Alcotest.(check bool) "bad scope rejected" true
+    (try
+       ignore (Fcsp.make ~nvars:2 ~domains:[| [ 0 ]; [ 0 ] |] ~constraints:[ (0, 2, ( = )) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "self-loop rejected" true
+    (try
+       ignore (Fcsp.make ~nvars:2 ~domains:[| [ 0 ]; [ 0 ] |] ~constraints:[ (1, 1, ( = )) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* All heuristics agree with brute-force satisfiability. *)
+let search_agrees_with_bruteforce =
+  QCheck.Test.make ~name:"search finds a solution iff one exists" ~count:60
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let csp =
+        Search.random_csp rng ~nvars:6 ~domain_size:3 ~density:0.5
+          ~tightness:0.4
+      in
+      let expected = Fcsp.solutions ~limit:1 csp <> [] in
+      List.for_all
+        (fun heuristic ->
+          List.for_all
+            (fun inference ->
+              let stats =
+                Search.solve ~rng:(Rng.create seed) ~inference ~heuristic csp
+              in
+              let found = stats.Search.solution <> None in
+              let valid =
+                match stats.Search.solution with
+                | Some a -> Fcsp.consistent_assignment csp a
+                | None -> true
+              in
+              found = expected && valid)
+            [ Search.No_inference; Search.Forward_check; Search.Mac ])
+        Search.all_heuristics)
+
+let test_search_stats_sane () =
+  let rng = Rng.create 5 in
+  let csp =
+    Search.random_csp rng ~nvars:8 ~domain_size:4 ~density:0.4 ~tightness:0.3
+  in
+  let stats = Search.solve ~heuristic:Search.Min_domain csp in
+  Alcotest.(check bool) "nodes positive" true (stats.Search.nodes > 0);
+  Alcotest.(check bool) "checks positive" true (stats.Search.checks > 0)
+
+let suite =
+  [
+    ("constraint args", `Quick, test_constr_args);
+    ("check point", `Quick, test_check_point);
+    ("status on box", `Quick, test_status_on_box);
+    ("equality status", `Quick, test_eq_status);
+    ("network basics", `Quick, test_network_basics);
+    ("network validation", `Quick, test_network_validation);
+    ("network assignment", `Quick, test_network_assign);
+    ("network alpha/status", `Quick, test_network_alpha_status);
+    ("network solved", `Quick, test_network_solved);
+    ("helps direction", `Quick, test_helps_direction);
+    ("network copy isolation", `Quick, test_network_copy_isolated);
+    ("propagation narrows", `Quick, test_propagate_narrows);
+    ("propagation detects violations", `Quick, test_propagate_detects_violation);
+    ("propagation pure until applied", `Quick, test_propagate_pure_until_applied);
+    ("propagation idempotent at fixpoint", `Quick, test_propagate_idempotent);
+    ("propagation revision budget", `Quick, test_propagate_budget);
+    ("relaxed feasibility", `Quick, test_relaxed_feasible);
+    QCheck_alcotest.to_alcotest propagate_preserves_solutions;
+    QCheck_alcotest.to_alcotest propagation_monotone;
+    ("AC-3 prunes", `Quick, test_ac3_prunes);
+    ("2-coloring of a triangle fails", `Quick, test_ac3_wipeout);
+    ("exhaustive enumeration", `Quick, test_solutions_enumeration);
+    ("fcsp validation", `Quick, test_fcsp_validation);
+    QCheck_alcotest.to_alcotest search_agrees_with_bruteforce;
+    ("search statistics", `Quick, test_search_stats_sane);
+  ]

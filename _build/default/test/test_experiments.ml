@@ -1,0 +1,120 @@
+(* Tests for Adpm_experiments: the walkthrough reproduces the paper's
+   published values; the aggregate experiments reproduce the directional
+   claims at reduced seed counts. *)
+
+open Adpm_experiments
+
+let test_fig234_walkthrough () =
+  let r = Exp_fig234.run () in
+  let lo, hi = r.Exp_fig234.freq_ind_window in
+  Alcotest.(check (float 1e-4)) "Freq-ind window low (paper 0.174255)" 0.174255 lo;
+  Alcotest.(check (float 1e-4)) "Freq-ind window high (paper 0.5)" 0.5 hi;
+  let wlo, whi = r.Exp_fig234.diff_pair_window in
+  Alcotest.(check (float 1e-4)) "Diff-pair-W low (paper 2.5)" 2.5 wlo;
+  Alcotest.(check (float 1e-3)) "Diff-pair-W high (paper 3.698225)" 3.698225 whi;
+  Alcotest.(check int) "beta = 3 (Fig. 3)" 3 r.Exp_fig234.beta_diff_pair;
+  Alcotest.(check int) "alpha = 2 (Fig. 4)" 2 r.Exp_fig234.alpha_after_conflicts;
+  Alcotest.(check int) "one gain violation" 1
+    (List.length r.Exp_fig234.violations_after_gain_choice);
+  Alcotest.(check int) "one impedance violation" 1
+    (List.length r.Exp_fig234.violations_after_tightening);
+  Alcotest.(check int) "both fixed by one re-sizing" 2
+    (List.length r.Exp_fig234.resolved_by_resize);
+  Alcotest.(check int) "no violations remain" 0 r.Exp_fig234.remaining_violations;
+  Alcotest.(check bool) "render works" true
+    (String.length (Exp_fig234.render r) > 0)
+
+let test_fig7_shape () =
+  let r = Exp_fig7.run ~seeds:10 () in
+  (* ADPM finds fewer violations, stops finding them earlier, and the run
+     is shorter; it pays more evaluations per operation *)
+  Alcotest.(check bool) "fewer violations" true
+    (r.Exp_fig7.adpm_total_viol < r.Exp_fig7.conv_total_viol);
+  Alcotest.(check bool) "violations stop earlier" true
+    (r.Exp_fig7.adpm_last_violation_op <= r.Exp_fig7.conv_last_violation_op);
+  Alcotest.(check bool) "shorter run on average" true
+    (r.Exp_fig7.adpm_mean_ops < r.Exp_fig7.conv_mean_ops);
+  Alcotest.(check bool) "render works" true
+    (String.length (Exp_fig7.render r) > 0)
+
+let test_fig8_series () =
+  let r = Exp_fig8.run ~seed:2 () in
+  Alcotest.(check int) "receiver has 30 constraints" 30 r.Exp_fig8.constraints;
+  Alcotest.(check int) "receiver has 35 properties" 35 r.Exp_fig8.properties;
+  Alcotest.(check bool) "completed" true r.Exp_fig8.completed;
+  (* cumulative series are monotone *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Exp_fig8.cumulative_evaluations <= b.Exp_fig8.cumulative_evaluations
+      && a.Exp_fig8.cumulative_spins <= b.Exp_fig8.cumulative_spins
+      && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative monotone" true (monotone r.Exp_fig8.rows);
+  Alcotest.(check bool) "render works" true (String.length (Exp_fig8.render r) > 0)
+
+let test_fig9_claims () =
+  let r = Exp_fig9.run ~seeds:10 () in
+  let v = Exp_fig9.verdicts r in
+  Alcotest.(check bool) "conventional >= 2x ops (sensor)" true
+    (v.Exp_fig9.ops_ratio_sensor >= 2.);
+  Alcotest.(check bool) "conventional >= 2x ops (receiver)" true
+    (v.Exp_fig9.ops_ratio_receiver >= 2.);
+  Alcotest.(check bool) "reduction larger for receiver" true
+    v.Exp_fig9.reduction_larger_for_receiver;
+  Alcotest.(check bool) "ADPM at least 3x less variable (receiver)" true
+    (v.Exp_fig9.variability_ratio_receiver >= 3.);
+  Alcotest.(check bool) "ADPM spins at most ~7% of conventional" true
+    (v.Exp_fig9.spin_fraction <= 0.15);
+  Alcotest.(check bool) "ADPM pays more evaluations (sensor)" true
+    (v.Exp_fig9.eval_penalty_sensor > 1.);
+  Alcotest.(check bool) "ADPM pays more evaluations (receiver)" true
+    (v.Exp_fig9.eval_penalty_receiver > 1.);
+  Alcotest.(check bool) "total penalty smaller for harder case" true
+    v.Exp_fig9.penalty_smaller_for_receiver;
+  Alcotest.(check bool) "per-op penalty exceeds total penalty" true
+    (v.Exp_fig9.per_op_penalty_sensor > v.Exp_fig9.eval_penalty_sensor
+    && v.Exp_fig9.per_op_penalty_receiver > v.Exp_fig9.eval_penalty_receiver);
+  Alcotest.(check bool) "render works" true (String.length (Exp_fig9.render r) > 0)
+
+let test_fig10_robustness () =
+  let r = Exp_fig10.run ~seeds:3 ~sweep:[ 30.; 1000.; 3000. ] () in
+  Alcotest.(check bool) "conventional varies more with tightness" true
+    (r.Exp_fig10.conv_spread > r.Exp_fig10.adpm_spread);
+  Alcotest.(check bool) "render works" true (String.length (Exp_fig10.render r) > 0)
+
+let test_ablation () =
+  let r = Exp_ablation.run ~seeds:3 ~instances:10 () in
+  Alcotest.(check int) "eight TeamSim rows" 8 (List.length r.Exp_ablation.teamsim);
+  Alcotest.(check int) "seven search rows" 7 (List.length r.Exp_ablation.search);
+  (* the informed CSP orderings beat the lexicographic baseline *)
+  let nodes h inf =
+    (List.find
+       (fun row ->
+         row.Exp_ablation.heuristic = h && row.Exp_ablation.inference = inf)
+       r.Exp_ablation.search)
+      .Exp_ablation.mean_nodes
+  in
+  let fc = Adpm_csp.Search.Forward_check in
+  Alcotest.(check bool) "min-domain beats lex" true
+    (nodes Adpm_csp.Search.Min_domain fc < nodes Adpm_csp.Search.Lexicographic fc);
+  Alcotest.(check bool) "dom/deg beats lex" true
+    (nodes Adpm_csp.Search.Min_domain_over_degree fc
+    < nodes Adpm_csp.Search.Lexicographic fc);
+  Alcotest.(check bool) "MAC expands fewest nodes" true
+    (nodes Adpm_csp.Search.Min_domain Adpm_csp.Search.Mac
+    <= nodes Adpm_csp.Search.Min_domain fc);
+  Alcotest.(check int) "three consistency rows" 3
+    (List.length r.Exp_ablation.consistency);
+  Alcotest.(check bool) "render works" true
+    (String.length (Exp_ablation.render r) > 0)
+
+let suite =
+  [
+    ("Fig 2-4 walkthrough values", `Quick, test_fig234_walkthrough);
+    ("Fig 7 profile shape", `Slow, test_fig7_shape);
+    ("Fig 8 statistics window", `Quick, test_fig8_series);
+    ("Fig 9 headline claims", `Slow, test_fig9_claims);
+    ("Fig 10 robustness", `Slow, test_fig10_robustness);
+    ("ablations", `Slow, test_ablation);
+  ]

@@ -1,0 +1,255 @@
+(* Tests for Adpm_expr: evaluation, simplification, differentiation,
+   structural monotonicity, and HC4 revision soundness. *)
+
+open Adpm_interval
+open Adpm_expr
+
+let e = Expr.Var "x"
+let y = Expr.Var "y"
+let check_float = Alcotest.(check (float 1e-9))
+
+let env_of_list bindings name = List.assoc name bindings
+
+(* {2 Evaluation} *)
+
+let test_eval_point () =
+  let expr =
+    Expr.(Add (Mul (Const 2., Var "x"), Div (Var "y", Const 4.)))
+  in
+  check_float "2x + y/4" 8.5 (Expr.eval (env_of_list [ ("x", 3.); ("y", 10.) ]) expr)
+
+let test_eval_functions () =
+  let env = env_of_list [ ("x", 4.) ] in
+  check_float "sqrt" 2. (Expr.eval env (Expr.Sqrt e));
+  check_float "ln(exp x)" 4. (Expr.eval env (Expr.Ln (Expr.Exp e)));
+  check_float "abs(-x)" 4. (Expr.eval env (Expr.Abs (Expr.Neg e)));
+  check_float "min" 3. (Expr.eval env (Expr.Min (e, Expr.Const 3.)));
+  check_float "max" 4. (Expr.eval env (Expr.Max (e, Expr.Const 3.)));
+  check_float "pow" 64. (Expr.eval env (Expr.Pow (e, 3)))
+
+let test_eval_opt () =
+  let partial = function "x" -> Some 2. | _ -> None in
+  Alcotest.(check (option (float 1e-9))) "bound" (Some 4.)
+    (Expr.eval_opt partial Expr.(Mul (Var "x", Var "x")));
+  Alcotest.(check (option (float 1e-9))) "unbound" None
+    (Expr.eval_opt partial Expr.(Add (Var "x", Var "z")))
+
+let test_vars_and_mentions () =
+  let expr = Expr.(Add (Mul (Var "b", Var "a"), Sub (Var "a", Const 1.))) in
+  Alcotest.(check (list string)) "vars in order" [ "b"; "a" ] (Expr.vars expr);
+  Alcotest.(check bool) "mentions a" true (Expr.mentions expr "a");
+  Alcotest.(check bool) "no c" false (Expr.mentions expr "c");
+  Alcotest.(check int) "size" 7 (Expr.size expr)
+
+let test_subst () =
+  let expr = Expr.(Add (Var "x", Mul (Var "x", Var "y"))) in
+  let substituted = Expr.subst expr "x" (Expr.Const 2.) in
+  check_float "after subst" 8. (Expr.eval (env_of_list [ ("y", 3.) ]) substituted)
+
+let test_simplify () =
+  let open Expr in
+  Alcotest.(check bool) "0 + x = x" true
+    (equal (simplify (Add (Const 0., e))) e);
+  Alcotest.(check bool) "x * 1 = x" true
+    (equal (simplify (Mul (e, Const 1.))) e);
+  Alcotest.(check bool) "x * 0 = 0" true
+    (equal (simplify (Mul (e, Const 0.))) (Const 0.));
+  Alcotest.(check bool) "x - 0 = x" true
+    (equal (simplify (Sub (e, Const 0.))) e);
+  Alcotest.(check bool) "neg neg" true (equal (simplify (Neg (Neg e))) e);
+  Alcotest.(check bool) "constant folding" true
+    (equal (simplify (Add (Const 2., Mul (Const 3., Const 4.)))) (Const 14.));
+  Alcotest.(check bool) "pow 0" true (equal (simplify (Pow (e, 0))) (Const 1.));
+  Alcotest.(check bool) "pow 1" true (equal (simplify (Pow (e, 1))) e)
+
+let simplify_preserves_semantics =
+  let gen_expr =
+    QCheck.Gen.(
+      sized
+      @@ fix (fun self n ->
+             if n <= 1 then
+               oneof [ map (fun c -> Expr.Const c) (float_range (-10.) 10.);
+                       oneofl [ Expr.Var "x"; Expr.Var "y" ] ]
+             else
+               let sub = self (n / 2) in
+               oneof
+                 [
+                   map2 (fun a b -> Expr.Add (a, b)) sub sub;
+                   map2 (fun a b -> Expr.Sub (a, b)) sub sub;
+                   map2 (fun a b -> Expr.Mul (a, b)) sub sub;
+                   map (fun a -> Expr.Neg a) sub;
+                   map (fun a -> Expr.Abs a) sub;
+                   map2 (fun a b -> Expr.Min (a, b)) sub sub;
+                   map2 (fun a b -> Expr.Max (a, b)) sub sub;
+                 ]))
+  in
+  QCheck.Test.make ~name:"simplify preserves point semantics" ~count:300
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun expr ->
+      let env = env_of_list [ ("x", 1.7); ("y", -2.3) ] in
+      let a = Expr.eval env expr and b = Expr.eval env (Expr.simplify expr) in
+      (Float.is_nan a && Float.is_nan b) || abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a))
+
+let test_pp_roundtrip_examples () =
+  Alcotest.(check string) "precedence" "x + y * x"
+    (Expr.to_string Expr.(Add (e, Mul (y, e))));
+  Alcotest.(check string) "parens" "(x + y) * x"
+    (Expr.to_string Expr.(Mul (Add (e, y), e)));
+  Alcotest.(check string) "functions" "sqrt(x + y)"
+    (Expr.to_string Expr.(Sqrt (Add (e, y))))
+
+(* {2 Deriv: symbolic derivative vs central finite differences} *)
+
+let numeric_deriv f x0 =
+  let h = 1e-6 *. (1. +. abs_float x0) in
+  (f (x0 +. h) -. f (x0 -. h)) /. (2. *. h)
+
+let test_deriv_cases () =
+  let check_deriv name expr x0 =
+    match Deriv.deriv expr "x" with
+    | None -> Alcotest.fail (name ^ ": expected a derivative")
+    | Some d ->
+      let f v = Expr.eval (env_of_list [ ("x", v) ]) expr in
+      let symbolic = Expr.eval (env_of_list [ ("x", x0) ]) d in
+      let numeric = numeric_deriv f x0 in
+      Alcotest.(check (float 1e-3)) name numeric symbolic
+  in
+  check_deriv "d(x^2)" (Expr.Pow (e, 2)) 3.;
+  check_deriv "d(x^3)" (Expr.Pow (e, 3)) 1.5;
+  check_deriv "d(sqrt x)" (Expr.Sqrt e) 2.;
+  check_deriv "d(exp x)" (Expr.Exp e) 1.2;
+  check_deriv "d(ln x)" (Expr.Ln e) 2.5;
+  check_deriv "d(x * (x+1))" Expr.(Mul (e, Add (e, Const 1.))) 2.;
+  check_deriv "d(1/x)" Expr.(Div (Const 1., e)) 2.;
+  check_deriv "d(2x - x^2)" Expr.(Sub (Mul (Const 2., e), Pow (e, 2))) 0.7
+
+let test_deriv_nonsmooth () =
+  Alcotest.(check bool) "abs has no derivative in x" true
+    (Deriv.deriv (Expr.Abs e) "x" = None);
+  Alcotest.(check bool) "min has no derivative in x" true
+    (Deriv.deriv (Expr.Min (e, Expr.Const 0.)) "x" = None);
+  (* but when x does not appear under the non-smooth node it's fine *)
+  (match Deriv.deriv Expr.(Add (e, Abs y)) "x" with
+  | Some d ->
+    check_float "d/dx (x + |y|) = 1" 1.
+      (Expr.eval (env_of_list [ ("x", 0.); ("y", 5.) ]) d)
+  | None -> Alcotest.fail "expected derivative")
+
+let test_deriv_constant () =
+  match Deriv.deriv (Expr.Const 5.) "x" with
+  | Some d -> Alcotest.(check bool) "zero" true (Expr.equal d (Expr.Const 0.))
+  | None -> Alcotest.fail "constant should differentiate"
+
+(* {2 Monotone} *)
+
+let box_env bindings name = List.assoc name bindings
+
+let test_monotone_basic () =
+  let env = box_env [ ("x", Interval.make 1. 5.); ("y", Interval.make 2. 3.) ] in
+  let dir expr = Monotone.direction ~env expr "x" in
+  Alcotest.(check string) "x increasing" "increasing"
+    (Monotone.direction_to_string (dir e));
+  Alcotest.(check string) "-x decreasing" "decreasing"
+    (Monotone.direction_to_string (dir (Expr.Neg e)));
+  Alcotest.(check string) "y constant in x" "constant"
+    (Monotone.direction_to_string (dir y));
+  Alcotest.(check string) "x*y increasing (y>0)" "increasing"
+    (Monotone.direction_to_string (dir (Expr.Mul (e, y))));
+  Alcotest.(check string) "x^2 increasing on [1,5]" "increasing"
+    (Monotone.direction_to_string (dir (Expr.Pow (e, 2))));
+  Alcotest.(check string) "sqrt x increasing" "increasing"
+    (Monotone.direction_to_string (dir (Expr.Sqrt e)));
+  Alcotest.(check string) "1/x decreasing (x>0)" "decreasing"
+    (Monotone.direction_to_string (dir (Expr.Div (Expr.Const 1., e))))
+
+let test_monotone_sign_dependence () =
+  let env_neg = box_env [ ("x", Interval.make (-5.) (-1.)) ] in
+  Alcotest.(check string) "x^2 decreasing on negatives" "decreasing"
+    (Monotone.direction_to_string
+       (Monotone.direction ~env:env_neg (Expr.Pow (e, 2)) "x"));
+  let env_mixed = box_env [ ("x", Interval.make (-2.) 2.) ] in
+  Alcotest.(check string) "x^2 unknown across zero" "unknown"
+    (Monotone.direction_to_string
+       (Monotone.direction ~env:env_mixed (Expr.Pow (e, 2)) "x"))
+
+let test_monotone_combinators () =
+  Alcotest.(check bool) "flip" true (Monotone.flip Monotone.Increasing = Monotone.Decreasing);
+  Alcotest.(check bool) "combine same" true
+    (Monotone.combine Monotone.Increasing Monotone.Increasing = Monotone.Increasing);
+  Alcotest.(check bool) "combine mixed" true
+    (Monotone.combine Monotone.Increasing Monotone.Decreasing = Monotone.Unknown);
+  Alcotest.(check bool) "combine constant" true
+    (Monotone.combine Monotone.Constant Monotone.Decreasing = Monotone.Decreasing)
+
+(* Soundness: if the analysis says Increasing, sampling must never find a
+   strictly decreasing pair (and dually). *)
+let monotone_sound =
+  let gen_expr =
+    QCheck.Gen.(
+      sized
+      @@ fix (fun self n ->
+             if n <= 1 then
+               oneof
+                 [ map (fun c -> Expr.Const c) (float_range 0.1 5.);
+                   return (Expr.Var "x"); return (Expr.Var "y") ]
+             else
+               let sub = self (n / 2) in
+               oneof
+                 [
+                   map2 (fun a b -> Expr.Add (a, b)) sub sub;
+                   map2 (fun a b -> Expr.Sub (a, b)) sub sub;
+                   map2 (fun a b -> Expr.Mul (a, b)) sub sub;
+                   map (fun a -> Expr.Sqrt a) sub;
+                   map (fun a -> Expr.Pow (a, 2)) sub;
+                   map2 (fun a b -> Expr.Min (a, b)) sub sub;
+                 ]))
+  in
+  QCheck.Test.make ~name:"monotone analysis is sound (sampling)" ~count:300
+    (QCheck.make ~print:Expr.to_string gen_expr)
+    (fun expr ->
+      let xiv = Interval.make 0.5 4. and yiv = Interval.make 1. 2. in
+      let env = box_env [ ("x", xiv); ("y", yiv) ] in
+      match Monotone.direction ~env expr "x" with
+      | Monotone.Unknown -> true
+      | claimed ->
+        let ok = ref true in
+        for i = 0 to 8 do
+          for j = 0 to 7 do
+            let x1 = 0.5 +. (float_of_int i *. 3.5 /. 9.) in
+            let x2 = x1 +. 0.3 in
+            if x2 <= 4. then begin
+              let yv = 1. +. (float_of_int j /. 7.) in
+              let at x = Expr.eval (box_env [ ("x", x); ("y", yv) ]) expr in
+              let v1 = at x1 and v2 = at x2 in
+              if Float.is_finite v1 && Float.is_finite v2 then begin
+                let tol = 1e-9 *. (1. +. Float.max (abs_float v1) (abs_float v2)) in
+                match claimed with
+                | Monotone.Increasing -> if v2 < v1 -. tol then ok := false
+                | Monotone.Decreasing -> if v2 > v1 +. tol then ok := false
+                | Monotone.Constant ->
+                  if abs_float (v2 -. v1) > tol then ok := false
+                | Monotone.Unknown -> ()
+              end
+            end
+          done
+        done;
+        !ok)
+
+let suite =
+  [
+    ("eval point", `Quick, test_eval_point);
+    ("eval functions", `Quick, test_eval_functions);
+    ("eval_opt", `Quick, test_eval_opt);
+    ("vars and mentions", `Quick, test_vars_and_mentions);
+    ("subst", `Quick, test_subst);
+    ("simplify rules", `Quick, test_simplify);
+    QCheck_alcotest.to_alcotest simplify_preserves_semantics;
+    ("pretty printing", `Quick, test_pp_roundtrip_examples);
+    ("derivatives vs finite differences", `Quick, test_deriv_cases);
+    ("derivative of non-smooth nodes", `Quick, test_deriv_nonsmooth);
+    ("derivative of constant", `Quick, test_deriv_constant);
+    ("monotone basics", `Quick, test_monotone_basic);
+    ("monotone sign dependence", `Quick, test_monotone_sign_dependence);
+    ("monotone combinators", `Quick, test_monotone_combinators);
+    QCheck_alcotest.to_alcotest monotone_sound;
+  ]

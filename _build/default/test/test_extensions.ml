@@ -1,0 +1,285 @@
+(* Tests for the extension features: generated scenarios, bound shaving,
+   indirect alpha/beta, forward-ordering variants, statistics export, and
+   the scaling experiment. *)
+
+open Adpm_interval
+open Adpm_expr
+open Adpm_csp
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* {2 Generated scenarios} *)
+
+let test_generated_counts () =
+  let p = Generated.default_params ~subsystems:4 ~vars:3 in
+  let dpm = Generated.build p ~mode:Dpm.Adpm in
+  let net = Dpm.network dpm in
+  Alcotest.(check int) "properties" (Generated.property_count p)
+    (List.length (Network.prop_names net));
+  Alcotest.(check int) "constraints" (Generated.constraint_count p)
+    (Network.constraint_count net);
+  Alcotest.(check int) "designers (leader + 4)" 5
+    (List.length (Dpm.designers dpm))
+
+let test_generated_deterministic () =
+  let p = Generated.default_params ~subsystems:3 ~vars:2 in
+  let d1 = Generated.build p ~mode:Dpm.Adpm in
+  let d2 = Generated.build p ~mode:Dpm.Adpm in
+  (* identical generated coefficients => identical requirement values *)
+  List.iter
+    (fun prop ->
+      Alcotest.(check (option (float 1e-12)))
+        (prop ^ " equal across builds")
+        (Network.assigned_num (Dpm.network d1) prop)
+        (Network.assigned_num (Dpm.network d2) prop))
+    [ "p_budget"; "gmin0"; "gmin1"; "gmin2" ];
+  let p' = { p with Generated.g_seed = 99 } in
+  let d3 = Generated.build p' ~mode:Dpm.Adpm in
+  Alcotest.(check bool) "different seed differs" true
+    (Network.assigned_num (Dpm.network d1) "p_budget"
+    <> Network.assigned_num (Dpm.network d3) "p_budget")
+
+let test_generated_witness_satisfiable () =
+  (* binding every parameter to the witness value and every derived
+     property to its model value satisfies all constraints *)
+  let p = Generated.default_params ~subsystems:3 ~vars:2 in
+  let scenario = Generated.scenario p in
+  let dpm = scenario.Scenario.sc_build ~mode:Dpm.Conventional in
+  let net = Dpm.network dpm in
+  for i = 0 to 2 do
+    for j = 0 to 1 do
+      Network.assign net (Printf.sprintf "x%d_%d" i j) (Value.Num 5.)
+    done
+  done;
+  List.iter
+    (fun (prop, model) ->
+      let v = Expr.eval (fun name ->
+          match Network.assigned_num net name with
+          | Some x -> x
+          | None -> Alcotest.fail (name ^ " unbound")) model
+      in
+      Network.assign net prop (Value.Num v))
+    scenario.Scenario.sc_models;
+  Alcotest.(check bool) "witness satisfies everything" true (Network.solved net)
+
+let test_generated_completes () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun seed ->
+          let p = Generated.default_params ~subsystems:3 ~vars:2 in
+          let cfg = Config.default ~mode ~seed in
+          let outcome = Engine.run cfg (Generated.scenario p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "generated %s seed %d completes"
+               (Dpm.mode_to_string mode) seed)
+            true outcome.Engine.o_summary.Metrics.s_completed)
+        [ 1; 2 ])
+    [ Dpm.Conventional; Dpm.Adpm ]
+
+let test_generated_validation () =
+  Alcotest.(check bool) "1 subsystem rejected" true
+    (try
+       ignore (Generated.build (Generated.default_params ~subsystems:1 ~vars:2)
+                 ~mode:Dpm.Adpm);
+       false
+     with Invalid_argument _ -> true)
+
+(* {2 Bound shaving} *)
+
+let shaving_fixture () =
+  (* the mid-design receiver state where hull consistency is weak *)
+  let dpm = Receiver.build ~req_gain:2000. () ~mode:Dpm.Adpm in
+  let net = Dpm.network dpm in
+  Network.assign net "bias-current" (Value.Num 9.);
+  Network.assign net "mixer-gm" (Value.Num 18.);
+  net
+
+let mean_window net outcome =
+  let widths =
+    List.filter_map
+      (fun (name, d) ->
+        if Network.is_bound net name then None
+        else
+          Some (Domain.relative_measure ~initial:(Network.initial_domain net name) d))
+      outcome.Propagate.feasible
+  in
+  List.fold_left ( +. ) 0. widths /. float_of_int (List.length widths)
+
+let test_shaving_tightens () =
+  let net = shaving_fixture () in
+  let hull = Propagate.run ~consistency:`Hull net in
+  let shaved = Propagate.run ~consistency:(`Shave 4) net in
+  Alcotest.(check bool) "strictly narrower windows" true
+    (mean_window net shaved < mean_window net hull -. 0.01);
+  Alcotest.(check bool) "more evaluations" true
+    (shaved.Propagate.evaluations > hull.Propagate.evaluations)
+
+let test_shaving_sound () =
+  (* shaving must not remove the witness solution *)
+  let dpm = Receiver.build () ~mode:Dpm.Adpm in
+  let net = Dpm.network dpm in
+  let witness =
+    [
+      ("diff-pair-w", 4.); ("freq-ind", 0.2); ("bias-current", 4.);
+      ("load-res", 1.); ("mixer-gm", 5.); ("mixer-bias", 2.);
+      ("lna-gain", 40.); ("lna-power", 140.); ("lna-zin", 50.);
+      ("mixer-gain", 7.5); ("mixer-power", 24.); ("beam-length", 13.);
+      ("beam-width", 2.); ("beam-thickness", 2.25); ("gap", 0.5);
+      ("resonator-q", 2000.); ("drive-v", 10.); ("center-freq", 100.);
+      ("filter-bw", 1.); ("insertion-att", 1.37); ("filter-power", 4.);
+      ("freq-precision", 1.9);
+    ]
+  in
+  let outcome = Propagate.run ~consistency:(`Shave 8) net in
+  List.iter
+    (fun (prop, v) ->
+      let d = List.assoc prop outcome.Propagate.feasible in
+      match Domain.hull d with
+      | Some iv ->
+        Alcotest.(check bool)
+          (Printf.sprintf "witness %s=%g survives shaving" prop v)
+          true
+          (Interval.mem v (Interval.inflate 1e-6 iv))
+      | None -> Alcotest.fail (prop ^ " wiped out"))
+    witness
+
+let test_shaving_validation () =
+  let net = shaving_fixture () in
+  Alcotest.(check bool) "1 slice rejected" true
+    (try
+       ignore (Propagate.run ~consistency:(`Shave 1) net);
+       false
+     with Invalid_argument _ -> true)
+
+(* {2 Indirect alpha/beta (the 2.3.2 extension)} *)
+
+let test_indirect_beta () =
+  let net = Network.create () in
+  Network.add_prop net "a" (Domain.continuous 0. 1.);
+  Network.add_prop net "b" (Domain.continuous 0. 1.);
+  Network.add_prop net "c" (Domain.continuous 0. 1.);
+  let v = Expr.var in
+  let c1 = Network.add_constraint net ~name:"ab" (v "a") Constr.Le (v "b") in
+  let c2 = Network.add_constraint net ~name:"bc" (v "b") Constr.Le (v "c") in
+  let _c3 = Network.add_constraint net ~name:"cc" (v "c") Constr.Le (Expr.const 1.) in
+  Alcotest.(check int) "direct beta a" 1 (Network.beta net "a");
+  (* a -> {ab}; neighbours {a,b}; their constraints {ab, bc} *)
+  Alcotest.(check int) "indirect beta a" 2 (Heuristic_data.indirect_beta net "a");
+  Alcotest.(check int) "indirect beta b" 3 (Heuristic_data.indirect_beta net "b");
+  Network.set_status net c2.Constr.id Constr.Violated;
+  Alcotest.(check int) "indirect alpha a sees bc" 1
+    (Heuristic_data.indirect_alpha net "a");
+  Alcotest.(check int) "direct alpha a does not" 0 (Network.alpha net "a");
+  ignore c1
+
+(* {2 Forward orderings} *)
+
+let test_forward_orderings_complete () =
+  List.iter
+    (fun ordering ->
+      List.iter
+        (fun mode ->
+          let cfg = Config.default ~mode ~seed:4 in
+          let cfg = { cfg with Config.forward_ordering = ordering } in
+          let outcome = Engine.run cfg Sensor.scenario in
+          Alcotest.(check bool) "completes" true
+            outcome.Engine.o_summary.Metrics.s_completed)
+        [ Dpm.Conventional; Dpm.Adpm ])
+    [ Config.Smallest_subspace; Config.Most_constrained; Config.Random_target ]
+
+(* {2 Export} *)
+
+let sample_summary () =
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:1 in
+  (Engine.run cfg Simple.scenario).Engine.o_summary
+
+let test_export_csv () =
+  let s = sample_summary () in
+  let csv = Export.profile_csv s in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per record"
+    (1 + List.length s.Metrics.s_profile)
+    (List.length lines);
+  Alcotest.(check bool) "header" true
+    (String.length (List.hd lines) > 0 && contains (List.hd lines) "designer")
+
+let test_export_json () =
+  let s = sample_summary () in
+  let json = Export.summary_json s in
+  Alcotest.(check bool) "has scenario field" true (contains json {|"scenario":"simple"|});
+  Alcotest.(check bool) "has profile array" true (contains json {|"profile":[|});
+  (* crude structural sanity: balanced braces and brackets *)
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 json in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced brackets" (count '[') (count ']')
+
+let test_export_csv_escaping () =
+  Alcotest.(check bool) "quotes doubled" true
+    (contains
+       (Export.runs_csv
+          [
+            {
+              Metrics.s_scenario = "we,ird\"name";
+              s_mode = Dpm.Adpm;
+              s_seed = 1;
+              s_completed = true;
+              s_operations = 1;
+              s_evaluations = 1;
+              s_spins = 0;
+              s_profile = [];
+            };
+          ])
+       "\"we,ird\"\"name\"")
+
+(* {2 Scaling experiment} *)
+
+let test_scaling_smoke () =
+  let r = Adpm_experiments.Exp_scaling.run ~seeds:2 () in
+  Alcotest.(check int) "five size points" 5
+    (List.length r.Adpm_experiments.Exp_scaling.by_size);
+  Alcotest.(check int) "four tightness points" 4
+    (List.length r.Adpm_experiments.Exp_scaling.by_tightness);
+  let points =
+    r.Adpm_experiments.Exp_scaling.by_size
+    @ r.Adpm_experiments.Exp_scaling.by_tightness
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p.Adpm_experiments.Exp_scaling.label ^ " completed")
+        true p.Adpm_experiments.Exp_scaling.completed)
+    points;
+  (* at two seeds per point individual ratios are noisy; the aggregate
+     acceleration must still be clear *)
+  let mean_ratio =
+    List.fold_left (fun a p -> a +. p.Adpm_experiments.Exp_scaling.ops_ratio) 0.
+      points
+    /. float_of_int (List.length points)
+  in
+  Alcotest.(check bool) "ADPM accelerates on average" true (mean_ratio > 1.2);
+  Alcotest.(check bool) "render works" true
+    (String.length (Adpm_experiments.Exp_scaling.render r) > 0)
+
+let suite =
+  [
+    ("generated scenario counts", `Quick, test_generated_counts);
+    ("generated scenario determinism", `Quick, test_generated_deterministic);
+    ("generated witness satisfiable", `Quick, test_generated_witness_satisfiable);
+    ("generated scenarios complete", `Slow, test_generated_completes);
+    ("generated validation", `Quick, test_generated_validation);
+    ("shaving tightens windows", `Quick, test_shaving_tightens);
+    ("shaving preserves witnesses", `Quick, test_shaving_sound);
+    ("shaving validation", `Quick, test_shaving_validation);
+    ("indirect alpha/beta", `Quick, test_indirect_beta);
+    ("all forward orderings complete", `Slow, test_forward_orderings_complete);
+    ("export: profile CSV", `Quick, test_export_csv);
+    ("export: summary JSON", `Quick, test_export_json);
+    ("export: CSV escaping", `Quick, test_export_csv_escaping);
+    ("scaling experiment smoke", `Slow, test_scaling_smoke);
+  ]

@@ -1,0 +1,158 @@
+(* Tests for HC4 revision: soundness (no solution is lost), contraction
+   (results are sub-intervals of the inputs), and specific projections. *)
+
+open Adpm_interval
+open Adpm_expr
+
+let iv = Alcotest.testable Interval.pp Interval.equal
+
+let env_of bindings name = List.assoc name bindings
+
+let narrowed = function
+  | Hc4.Narrowed bs -> bs
+  | Hc4.Empty -> Alcotest.fail "expected Narrowed"
+
+let test_simple_le () =
+  (* x + y <= 5 with x IN [0,10], y IN [2,3]:  x must be <= 3 *)
+  let env = env_of [ ("x", Interval.make 0. 10.); ("y", Interval.make 2. 3.) ] in
+  let expr = Expr.(Add (Var "x", Var "y")) in
+  let bs = narrowed (Hc4.revise ~env expr (Interval.make neg_infinity 5.)) in
+  let x = List.assoc "x" bs in
+  Alcotest.(check bool) "x hi narrowed to ~3" true
+    (Interval.hi x >= 3. && Interval.hi x < 3.001);
+  Alcotest.(check (float 1e-9)) "x lo unchanged" 0. (Interval.lo x)
+
+let test_point_satisfied_not_empty () =
+  (* the one-ulp regression: degenerate boxes satisfying the target must
+     not project to Empty (requires the projection slack) *)
+  let env = env_of [ ("ga", Interval.of_point 6.25); ("xa", Interval.of_point 7.5) ] in
+  let expr =
+    Expr.(Sub (Var "ga", Add (Mul (Const 2., Var "xa"), Const 0.4)))
+  in
+  match Hc4.revise ~env expr (Interval.make neg_infinity 1e-9) with
+  | Hc4.Empty -> Alcotest.fail "satisfied point box must not be Empty"
+  | Hc4.Narrowed _ -> ()
+
+let test_certain_violation_empty () =
+  let env = env_of [ ("x", Interval.make 5. 6.) ] in
+  let expr = Expr.Var "x" in
+  (match Hc4.revise ~env expr (Interval.make neg_infinity 4.) with
+  | Hc4.Empty -> ()
+  | Hc4.Narrowed _ -> Alcotest.fail "x IN [5,6] <= 4 must be Empty");
+  match Hc4.revise ~env (Expr.Sqrt (Expr.Neg expr)) Interval.full with
+  | Hc4.Empty -> ()
+  | Hc4.Narrowed _ -> Alcotest.fail "sqrt of negative box must be Empty"
+
+let test_multiplication_projection () =
+  (* x * y = 6, x IN [1,10], y IN [2,3] -> x IN [2,3] *)
+  let env = env_of [ ("x", Interval.make 1. 10.); ("y", Interval.make 2. 3.) ] in
+  let expr = Expr.(Mul (Var "x", Var "y")) in
+  let bs = narrowed (Hc4.revise ~env expr (Interval.of_point 6.)) in
+  let x = List.assoc "x" bs in
+  Alcotest.(check bool) "x within [2,3] (+slack)" true
+    (Interval.lo x > 1.99 && Interval.hi x < 3.01)
+
+let test_multiple_occurrences () =
+  (* x + x = 4 -> x = 2 (each occurrence projects to [2 - w, 2 + w]
+     where w comes from the other occurrence's width; occurrences
+     intersect) *)
+  let env = env_of [ ("x", Interval.make 0. 10.) ] in
+  let expr = Expr.(Add (Var "x", Var "x")) in
+  let bs = narrowed (Hc4.revise ~env expr (Interval.of_point 4.)) in
+  let x = List.assoc "x" bs in
+  Alcotest.(check bool) "contains 2" true (Interval.mem 2. x);
+  Alcotest.(check bool) "narrower than input" true (Interval.width x < 10.)
+
+let test_min_max_projection () =
+  (* min(x, y) >= 3 forces both above 3 *)
+  let env = env_of [ ("x", Interval.make 0. 10.); ("y", Interval.make 0. 10.) ] in
+  let expr = Expr.(Min (Var "x", Var "y")) in
+  let bs = narrowed (Hc4.revise ~env expr (Interval.make 3. infinity)) in
+  Alcotest.(check bool) "x >= 3" true (Interval.lo (List.assoc "x" bs) >= 2.99);
+  Alcotest.(check bool) "y >= 3" true (Interval.lo (List.assoc "y" bs) >= 2.99)
+
+let test_unchanged_variables_included () =
+  let env = env_of [ ("x", Interval.make 0. 1.); ("y", Interval.make 0. 1.) ] in
+  let expr = Expr.(Add (Var "x", Var "y")) in
+  let bs = narrowed (Hc4.revise ~env expr Interval.full) in
+  Alcotest.(check iv) "x unchanged" (Interval.make 0. 1.) (List.assoc "x" bs);
+  Alcotest.(check iv) "y unchanged" (Interval.make 0. 1.) (List.assoc "y" bs)
+
+(* {2 Property-based soundness: a random point solution is never lost} *)
+
+let gen_case =
+  QCheck.Gen.(
+    let* x = float_range (-10.) 10. in
+    let* y = float_range 0.1 10. in
+    let* wx = float_range 0. 5. in
+    let* wy = float_range 0. 5. in
+    let* shape = int_range 0 5 in
+    return (x, y, wx, wy, shape))
+
+let shape_expr shape =
+  let x = Expr.Var "x" and y = Expr.Var "y" in
+  match shape with
+  | 0 -> Expr.(Add (x, y))
+  | 1 -> Expr.(Sub (Mul (x, y), Const 1.))
+  | 2 -> Expr.(Add (Pow (x, 2), y))
+  | 3 -> Expr.(Div (x, y))
+  | 4 -> Expr.(Add (Abs x, Sqrt y))
+  | _ -> Expr.(Max (x, Min (y, Const 3.)))
+
+let hc4_preserves_solutions =
+  QCheck.Test.make ~name:"HC4 never discards a witness point" ~count:1000
+    (QCheck.make
+       ~print:(fun (x, y, wx, wy, s) ->
+         Printf.sprintf "x=%g y=%g wx=%g wy=%g shape=%d" x y wx wy s)
+       gen_case)
+    (fun (x, y, wx, wy, shape) ->
+      let expr = shape_expr shape in
+      let env =
+        env_of
+          [ ("x", Interval.make (x -. wx) (x +. wx));
+            ("y", Interval.make (y -. wy) (y +. wy)) ]
+      in
+      let value = Expr.eval (env_of [ ("x", x); ("y", y) ]) expr in
+      if not (Float.is_finite value) then true
+      else begin
+        (* target: an interval containing the witness value *)
+        let target = Interval.make (value -. 0.5) (value +. 0.5) in
+        match Hc4.revise ~env expr target with
+        | Hc4.Empty -> false (* witness lost! *)
+        | Hc4.Narrowed bs ->
+          let tolerance_mem v iv' =
+            Interval.mem v (Interval.inflate (1e-9 *. (1. +. abs_float v)) iv')
+          in
+          tolerance_mem x (List.assoc "x" bs)
+          && tolerance_mem y (List.assoc "y" bs)
+      end)
+
+let hc4_contracts =
+  QCheck.Test.make ~name:"HC4 outputs are sub-intervals of inputs" ~count:500
+    (QCheck.make
+       ~print:(fun (x, y, wx, wy, s) ->
+         Printf.sprintf "x=%g y=%g wx=%g wy=%g shape=%d" x y wx wy s)
+       gen_case)
+    (fun (x, y, wx, wy, shape) ->
+      let expr = shape_expr shape in
+      let xiv = Interval.make (x -. wx) (x +. wx) in
+      let yiv = Interval.make (y -. wy) (y +. wy) in
+      let env = env_of [ ("x", xiv); ("y", yiv) ] in
+      match Hc4.revise ~env expr (Interval.make (-5.) 5.) with
+      | Hc4.Empty -> true
+      | Hc4.Narrowed bs ->
+        Interval.subset (List.assoc "x" bs) xiv
+        && Interval.subset (List.assoc "y" bs) yiv)
+
+let suite =
+  [
+    ("simple inequality projection", `Quick, test_simple_le);
+    ("satisfied point box is not Empty", `Quick, test_point_satisfied_not_empty);
+    ("certain violation is Empty", `Quick, test_certain_violation_empty);
+    ("multiplication projection", `Quick, test_multiplication_projection);
+    ("multiple occurrences intersect", `Quick, test_multiple_occurrences);
+    ("min/max projection", `Quick, test_min_max_projection);
+    ("unchanged variables included", `Quick, test_unchanged_variables_included);
+    QCheck_alcotest.to_alcotest hc4_preserves_solutions;
+    QCheck_alcotest.to_alcotest hc4_contracts;
+  ]

@@ -1,0 +1,141 @@
+(* Tests for the interactive session (a human playing one designer) and the
+   full-scale DDDL scenario twins. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let session () =
+  Interactive.create ~mode:Dpm.Adpm ~seed:1 Lna.scenario ~designer:"circuit"
+
+let ok s = match s with Ok out -> out | Error e -> Alcotest.fail e
+let err s = match s with Error e -> e | Ok _ -> Alcotest.fail "expected error"
+
+let test_create_validation () =
+  Alcotest.(check bool) "unknown designer rejected" true
+    (try
+       ignore
+         (Interactive.create ~mode:Dpm.Adpm ~seed:1 Lna.scenario
+            ~designer:"nobody");
+       false
+     with Invalid_argument _ -> true)
+
+let test_help_and_status () =
+  let s = session () in
+  Alcotest.(check bool) "help lists set" true (contains (ok (Interactive.execute s "help")) "set PROP VALUE");
+  let status = ok (Interactive.execute s "status") in
+  Alcotest.(check bool) "status lists problems" true (contains status "analog");
+  Alcotest.(check bool) "status lists props" true (contains status "Diff-pair-W");
+  Alcotest.(check bool) "prompt renders" true
+    (contains (Interactive.prompt s) "circuit")
+
+let test_browse () =
+  let s = session () in
+  Alcotest.(check bool) "object browser" true
+    (contains (ok (Interactive.execute s "browse LNA+Mixer")) "Consistent values");
+  Alcotest.(check bool) "unknown object" true
+    (contains (err (Interactive.execute s "browse Nothing")) "unknown object");
+  Alcotest.(check bool) "props view" true
+    (contains (ok (Interactive.execute s "props")) "# c's");
+  Alcotest.(check bool) "conflicts view" true
+    (contains (ok (Interactive.execute s "conflicts")) "PROPERTIES")
+
+let test_set_and_feedback () =
+  let s = session () in
+  let out = ok (Interactive.execute s "set Diff-pair-W 2.5") in
+  Alcotest.(check bool) "reports execution" true (contains out "executed");
+  Alcotest.(check bool) "reports evaluations" true (contains out "evaluations");
+  (* not an own output *)
+  Alcotest.(check bool) "foreign property rejected" true
+    (contains (err (Interactive.execute s "set Beam-length 13")) "not an output");
+  Alcotest.(check bool) "non-number rejected" true
+    (contains (err (Interactive.execute s "set Diff-pair-W abc")) "not a number")
+
+let test_set_derived_rejected () =
+  let s =
+    Interactive.create ~mode:Dpm.Adpm ~seed:1 Simple.scenario ~designer:"alice"
+  in
+  Alcotest.(check bool) "derived property rejected" true
+    (contains (err (Interactive.execute s "set pa 10")) "tool computes")
+
+let test_suggest_auto_step () =
+  let s = session () in
+  Alcotest.(check bool) "suggest names an operation" true
+    (contains (ok (Interactive.execute s "suggest")) "suggested");
+  Alcotest.(check bool) "auto executes" true
+    (contains (ok (Interactive.execute s "auto")) "executed");
+  Alcotest.(check bool) "step drives teammates" true
+    (let out = ok (Interactive.execute s "step") in
+     contains out "device" || contains out "leader" || contains out "executed"
+     || contains out "idles")
+
+let test_unknown_command () =
+  let s = session () in
+  Alcotest.(check bool) "unknown command" true
+    (contains (err (Interactive.execute s "frobnicate")) "unknown command");
+  Alcotest.(check string) "empty line is a no-op" ""
+    (ok (Interactive.execute s ""))
+
+let test_playthrough_to_completion () =
+  (* drive the whole design with auto + step: the human delegates *)
+  let s = session () in
+  let steps = ref 0 in
+  while (not (Interactive.finished s)) && !steps < 200 do
+    incr steps;
+    ignore (Interactive.execute s "auto");
+    ignore (Interactive.execute s "step")
+  done;
+  Alcotest.(check bool) "session reaches completion" true (Interactive.finished s)
+
+let test_conventional_verify () =
+  let s =
+    Interactive.create ~mode:Dpm.Conventional ~seed:1 Lna.scenario
+      ~designer:"circuit"
+  in
+  ignore (ok (Interactive.execute s "set Diff-pair-W 3.5"));
+  ignore (ok (Interactive.execute s "set Freq-ind 0.2"));
+  let out = ok (Interactive.execute s "verify") in
+  Alcotest.(check bool) "verification executes" true (contains out "verification")
+
+(* {2 Full-scale DDDL twins} *)
+
+let check_twin name dddl ocaml =
+  List.iter
+    (fun (mode, seed) ->
+      let cfg = Config.default ~mode ~seed in
+      let a = (Engine.run cfg dddl).Engine.o_summary in
+      let b = (Engine.run cfg ocaml).Engine.o_summary in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s ops equal" name (Dpm.mode_to_string mode))
+        b.Metrics.s_operations a.Metrics.s_operations;
+      Alcotest.(check int) "evals equal" b.Metrics.s_evaluations
+        a.Metrics.s_evaluations;
+      Alcotest.(check int) "spins equal" b.Metrics.s_spins a.Metrics.s_spins;
+      Alcotest.(check bool) "completed" true a.Metrics.s_completed)
+    [ (Dpm.Adpm, 1); (Dpm.Adpm, 3); (Dpm.Conventional, 1); (Dpm.Conventional, 3) ]
+
+let test_sensor_dddl_twin () =
+  check_twin "sensor" Sensor_dddl.scenario Sensor.scenario
+
+let test_receiver_dddl_twin () =
+  check_twin "receiver" Receiver_dddl.scenario Receiver.scenario
+
+let suite =
+  [
+    ("create validation", `Quick, test_create_validation);
+    ("help and status", `Quick, test_help_and_status);
+    ("browser commands", `Quick, test_browse);
+    ("set with tool feedback", `Quick, test_set_and_feedback);
+    ("derived properties are tool-owned", `Quick, test_set_derived_rejected);
+    ("suggest, auto, step", `Quick, test_suggest_auto_step);
+    ("unknown command", `Quick, test_unknown_command);
+    ("delegated playthrough completes", `Quick, test_playthrough_to_completion);
+    ("conventional verify", `Quick, test_conventional_verify);
+    ("sensor DDDL twin is exact", `Slow, test_sensor_dddl_twin);
+    ("receiver DDDL twin is exact", `Slow, test_receiver_dddl_twin);
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "adpm"
+    [
+      ("util", Test_util.suite);
+      ("interval", Test_interval.suite);
+      ("expr", Test_expr.suite);
+      ("hc4", Test_hc4.suite);
+      ("csp", Test_csp.suite);
+      ("core", Test_core.suite);
+      ("teamsim", Test_teamsim.suite);
+      ("dddl", Test_dddl.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("interactive", Test_interactive.suite);
+    ]
