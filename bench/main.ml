@@ -4,11 +4,16 @@
    tightness sweep, plus the heuristic ablations), then runs bechamel
    micro-benchmarks of the underlying engines.
 
+   Per-experiment wall time and the Fig. 9 headline ratios are written to
+   BENCH_results.json in the working directory, so CI can diff successive
+   runs without scraping stdout.
+
    Environment knobs:
      ADPM_BENCH_SEEDS  seeds per Fig. 9 cell (default 60, as in the paper)
      ADPM_BENCH_FAST   set to shrink every experiment (CI smoke mode) *)
 
 open Adpm_experiments
+module Json = Adpm_trace.Json
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -19,6 +24,42 @@ let fast = Sys.getenv_opt "ADPM_BENCH_FAST" <> None
 
 let section title = Printf.printf "\n%s\n%s\n\n" title (String.make 72 '=')
 
+let timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  v
+
+let results_json ~fig9_seeds verdicts =
+  Json.Obj
+    [
+      ("fast", Json.Bool fast);
+      ("fig9_seeds", Json.Num (float_of_int fig9_seeds));
+      ( "wall_time_s",
+        Json.Obj
+          (List.rev_map (fun (name, dt) -> (name, Json.Num dt)) !timings) );
+      ( "fig9",
+        Json.Obj
+          [
+            ("ops_ratio_sensor", Json.Num verdicts.Exp_fig9.ops_ratio_sensor);
+            ("ops_ratio_receiver", Json.Num verdicts.Exp_fig9.ops_ratio_receiver);
+            ( "variability_ratio_sensor",
+              Json.Num verdicts.Exp_fig9.variability_ratio_sensor );
+            ( "variability_ratio_receiver",
+              Json.Num verdicts.Exp_fig9.variability_ratio_receiver );
+            ("spin_fraction", Json.Num verdicts.Exp_fig9.spin_fraction);
+            ("eval_penalty_sensor", Json.Num verdicts.Exp_fig9.eval_penalty_sensor);
+            ( "eval_penalty_receiver",
+              Json.Num verdicts.Exp_fig9.eval_penalty_receiver );
+            ( "per_op_penalty_sensor",
+              Json.Num verdicts.Exp_fig9.per_op_penalty_sensor );
+            ( "per_op_penalty_receiver",
+              Json.Num verdicts.Exp_fig9.per_op_penalty_receiver );
+          ] );
+    ]
+
 let () =
   let fig9_seeds = getenv_int "ADPM_BENCH_SEEDS" (if fast then 10 else 60) in
   let fig7_seeds = if fast then 5 else 20 in
@@ -27,27 +68,42 @@ let () =
   let ablation_instances = if fast then 10 else 30 in
 
   section "Figures 2-4: Section 2.4 walkthrough";
-  print_string (Exp_fig234.render (Exp_fig234.run ()));
+  print_string (timed "fig234" (fun () -> Exp_fig234.render (Exp_fig234.run ())));
 
   section "Figure 7: per-operation profiles (simplified case)";
-  print_string (Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ()));
+  print_string
+    (timed "fig7" (fun () -> Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ())));
 
   section "Figure 8: design process statistics window";
-  print_string (Exp_fig8.render (Exp_fig8.run ()));
+  print_string (timed "fig8" (fun () -> Exp_fig8.render (Exp_fig8.run ())));
 
   section "Figure 9: performance and computational penalty";
-  print_string (Exp_fig9.render (Exp_fig9.run ~seeds:fig9_seeds ()));
+  let fig9 = timed "fig9" (fun () -> Exp_fig9.run ~seeds:fig9_seeds ()) in
+  print_string (Exp_fig9.render fig9);
 
   section "Figure 10: specification-tightness sweep";
-  print_string (Exp_fig10.render (Exp_fig10.run ~seeds:fig10_seeds ()));
+  print_string
+    (timed "fig10" (fun () ->
+         Exp_fig10.render (Exp_fig10.run ~seeds:fig10_seeds ())));
 
   section "Ablations: ADPM heuristics, CSP orderings, DCM consistency";
   print_string
-    (Exp_ablation.render
-       (Exp_ablation.run ~seeds:ablation_seeds ~instances:ablation_instances ()));
+    (timed "ablation" (fun () ->
+         Exp_ablation.render
+           (Exp_ablation.run ~seeds:ablation_seeds ~instances:ablation_instances
+              ())));
 
   section "Scaling study (extension): hardness vs acceleration and penalty";
-  print_string (Exp_scaling.render (Exp_scaling.run ~seeds:(if fast then 3 else 8) ()));
+  print_string
+    (timed "scaling" (fun () ->
+         Exp_scaling.render (Exp_scaling.run ~seeds:(if fast then 3 else 8) ())));
 
   section "Micro-benchmarks (bechamel)";
-  Microbench.run ~fast ()
+  timed "microbench" (fun () -> Microbench.run ~fast ());
+
+  let json = results_json ~fig9_seeds (Exp_fig9.verdicts fig9) in
+  let oc = open_out "BENCH_results.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string json ^ "\n"));
+  Printf.printf "\nwrote BENCH_results.json\n"

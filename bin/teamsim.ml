@@ -1,16 +1,19 @@
 (* TeamSim command-line interface.
 
    Subcommands:
-     run    — simulate one scenario/mode/seed, print the per-operation
-              profile and the run summary
-     sweep  — run many seeds for both modes and print the Fig. 9-style
-              comparison table
-     list   — list available scenarios *)
+     run     — simulate one scenario/mode/seed, print the per-operation
+               profile and the run summary (optionally recording a trace)
+     sweep   — run many seeds for both modes and print the Fig. 9-style
+               comparison table
+     replay  — re-execute a recorded trace and check convergence
+     analyze — derived views of a recorded trace
+     list    — list available scenarios *)
 
 open Cmdliner
 open Adpm_core
 open Adpm_teamsim
 open Adpm_scenarios
+open Adpm_trace
 
 let scenarios =
   [
@@ -40,11 +43,31 @@ let mode_conv =
   let print ppf m = Format.pp_print_string ppf (Dpm.mode_to_string m) in
   Arg.conv (parse, print)
 
+(* The scenario can be given positionally or as --scenario; exactly one. *)
 let scenario_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see $(b,list)).")
+  let positional =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see $(b,list)).")
+  in
+  let named =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:"Scenario name (alternative to the positional argument).")
+  in
+  let combine positional named =
+    match (positional, named) with
+    | Some s, None | None, Some s -> `Ok s
+    | Some _, Some _ ->
+      `Error
+        (false, "give the scenario either positionally or via --scenario, not both")
+    | None, None ->
+      `Error (true, "required scenario name missing (positional or --scenario)")
+  in
+  Term.(ret (const combine $ positional $ named))
 
 let mode_arg =
   Arg.(
@@ -83,8 +106,17 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run as a JSONL event trace, replayable with \
+           $(b,replay).")
+
 let run_cmd =
-  let action scenario_name mode seed verbose csv json =
+  let action scenario_name mode seed verbose csv json trace =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -98,7 +130,25 @@ let run_cmd =
             r.Metrics.m_evaluations r.Metrics.m_new_violations
             (if r.Metrics.m_spin then " [spin]" else "")
       in
-      let outcome = Engine.run ~on_op cfg scenario in
+      let tracer =
+        match trace with
+        | None -> Tracer.null
+        | Some path -> (
+          match Sink.jsonl_file path with
+          | sink -> Tracer.create sink
+          | exception Sys_error msg ->
+            Printf.eprintf "cannot open trace file: %s\n" msg;
+            exit 1)
+      in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> Tracer.close tracer)
+          (fun () -> Engine.run ~on_op ~tracer cfg scenario)
+      in
+      (match trace with
+      | Some path ->
+        Printf.printf "wrote %d trace events to %s\n" (Tracer.seq tracer) path
+      | None -> ());
       print_endline (Metrics.summary_line outcome.Engine.o_summary);
       (match csv with
       | Some path ->
@@ -114,9 +164,67 @@ let run_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ mode_arg $ seed_arg $ verbose_arg $ csv_arg
-      $ json_arg)
+      $ json_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"JSONL trace file recorded by $(b,run --trace).")
+
+let read_trace path =
+  match Codec.read_file path with
+  | Ok events -> events
+  | Error msg ->
+    Printf.eprintf "cannot read trace %s: %s\n" path msg;
+    exit 1
+
+let replay_cmd =
+  let action path =
+    let events = read_trace path in
+    match Replay.run ~scenarios events with
+    | exception Replay.Replay_error msg ->
+      Printf.eprintf "cannot replay %s: %s\n" path msg;
+      exit 1
+    | report ->
+      print_string (Replay.render report);
+      if not (Replay.converged report) then exit 1
+  in
+  let term = Term.(const action $ trace_file_arg) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded trace against a fresh design state and \
+          verify it converges to the recorded outcome (nonzero exit on \
+          divergence).")
+    term
+
+let analyze_cmd =
+  let action path json =
+    let events = read_trace path in
+    let report = Analyze.analyze events in
+    print_string (Analyze.render report);
+    match json with
+    | Some out ->
+      write_file out (Json.to_string (Analyze.to_json report) ^ "\n");
+      Printf.printf "wrote analysis JSON to %s\n" out
+    | None -> ()
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the analysis report as JSON.")
+  in
+  let term = Term.(const action $ trace_file_arg $ json_out_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Derived views of a recorded trace: notification latency, \
+          propagation-wave sizes, violation open/close spans.")
+    term
 
 let sweep_cmd =
   let action scenario_name seeds csv =
@@ -209,4 +317,6 @@ let () =
   let doc = "TeamSim design-process evaluation environment (DAC 2001 repro)" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "teamsim" ~doc) [ run_cmd; sweep_cmd; interactive_cmd; list_cmd ]))
+       (Cmd.group (Cmd.info "teamsim" ~doc)
+          [ run_cmd; sweep_cmd; replay_cmd; analyze_cmd; interactive_cmd;
+            list_cmd ]))

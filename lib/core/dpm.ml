@@ -1,9 +1,15 @@
 open Adpm_interval
 open Adpm_csp
+open Adpm_trace
 
 type mode = Conventional | Adpm
 
 let mode_to_string = function Conventional -> "conventional" | Adpm -> "ADPM"
+
+let mode_of_string = function
+  | "conventional" -> Some Conventional
+  | "ADPM" | "adpm" -> Some Adpm
+  | _ -> None
 
 type history_entry = {
   h_index : int;
@@ -40,6 +46,7 @@ type t = {
   verified_at : (int, int) Hashtbl.t; (* cid -> op index of last verification *)
   modified_at : (string, int) Hashtbl.t; (* prop -> op index of last assignment *)
   mutable hist : history_entry list; (* reversed *)
+  mutable d_tracer : Tracer.t;
 }
 
 let register_problem_internal t parent_id p =
@@ -73,6 +80,7 @@ let create ~mode ?(max_revisions = 10_000) net ~objects ~top =
       verified_at = Hashtbl.create 64;
       modified_at = Hashtbl.create 64;
       hist = [];
+      d_tracer = Tracer.null;
     }
   in
   List.iter
@@ -108,6 +116,15 @@ let designers t =
 let op_count t = t.ops
 let eval_count t = t.evals
 let spin_count t = t.spins
+
+let set_tracer t tracer = t.d_tracer <- tracer
+let tracer t = t.d_tracer
+let charge_evaluations t n = if n > 0 then t.evals <- t.evals + n
+
+let trace_status = function
+  | Constr.Satisfied -> Event.Satisfied
+  | Constr.Violated -> Event.Violated
+  | Constr.Consistent -> Event.Consistent
 
 (* {2 Freshness (conventional-mode verification staleness)} *)
 
@@ -328,7 +345,8 @@ let apply_synthesis t idx op assignments =
   | Conventional -> (0, [])
   | Adpm ->
     let outcome =
-      Propagate.run_and_apply ~max_revisions:t.d_max_revisions t.net
+      Propagate.run_and_apply ~max_revisions:t.d_max_revisions
+        ~tracer:t.d_tracer t.net
     in
     (outcome.Propagate.evaluations, [])
 
@@ -399,13 +417,15 @@ let apply_decompose t op specs =
   | Conventional -> (0, [])
   | Adpm ->
     let outcome =
-      Propagate.run_and_apply ~max_revisions:t.d_max_revisions t.net
+      Propagate.run_and_apply ~max_revisions:t.d_max_revisions
+        ~tracer:t.d_tracer t.net
     in
     (outcome.Propagate.evaluations, [])
 
 let apply t op =
   t.ops <- t.ops + 1;
   let idx = t.ops in
+  Tracer.set_clock t.d_tracer idx;
   (* Spins are "expensive design iterations performed upon system
      integration" (Section 3.1.2): an operation counts as one when it
      reacts to a cross-subsystem violation at a point where the design is
@@ -425,16 +445,29 @@ let apply t op =
   update_statuses t;
   let after_known = snapshot_known t in
   let newly_violated = ref [] and resolved = ref [] in
+  let status_changes = ref [] in
   Hashtbl.iter
     (fun cid after ->
       let before =
         try Hashtbl.find before_known cid with Not_found -> Constr.Consistent
       in
+      if before <> after then status_changes := (cid, before, after) :: !status_changes;
       if after = Constr.Violated && before <> Constr.Violated then
         newly_violated := cid :: !newly_violated
       else if before = Constr.Violated && after = Constr.Satisfied then
         resolved := cid :: !resolved)
     after_known;
+  if Tracer.active t.d_tracer then
+    List.iter
+      (fun (cid, before, after) ->
+        Tracer.emit t.d_tracer
+          (Event.Constraint_status_changed
+             {
+               cid;
+               old_status = trace_status before;
+               new_status = trace_status after;
+             }))
+      (List.sort compare !status_changes);
   let spin =
     integration_level
     && List.exists
@@ -459,6 +492,7 @@ let apply t op =
              else None)
            (Network.prop_names t.net))
   in
+  Notify.trace_pushed t.d_tracer notifications;
   let known_now = known_violations t in
   t.hist <-
     {
@@ -470,14 +504,30 @@ let apply t op =
       h_spin = spin;
     }
     :: t.hist;
-  {
-    r_index = idx;
-    r_evaluations = evaluations;
-    r_newly_violated = List.rev !newly_violated;
-    r_resolved = List.rev !resolved;
-    r_skipped = skipped;
-    r_notifications = notifications;
-    r_spin = spin;
-  }
+  let result =
+    {
+      r_index = idx;
+      r_evaluations = evaluations;
+      r_newly_violated = List.rev !newly_violated;
+      r_resolved = List.rev !resolved;
+      r_skipped = skipped;
+      r_notifications = notifications;
+      r_spin = spin;
+    }
+  in
+  if Tracer.active t.d_tracer then
+    Tracer.emit t.d_tracer
+      (Event.Op_executed
+         {
+           index = idx;
+           designer = op.Operator.op_designer;
+           kind = Operator.kind_label op;
+           evaluations;
+           newly_violated = result.r_newly_violated;
+           resolved = result.r_resolved;
+           skipped;
+           spin;
+         });
+  result
 
 let history t = List.rev t.hist

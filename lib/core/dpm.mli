@@ -29,6 +29,10 @@ type mode = Conventional | Adpm
 
 val mode_to_string : mode -> string
 
+val mode_of_string : string -> mode option
+(** Inverse of {!mode_to_string} (also accepts ["adpm"]); used when
+    decoding recorded traces. *)
+
 type t
 
 type result = {
@@ -80,6 +84,24 @@ val designers : t -> string list
 val op_count : t -> int
 val eval_count : t -> int
 val spin_count : t -> int
+
+(** {1 Tracing} *)
+
+val set_tracer : t -> Adpm_trace.Tracer.t -> unit
+(** Attach a tracer after construction (scenario builders need no trace
+    awareness). The DPM advances the tracer's logical clock to the
+    operation index at the start of every {!apply} and emits
+    [Op_executed], [Constraint_status_changed], and (via the NM)
+    [Notification_pushed] events; propagation runs inside the transition
+    carry the tracer too. Defaults to [Tracer.null]: tracing disabled. *)
+
+val tracer : t -> Adpm_trace.Tracer.t
+
+val charge_evaluations : t -> int -> unit
+(** Add externally-incurred constraint evaluations to N_T. The replay
+    driver uses this to re-charge decision-time evaluation costs (relaxed
+    feasibility queries recorded in [Op_submitted] events) so that replayed
+    N_T totals match the live run exactly. Negative amounts are ignored. *)
 
 (** {1 Mode-aware knowledge} *)
 

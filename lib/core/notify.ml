@@ -61,6 +61,34 @@ let diff ~subscriptions ~args_of ~old_statuses ~new_statuses ~old_feasible
       | _ -> Some { n_recipient = designer; n_events = relevant })
     subscriptions
 
+let trace_pushed tracer notifications =
+  let open Adpm_trace in
+  if Tracer.active tracer then
+    List.iter
+      (fun n ->
+        let violations =
+          List.filter_map
+            (function Violation_detected cid -> Some cid | _ -> None)
+            n.n_events
+        in
+        let describe = function
+          | Violation_detected cid -> Printf.sprintf "violation-detected:%d" cid
+          | Violation_resolved cid -> Printf.sprintf "violation-resolved:%d" cid
+          | Feasible_reduced (prop, _) -> "feasible-reduced:" ^ prop
+          | Feasible_empty prop -> "feasible-empty:" ^ prop
+          | Problem_update (pid, status) ->
+            Printf.sprintf "problem-update:%d:%s" pid
+              (Problem.status_to_string status)
+        in
+        Tracer.emit tracer
+          (Event.Notification_pushed
+             {
+               recipient = n.n_recipient;
+               events = List.map describe n.n_events;
+               violations;
+             }))
+      notifications
+
 let event_to_string cname = function
   | Violation_detected cid -> Printf.sprintf "violation detected: %s" (cname cid)
   | Violation_resolved cid -> Printf.sprintf "violation resolved: %s" (cname cid)

@@ -38,5 +38,9 @@ val diff :
     routing violation events). Only designers with at least one event get a
     notification. *)
 
+val trace_pushed : Adpm_trace.Tracer.t -> notification list -> unit
+(** Emit one [Notification_pushed] trace event per notification (no-op on
+    an inactive tracer) — the NM's side of the observability contract. *)
+
 val event_to_string : (int -> string) -> event -> string
 (** Render an event; the function maps constraint ids to names. *)

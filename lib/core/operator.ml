@@ -40,6 +40,72 @@ let kind_label t =
   | Verification _ -> "verification"
   | Decompose _ -> "decompose"
 
+(* {2 Trace-spec conversion}
+
+   The trace event model mirrors operations as plain data so traces decode
+   without engine state; these are the two bridges. *)
+
+let value_to_trace = function
+  | Value.Num f -> Adpm_trace.Event.Vnum f
+  | Value.Sym s -> Adpm_trace.Event.Vsym s
+
+let value_of_trace = function
+  | Adpm_trace.Event.Vnum f -> Value.Num f
+  | Adpm_trace.Event.Vsym s -> Value.Sym s
+
+let spec_to_trace sp =
+  {
+    Adpm_trace.Event.sb_name = sp.sp_name;
+    sb_owner = sp.sp_owner;
+    sb_inputs = sp.sp_inputs;
+    sb_outputs = sp.sp_outputs;
+    sb_constraints = sp.sp_constraints;
+    sb_depends_on = sp.sp_depends_on_names;
+    sb_object = sp.sp_object;
+  }
+
+let spec_of_trace sb =
+  {
+    sp_name = sb.Adpm_trace.Event.sb_name;
+    sp_owner = sb.Adpm_trace.Event.sb_owner;
+    sp_inputs = sb.Adpm_trace.Event.sb_inputs;
+    sp_outputs = sb.Adpm_trace.Event.sb_outputs;
+    sp_constraints = sb.Adpm_trace.Event.sb_constraints;
+    sp_depends_on_names = sb.Adpm_trace.Event.sb_depends_on;
+    sp_object = sb.Adpm_trace.Event.sb_object;
+  }
+
+let to_trace_spec t =
+  let kind =
+    match t.op_kind with
+    | Synthesis assignments ->
+      Adpm_trace.Event.Synthesis
+        (List.map (fun (p, v) -> (p, value_to_trace v)) assignments)
+    | Verification cids -> Adpm_trace.Event.Verification cids
+    | Decompose specs -> Adpm_trace.Event.Decompose (List.map spec_to_trace specs)
+  in
+  {
+    Adpm_trace.Event.op_designer = t.op_designer;
+    op_problem = t.op_problem;
+    op_kind = kind;
+    op_motivated_by = t.op_motivated_by;
+  }
+
+let of_trace_spec spec =
+  let kind =
+    match spec.Adpm_trace.Event.op_kind with
+    | Adpm_trace.Event.Synthesis assignments ->
+      Synthesis (List.map (fun (p, v) -> (p, value_of_trace v)) assignments)
+    | Adpm_trace.Event.Verification cids -> Verification cids
+    | Adpm_trace.Event.Decompose subs -> Decompose (List.map spec_of_trace subs)
+  in
+  {
+    op_designer = spec.Adpm_trace.Event.op_designer;
+    op_problem = spec.Adpm_trace.Event.op_problem;
+    op_kind = kind;
+    op_motivated_by = spec.Adpm_trace.Event.op_motivated_by;
+  }
+
 let pp ppf t =
   let detail =
     match t.op_kind with

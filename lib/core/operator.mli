@@ -49,4 +49,11 @@ val verification :
 val decompose : designer:string -> problem:int -> subproblem_spec list -> t
 
 val kind_label : t -> string
+
+val to_trace_spec : t -> Adpm_trace.Event.op_spec
+(** Plain-data mirror for the trace subsystem. *)
+
+val of_trace_spec : Adpm_trace.Event.op_spec -> t
+(** Rebuild the operation recorded in a trace — the replay driver's input. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,6 @@
 open Adpm_interval
 open Adpm_expr
+open Adpm_trace
 
 type outcome = {
   feasible : (string * Domain.t) list;
@@ -37,8 +38,11 @@ let initial_boxes net =
    Mutates [boxes]; returns the evaluation count, whether some constraint
    became certainly unsatisfiable on the box, and whether the revision
    budget was exhausted. Constraints found Empty are recorded in
-   [empty_marks] when provided. *)
-let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks net boxes =
+   [empty_marks] when provided. When [waves] is given, it receives the
+   revision count of each propagation wave in order: wave 0 is the initial
+   queue of all constraints, wave n+1 the constraints requeued while
+   processing wave n. *)
+let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks ?waves net boxes =
   let env name = Hashtbl.find boxes name in
   let queue = Queue.create () in
   let queued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -52,6 +56,9 @@ let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks net boxes =
   let evaluations = ref 0 in
   let budget_hit = ref false in
   let any_empty = ref false in
+  let wave_sizes = ref [] (* reversed *) in
+  let this_wave = ref 0 in
+  let wave_boundary = ref (Queue.length queue) in
   let continue_loop () =
     if Queue.is_empty queue then false
     else if !evaluations >= max_revisions then begin
@@ -61,8 +68,15 @@ let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks net boxes =
     else true
   in
   while continue_loop () do
+    if !wave_boundary = 0 then begin
+      wave_sizes := !this_wave :: !wave_sizes;
+      this_wave := 0;
+      wave_boundary := Queue.length queue
+    end;
     let c = Queue.pop queue in
     Hashtbl.remove queued c.Constr.id;
+    decr wave_boundary;
+    incr this_wave;
     incr evaluations;
     match Hc4.revise ~env (Constr.diff c) (Constr.target c) with
     | Hc4.Empty ->
@@ -83,6 +97,10 @@ let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks net boxes =
           end)
         bindings
   done;
+  if !this_wave > 0 then wave_sizes := !this_wave :: !wave_sizes;
+  (match waves with
+  | Some cell -> cell := List.rev !wave_sizes
+  | None -> ());
   (!evaluations, !any_empty, !budget_hit)
 
 (* 3B-style bound shaving: try to prove the outermost [1/slices] slice of a
@@ -147,11 +165,16 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
   in
   sweeps 3
 
-let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull) net =
+let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull)
+    ?(tracer = Tracer.null) net =
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Propagation_started { constraints = Network.constraint_count net });
   let boxes = initial_boxes net in
   let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let waves = ref [] in
   let evals, _, budget_hit =
-    fixpoint ~eps ~max_revisions ~empty_marks net boxes
+    fixpoint ~eps ~max_revisions ~empty_marks ~waves net boxes
   in
   let evaluations = ref evals in
   (match consistency with
@@ -183,14 +206,23 @@ let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull) net =
         (name, d))
       (numeric_props net)
   in
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Propagation_finished
+         {
+           evaluations = !evaluations;
+           waves = !waves;
+           empties = Hashtbl.length empty_marks;
+           fixpoint = not budget_hit;
+         });
   { feasible; statuses; evaluations = !evaluations; fixpoint = not budget_hit }
 
 let apply net outcome =
   List.iter (fun (name, d) -> Network.set_feasible net name d) outcome.feasible;
   List.iter (fun (id, s) -> Network.set_status net id s) outcome.statuses
 
-let run_and_apply ?eps ?max_revisions ?consistency net =
-  let outcome = run ?eps ?max_revisions ?consistency net in
+let run_and_apply ?eps ?max_revisions ?consistency ?tracer net =
+  let outcome = run ?eps ?max_revisions ?consistency ?tracer net in
   apply net outcome;
   outcome
 

@@ -20,6 +20,8 @@
 
 open Adpm_interval
 
+(** @see <../trace/tracer.mli> the emit-path contract. *)
+
 type outcome = {
   feasible : (string * Domain.t) list;
       (** Feasible subspace per numeric property. *)
@@ -32,6 +34,7 @@ val run :
   ?eps:float ->
   ?max_revisions:int ->
   ?consistency:[ `Hull | `Shave of int ] ->
+  ?tracer:Adpm_trace.Tracer.t ->
   Network.t ->
   outcome
 (** Pure with respect to the network: reads assignments and initial domains,
@@ -39,7 +42,12 @@ val run :
     slow convergence; [eps] is the relative narrowing threshold below which
     a domain change does not requeue neighbours (default 1e-9).
     [consistency] defaults to [`Hull]; [`Shave n] additionally shaves each
-    unbound variable's bounds in [1/n]-width slices (n >= 2). *)
+    unbound variable's bounds in [1/n]-width slices (n >= 2).
+
+    When an active [tracer] is supplied, one [Propagation_started] /
+    [Propagation_finished] event pair is emitted per call; the finish event
+    carries per-wave revision counts of the primary HC4 fixpoint (shaving
+    probes are charged to the evaluation total but not waved). *)
 
 val apply : Network.t -> outcome -> unit
 (** Store feasible subspaces and statuses into the network. *)
@@ -48,6 +56,7 @@ val run_and_apply :
   ?eps:float ->
   ?max_revisions:int ->
   ?consistency:[ `Hull | `Shave of int ] ->
+  ?tracer:Adpm_trace.Tracer.t ->
   Network.t ->
   outcome
 

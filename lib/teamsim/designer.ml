@@ -3,6 +3,7 @@ open Adpm_interval
 open Adpm_expr
 open Adpm_csp
 open Adpm_core
+open Adpm_trace
 
 type t = {
   d_name : string;
@@ -552,23 +553,67 @@ let forward_op d dpm probs =
       | None -> None
       | Some v -> synthesis_op d dpm probs prop v))
 
+(* Which of f_a's orderings actually drives forward target selection for
+   this configuration and mode (the fallbacks in [forward_op]). *)
+let forward_heuristic d dpm =
+  match (d.cfg.Config.forward_ordering, Dpm.mode dpm) with
+  | Config.Smallest_subspace, Dpm.Adpm -> Event.Smallest_subspace
+  | Config.Most_constrained, (Dpm.Adpm | Dpm.Conventional) ->
+    Event.Most_constrained
+  | (Config.Smallest_subspace | Config.Random_target), _ -> Event.Random_target
+
+let trace_decision d dpm heuristic op =
+  let tr = Dpm.tracer dpm in
+  if Tracer.active tr then begin
+    let target =
+      match op.Operator.op_kind with
+      | Operator.Synthesis ((prop, _) :: _) -> Some prop
+      | Operator.Synthesis [] | Operator.Verification _
+      | Operator.Decompose _ ->
+        None
+    in
+    let net = Dpm.network dpm in
+    let alpha, beta =
+      match target with
+      | Some prop when Network.mem_prop net prop ->
+        (Network.alpha net prop, Network.beta net prop)
+      | Some _ | None -> (0, 0)
+    in
+    Tracer.emit tr
+      (Event.Designer_decision
+         { designer = d.d_name; heuristic; target; alpha; beta })
+  end
+
 let choose_operation d dpm =
   let probs = addressable_problems d dpm in
   match probs with
   | [] -> None
-  | _ ->
+  | _ -> (
     let violations_known = Dpm.known_violations dpm <> [] in
-    if violations_known then
-      match repair_op d dpm probs with
-      | Some op -> Some op
-      | None -> (
-        match verification_op d dpm probs with
-        | Some op -> Some op
-        | None -> forward_op d dpm probs)
-    else (
-      match forward_op d dpm probs with
-      | Some op -> Some op
-      | None -> verification_op d dpm probs)
+    let chosen =
+      if violations_known then
+        match repair_op d dpm probs with
+        | Some op -> Some (Event.Conflict_resolution, op)
+        | None -> (
+          match verification_op d dpm probs with
+          | Some op -> Some (Event.Verification_request, op)
+          | None ->
+            Option.map
+              (fun op -> (forward_heuristic d dpm, op))
+              (forward_op d dpm probs))
+      else
+        match forward_op d dpm probs with
+        | Some op -> Some (forward_heuristic d dpm, op)
+        | None ->
+          Option.map
+            (fun op -> (Event.Verification_request, op))
+            (verification_op d dpm probs)
+    in
+    match chosen with
+    | None -> None
+    | Some (heuristic, op) ->
+      trace_decision d dpm heuristic op;
+      Some op)
 
 let synthesis_with_tools d dpm prop v =
   let probs = addressable_problems d dpm in

@@ -1,11 +1,21 @@
 open Adpm_util
 open Adpm_csp
 open Adpm_core
+open Adpm_trace
 
 type outcome = { o_summary : Metrics.run_summary; o_dpm : Dpm.t }
 
-let run ?(on_op = fun _ -> ()) cfg scenario =
+let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   let dpm = scenario.Scenario.sc_build ~mode:cfg.Config.mode in
+  Dpm.set_tracer dpm tracer;
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Run_started
+         {
+           scenario = scenario.Scenario.sc_name;
+           mode = Dpm.mode_to_string cfg.Config.mode;
+           seed = cfg.Config.seed;
+         });
   let rng = Rng.create cfg.Config.seed in
   let designers =
     List.map
@@ -24,7 +34,7 @@ let run ?(on_op = fun _ -> ()) cfg scenario =
     | Dpm.Conventional -> 0
     | Dpm.Adpm ->
       let outcome =
-        Propagate.run_and_apply ~max_revisions:cfg.Config.max_revisions
+        Propagate.run_and_apply ~tracer ~max_revisions:cfg.Config.max_revisions
           (Dpm.network dpm)
       in
       record
@@ -60,6 +70,13 @@ let run ?(on_op = fun _ -> ()) cfg scenario =
           | None -> ()
           | Some op ->
             acted := true;
+            if Tracer.active tracer then
+              Tracer.emit tracer
+                (Event.Op_submitted
+                   {
+                     op = Operator.to_trace_spec op;
+                     choose_evaluations = Dpm.eval_count dpm - evals_before;
+                   });
             let result = Dpm.apply dpm op in
             (* everyone learns the outcome (the NM relays it) *)
             List.iter
@@ -82,6 +99,17 @@ let run ?(on_op = fun _ -> ()) cfg scenario =
     if not !acted then finished := true
   done;
   let completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm in
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Run_finished
+         {
+           completed;
+           operations = Dpm.op_count dpm;
+           evaluations = Dpm.eval_count dpm;
+           setup_evaluations = setup_evals;
+           spins = Dpm.spin_count dpm;
+           violations = List.sort compare (Dpm.known_violations dpm);
+         });
   let summary =
     {
       Metrics.s_scenario = scenario.Scenario.sc_name;

@@ -16,11 +16,21 @@ type outcome = {
 }
 
 val run :
-  ?on_op:(Metrics.op_record -> unit) -> Config.t -> Scenario.t -> outcome
+  ?on_op:(Metrics.op_record -> unit) ->
+  ?tracer:Adpm_trace.Tracer.t ->
+  Config.t ->
+  Scenario.t ->
+  outcome
 (** Execute one simulation. In ADPM mode an initial propagation runs before
     the first designer turn (constraints are propagated "beginning when
     these constraints are generated"); its evaluations are charged to the
-    run as a setup record. *)
+    run as a setup record.
+
+    With an active [tracer] the engine emits the run lifecycle
+    ([Run_started], one [Op_submitted] per accepted operation carrying its
+    decision-time evaluation cost, [Run_finished]) and attaches the tracer
+    to the DPM so execution-level events flow through the same stream. The
+    caller owns the tracer and must [Tracer.close] it. *)
 
 val run_many :
   Config.t -> Scenario.t -> seeds:int list -> Metrics.run_summary list

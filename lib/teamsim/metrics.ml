@@ -29,11 +29,14 @@ let violations_found s =
   List.fold_left (fun acc r -> acc + r.m_new_violations) 0 s.s_profile
 
 let summary_line s =
+  let per_op =
+    if s.s_operations = 0 then "n/a"
+    else Printf.sprintf "%.1f" (evaluations_per_op s)
+  in
   Printf.sprintf
-    "%s/%s seed=%d: %s in %d ops, %d evals (%.1f/op), %d spins, %d violations"
+    "%s/%s seed=%d: %s in %d ops, %d evals (%s/op), %d spins, %d violations"
     s.s_scenario
     (Dpm.mode_to_string s.s_mode)
     s.s_seed
     (if s.s_completed then "completed" else "DID NOT COMPLETE")
-    s.s_operations s.s_evaluations (evaluations_per_op s) s.s_spins
-    (violations_found s)
+    s.s_operations s.s_evaluations per_op s.s_spins (violations_found s)

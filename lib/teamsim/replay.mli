@@ -1,0 +1,49 @@
+(** Deterministic replay of recorded traces.
+
+    A recorded trace pins down a run completely: the scenario builds the
+    same initial state, and the [Op_submitted] events carry every design
+    operation in execution order as plain data. Replay re-executes that
+    operation sequence against a fresh {!Adpm_core.Dpm.t} — no simulated
+    designers, no RNG — and checks that the design process converges to
+    the recorded outcome: per-operation results ([Op_executed]), final
+    constraint statuses, violation sets, and the N_O / N_T / spin totals
+    ([Run_finished]).
+
+    This is both a determinism audit for the simulator and a portable
+    regression format: a trace captured on one machine must replay
+    cleanly on any other. *)
+
+open Adpm_core
+open Adpm_trace
+
+type mismatch = {
+  mm_label : string;  (** what was compared, e.g. ["op 12 evaluations"] *)
+  mm_expected : string;  (** recorded value *)
+  mm_actual : string;  (** replayed value *)
+}
+
+type report = {
+  rp_scenario : string;
+  rp_mode : Dpm.mode;
+  rp_seed : int;  (** recorded seed (informational; replay uses no RNG) *)
+  rp_operations : int;  (** operations re-executed *)
+  rp_events : int;  (** trace events consumed *)
+  rp_finished : bool;  (** the trace contained a [Run_finished] event *)
+  rp_mismatches : mismatch list;
+}
+
+val converged : report -> bool
+(** Complete trace and zero mismatches. *)
+
+exception Replay_error of string
+(** The trace cannot be replayed at all: no [Run_started] event, or it
+    names a scenario / mode unknown to this binary. *)
+
+val run : scenarios:Scenario.t list -> Event.stamped list -> report
+(** Replay a single-run trace against the given scenario registry.
+    Assumes the engine's default revision budget; a run recorded with a
+    custom [max_revisions] may diverge.
+    @raise Replay_error when the trace header is unusable. *)
+
+val render : report -> string
+(** Human-readable verdict, one line per mismatch. *)

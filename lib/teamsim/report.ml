@@ -35,7 +35,10 @@ let aggregate summaries =
         if s.Metrics.s_completed then incr completed;
         Stats_acc.add_int ops s.Metrics.s_operations;
         Stats_acc.add_int evals s.Metrics.s_evaluations;
-        Stats_acc.add per_op (Metrics.evaluations_per_op s);
+        (* zero-op runs have no per-op cost (documented nan); skipping them
+           keeps one degenerate run from poisoning the aggregate mean *)
+        if s.Metrics.s_operations > 0 then
+          Stats_acc.add per_op (Metrics.evaluations_per_op s);
         Stats_acc.add_int spins s.Metrics.s_spins;
         Stats_acc.add_int violations (Metrics.violations_found s))
       summaries;
@@ -90,6 +93,7 @@ let comparison_table ~title aggregates =
       Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
       Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
     ];
+  let cell fmt v = if Float.is_nan v then "n/a" else Printf.sprintf fmt v in
   List.iter
     (fun a ->
       Table.add_row table
@@ -98,12 +102,12 @@ let comparison_table ~title aggregates =
           Dpm.mode_to_string a.a_mode;
           string_of_int a.a_runs;
           string_of_int a.a_completed;
-          Printf.sprintf "%.1f" (Stats_acc.mean a.a_ops);
-          Printf.sprintf "%.1f" (Stats_acc.stddev a.a_ops);
-          Printf.sprintf "%.0f" (Stats_acc.mean a.a_evals);
-          Printf.sprintf "%.2f" (Stats_acc.mean a.a_evals_per_op);
-          Printf.sprintf "%.2f" (Stats_acc.mean a.a_spins);
-          Printf.sprintf "%.1f" (Stats_acc.mean a.a_violations);
+          cell "%.1f" (Stats_acc.mean a.a_ops);
+          cell "%.1f" (Stats_acc.stddev a.a_ops);
+          cell "%.0f" (Stats_acc.mean a.a_evals);
+          cell "%.2f" (Stats_acc.mean a.a_evals_per_op);
+          cell "%.2f" (Stats_acc.mean a.a_spins);
+          cell "%.1f" (Stats_acc.mean a.a_violations);
         ])
     aggregates;
   Table.render table

@@ -1,0 +1,207 @@
+open Adpm_util
+open Event
+
+type latency = { l_designer : string; l_count : int; l_mean : float; l_max : int }
+
+type span = {
+  v_cid : int;
+  v_times_opened : int;
+  v_total_open : int;  (** clock ticks spent in Violated *)
+  v_open_at_end : bool;
+}
+
+type report = {
+  r_scenario : string option;
+  r_mode : string option;
+  r_operations : int;
+  r_evaluations : int;
+  r_propagations : int;
+  r_wave_sizes : int list;  (** revisions per wave, all propagations *)
+  r_latencies : latency list;  (** per designer, name order *)
+  r_spans : span list;  (** per constraint, id order *)
+  r_notifications : int;
+}
+
+let analyze events =
+  let scenario = ref None and mode = ref None in
+  let operations = ref 0 and evaluations = ref 0 in
+  let propagations = ref 0 in
+  let wave_sizes = ref [] in
+  let notifications = ref 0 in
+  (* pending notification clocks per designer, oldest first *)
+  let pending : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let latencies : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* violation spans: cid -> (clock opened) while open *)
+  let open_since : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let spans : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let record_span cid opened closed =
+    let times, total = try Hashtbl.find spans cid with Not_found -> (0, 0) in
+    Hashtbl.replace spans cid (times + 1, total + (closed - opened))
+  in
+  let last_clock = ref 0 in
+  List.iter
+    (fun { clock; event; _ } ->
+      last_clock := max !last_clock clock;
+      match event with
+      | Run_started { scenario = s; mode = m; _ } ->
+        scenario := Some s;
+        mode := Some m
+      | Run_finished { operations = n_o; evaluations = n_t; _ } ->
+        operations := n_o;
+        evaluations := n_t
+      | Op_submitted { op; _ } -> (
+        match Hashtbl.find_opt pending op.op_designer with
+        | None | Some [] -> ()
+        | Some waiting ->
+          let prev = try Hashtbl.find latencies op.op_designer with Not_found -> [] in
+          Hashtbl.replace latencies op.op_designer
+            (List.rev_append (List.rev_map (fun c -> clock - c) waiting) prev);
+          Hashtbl.replace pending op.op_designer [])
+      | Notification_pushed { recipient; _ } ->
+        incr notifications;
+        let waiting = try Hashtbl.find pending recipient with Not_found -> [] in
+        Hashtbl.replace pending recipient (waiting @ [ clock ])
+      | Propagation_finished { waves; _ } ->
+        incr propagations;
+        wave_sizes := List.rev_append waves !wave_sizes
+      | Constraint_status_changed { cid; new_status; _ } -> (
+        match (Hashtbl.find_opt open_since cid, new_status) with
+        | None, Violated -> Hashtbl.replace open_since cid clock
+        | Some opened, (Satisfied | Consistent) ->
+          Hashtbl.remove open_since cid;
+          record_span cid opened clock
+        | Some _, Violated | None, (Satisfied | Consistent) -> ())
+      | Op_executed _ | Propagation_started _ | Designer_decision _ -> ())
+    events;
+  (* close still-open violations at the final clock *)
+  let open_at_end = Hashtbl.fold (fun cid _ acc -> cid :: acc) open_since [] in
+  Hashtbl.iter (fun cid opened -> record_span cid opened !last_clock) open_since;
+  let span_list =
+    Hashtbl.fold
+      (fun cid (times, total) acc ->
+        {
+          v_cid = cid;
+          v_times_opened = times;
+          v_total_open = total;
+          v_open_at_end = List.mem cid open_at_end;
+        }
+        :: acc)
+      spans []
+    |> List.sort (fun a b -> compare a.v_cid b.v_cid)
+  in
+  let latency_list =
+    Hashtbl.fold
+      (fun designer ls acc ->
+        let n = List.length ls in
+        let sum = List.fold_left ( + ) 0 ls in
+        {
+          l_designer = designer;
+          l_count = n;
+          l_mean = float_of_int sum /. float_of_int (max 1 n);
+          l_max = List.fold_left max 0 ls;
+        }
+        :: acc)
+      latencies []
+    |> List.sort (fun a b -> compare a.l_designer b.l_designer)
+  in
+  {
+    r_scenario = !scenario;
+    r_mode = !mode;
+    r_operations = !operations;
+    r_evaluations = !evaluations;
+    r_propagations = !propagations;
+    r_wave_sizes = List.rev !wave_sizes;
+    r_latencies = latency_list;
+    r_spans = span_list;
+    r_notifications = !notifications;
+  }
+
+let render r =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "=== Trace analysis: %s / %s ===\n"
+    (Option.value ~default:"?" r.r_scenario)
+    (Option.value ~default:"?" r.r_mode);
+  add "operations %d, evaluations %d, propagations %d, notifications %d\n\n"
+    r.r_operations r.r_evaluations r.r_propagations r.r_notifications;
+  (if r.r_latencies <> [] then begin
+     let table =
+       Table.create ~title:"Notification latency (clock ticks to next own op)"
+         [ "Designer"; "Notifications"; "Mean latency"; "Max" ]
+     in
+     Table.set_align table [ Table.Left; Table.Right; Table.Right; Table.Right ];
+     List.iter
+       (fun l ->
+         Table.add_row table
+           [
+             l.l_designer;
+             string_of_int l.l_count;
+             Printf.sprintf "%.2f" l.l_mean;
+             string_of_int l.l_max;
+           ])
+       r.r_latencies;
+     Buffer.add_string buf (Table.render table);
+     Buffer.add_char buf '\n'
+   end);
+  (if r.r_spans <> [] then begin
+     let table =
+       Table.create ~title:"Violation open/close spans"
+         [ "Constraint"; "Times opened"; "Open ticks"; "Open at end" ]
+     in
+     Table.set_align table [ Table.Right; Table.Right; Table.Right; Table.Left ];
+     List.iter
+       (fun s ->
+         Table.add_row table
+           [
+             string_of_int s.v_cid;
+             string_of_int s.v_times_opened;
+             string_of_int s.v_total_open;
+             (if s.v_open_at_end then "yes" else "no");
+           ])
+       r.r_spans;
+     Buffer.add_string buf (Table.render table);
+     Buffer.add_char buf '\n'
+   end);
+  (if r.r_wave_sizes <> [] then
+     Buffer.add_string buf
+       (Ascii_chart.histogram ~title:"Propagation-wave size (revisions per wave)"
+          (List.map float_of_int r.r_wave_sizes)));
+  Buffer.contents buf
+
+let to_json r =
+  let jint i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ( "scenario",
+        match r.r_scenario with Some s -> Json.Str s | None -> Json.Null );
+      ("mode", match r.r_mode with Some m -> Json.Str m | None -> Json.Null);
+      ("operations", jint r.r_operations);
+      ("evaluations", jint r.r_evaluations);
+      ("propagations", jint r.r_propagations);
+      ("notifications", jint r.r_notifications);
+      ("wave_sizes", Json.Arr (List.map jint r.r_wave_sizes));
+      ( "notification_latency",
+        Json.Arr
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("designer", Json.Str l.l_designer);
+                   ("count", jint l.l_count);
+                   ("mean", Json.Num l.l_mean);
+                   ("max", jint l.l_max);
+                 ])
+             r.r_latencies) );
+      ( "violation_spans",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("cid", jint s.v_cid);
+                   ("times_opened", jint s.v_times_opened);
+                   ("open_ticks", jint s.v_total_open);
+                   ("open_at_end", Json.Bool s.v_open_at_end);
+                 ])
+             r.r_spans) );
+    ]

@@ -1,0 +1,35 @@
+(** Trace analysis: fold a recorded event stream into the derived views
+    TeamSim's statistics window consolidated on-line — notification
+    latency per designer, the propagation-wave size distribution, and
+    violation open/close spans — rendered as ASCII (via
+    [Adpm_util.Ascii_chart] / [Table]) or exported as JSON. *)
+
+type latency = {
+  l_designer : string;
+  l_count : int;  (** notifications received *)
+  l_mean : float;  (** mean clock ticks until the designer's next operation *)
+  l_max : int;
+}
+
+type span = {
+  v_cid : int;
+  v_times_opened : int;
+  v_total_open : int;
+  v_open_at_end : bool;
+}
+
+type report = {
+  r_scenario : string option;
+  r_mode : string option;
+  r_operations : int;
+  r_evaluations : int;
+  r_propagations : int;
+  r_wave_sizes : int list;
+  r_latencies : latency list;
+  r_spans : span list;
+  r_notifications : int;
+}
+
+val analyze : Event.stamped list -> report
+val render : report -> string
+val to_json : report -> Json.t

@@ -1,0 +1,117 @@
+type value = Vnum of float | Vsym of string
+
+type status = Satisfied | Violated | Consistent
+
+let status_to_string = function
+  | Satisfied -> "satisfied"
+  | Violated -> "violated"
+  | Consistent -> "consistent"
+
+let status_of_string = function
+  | "satisfied" -> Some Satisfied
+  | "violated" -> Some Violated
+  | "consistent" -> Some Consistent
+  | _ -> None
+
+type subproblem = {
+  sb_name : string;
+  sb_owner : string;
+  sb_inputs : string list;
+  sb_outputs : string list;
+  sb_constraints : int list;
+  sb_depends_on : string list;
+  sb_object : string option;
+}
+
+type op_kind =
+  | Synthesis of (string * value) list
+  | Verification of int list
+  | Decompose of subproblem list
+
+type op_spec = {
+  op_designer : string;
+  op_problem : int;
+  op_kind : op_kind;
+  op_motivated_by : int list;
+}
+
+type heuristic =
+  | Smallest_subspace
+  | Most_constrained
+  | Random_target
+  | Conflict_resolution
+  | Verification_request
+
+let heuristic_to_string = function
+  | Smallest_subspace -> "smallest-subspace"
+  | Most_constrained -> "most-constrained"
+  | Random_target -> "random-target"
+  | Conflict_resolution -> "conflict-resolution"
+  | Verification_request -> "verification-request"
+
+let heuristic_of_string = function
+  | "smallest-subspace" -> Some Smallest_subspace
+  | "most-constrained" -> Some Most_constrained
+  | "random-target" -> Some Random_target
+  | "conflict-resolution" -> Some Conflict_resolution
+  | "verification-request" -> Some Verification_request
+  | _ -> None
+
+type t =
+  | Run_started of { scenario : string; mode : string; seed : int }
+  | Op_submitted of { op : op_spec; choose_evaluations : int }
+  | Op_executed of {
+      index : int;
+      designer : string;
+      kind : string;
+      evaluations : int;
+      newly_violated : int list;
+      resolved : int list;
+      skipped : int list;
+      spin : bool;
+    }
+  | Propagation_started of { constraints : int }
+  | Propagation_finished of {
+      evaluations : int;
+      waves : int list;  (** revisions per propagation wave, in order *)
+      empties : int;  (** constraints proven unsatisfiable on the box *)
+      fixpoint : bool;  (** false when the revision budget stopped it *)
+    }
+  | Constraint_status_changed of {
+      cid : int;
+      old_status : status;
+      new_status : status;
+    }
+  | Notification_pushed of {
+      recipient : string;
+      events : string list;  (** rendered event descriptions *)
+      violations : int list;  (** ids of newly violated constraints *)
+    }
+  | Designer_decision of {
+      designer : string;
+      heuristic : heuristic;
+      target : string option;  (** chosen property, when one exists *)
+      alpha : int;  (** violated constraints on the target (eq. 3) *)
+      beta : int;  (** total constraints on the target *)
+    }
+  | Run_finished of {
+      completed : bool;
+      operations : int;  (** N_O *)
+      evaluations : int;  (** N_T charged to the DPM *)
+      setup_evaluations : int;  (** initial ADPM propagation (not in N_T) *)
+      spins : int;
+      violations : int list;  (** final known-violated constraint ids *)
+    }
+
+type stamped = { seq : int; clock : int; event : t }
+
+let kind_label = function
+  | Run_started _ -> "run_started"
+  | Op_submitted _ -> "op_submitted"
+  | Op_executed _ -> "op_executed"
+  | Propagation_started _ -> "propagation_started"
+  | Propagation_finished _ -> "propagation_finished"
+  | Constraint_status_changed _ -> "constraint_status_changed"
+  | Notification_pushed _ -> "notification_pushed"
+  | Designer_decision _ -> "designer_decision"
+  | Run_finished _ -> "run_finished"

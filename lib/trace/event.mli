@@ -1,0 +1,112 @@
+(** The typed trace event model: everything observable about one design
+    process run, from operation submission through propagation waves to the
+    notifications the NM pushes.
+
+    The model is deliberately self-contained — events carry plain data
+    (strings, ints, floats), not [Adpm_core] values — so that the trace
+    library sits {e below} the engine layers it instruments and a recorded
+    trace can be decoded without rebuilding any engine state. Conversions
+    to and from engine types live next to those types
+    ([Adpm_core.Operator.to_trace_spec] / [of_trace_spec]). *)
+
+type value = Vnum of float | Vsym of string
+(** Mirror of [Adpm_csp.Value.t]. *)
+
+type status = Satisfied | Violated | Consistent
+(** Mirror of [Adpm_csp.Constr.status]. *)
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type subproblem = {
+  sb_name : string;
+  sb_owner : string;
+  sb_inputs : string list;
+  sb_outputs : string list;
+  sb_constraints : int list;
+  sb_depends_on : string list;
+  sb_object : string option;
+}
+(** Mirror of [Adpm_core.Operator.subproblem_spec]. *)
+
+type op_kind =
+  | Synthesis of (string * value) list
+  | Verification of int list
+  | Decompose of subproblem list
+
+type op_spec = {
+  op_designer : string;
+  op_problem : int;
+  op_kind : op_kind;
+  op_motivated_by : int list;
+}
+(** A full description of one design operation — enough to reconstruct the
+    [Operator.t] and re-execute it during replay. *)
+
+type heuristic =
+  | Smallest_subspace
+  | Most_constrained
+  | Random_target
+  | Conflict_resolution
+  | Verification_request
+
+val heuristic_to_string : heuristic -> string
+val heuristic_of_string : string -> heuristic option
+
+type t =
+  | Run_started of { scenario : string; mode : string; seed : int }
+  | Op_submitted of { op : op_spec; choose_evaluations : int }
+      (** Emitted by the engine just before the DPM executes the operation.
+          [choose_evaluations] is the constraint-evaluation cost the
+          designer spent {e deciding} (relaxed-feasibility queries); replay
+          re-charges it so N_T totals match exactly. *)
+  | Op_executed of {
+      index : int;
+      designer : string;
+      kind : string;
+      evaluations : int;
+      newly_violated : int list;
+      resolved : int list;
+      skipped : int list;
+      spin : bool;
+    }  (** Emitted by the DPM after the transition completes. *)
+  | Propagation_started of { constraints : int }
+  | Propagation_finished of {
+      evaluations : int;
+      waves : int list;
+      empties : int;
+      fixpoint : bool;
+    }
+  | Constraint_status_changed of {
+      cid : int;
+      old_status : status;
+      new_status : status;
+    }
+  | Notification_pushed of {
+      recipient : string;
+      events : string list;
+      violations : int list;
+    }
+  | Designer_decision of {
+      designer : string;
+      heuristic : heuristic;
+      target : string option;
+      alpha : int;
+      beta : int;
+    }
+  | Run_finished of {
+      completed : bool;
+      operations : int;
+      evaluations : int;
+      setup_evaluations : int;
+      spins : int;
+      violations : int list;
+    }
+
+type stamped = { seq : int; clock : int; event : t }
+(** [seq] is a per-tracer monotonic sequence number; [clock] is the logical
+    clock — the number of design operations executed when the event fired
+    (0 during setup). *)
+
+val kind_label : t -> string
+(** The event's JSONL ["type"] tag. *)

@@ -1,0 +1,32 @@
+(** A minimal JSON value type with a printer and a hand-rolled
+    recursive-descent parser.
+
+    Deliberately dependency-free: trace files must be writable and readable
+    without any external JSON library (the container bakes in only the
+    OCaml toolchain). The printer round-trips every finite float
+    ([%.17g]); [nan]/[inf] print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no insignificant whitespace). *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing garbage is an error. *)
+
+(** {1 Accessors} — shallow, total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+(** Only for integral [Num]s. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

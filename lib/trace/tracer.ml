@@ -1,0 +1,24 @@
+type t = {
+  enabled : bool;
+  sink : Sink.t;
+  mutable seq : int;
+  mutable clock : int;
+}
+
+let null = { enabled = false; sink = Sink.null; seq = 0; clock = 0 }
+
+let create sink = { enabled = true; sink; seq = 0; clock = 0 }
+
+let active t = t.enabled
+
+let emit t event =
+  if t.enabled then begin
+    let stamped = { Event.seq = t.seq; clock = t.clock; event } in
+    t.seq <- t.seq + 1;
+    t.sink.Sink.write stamped
+  end
+
+let set_clock t clock = if t.enabled then t.clock <- clock
+let clock t = t.clock
+let seq t = t.seq
+let close t = t.sink.Sink.close ()

@@ -1,0 +1,34 @@
+(** The emit path.
+
+    Instrumented layers hold a [Tracer.t] (by default {!null}) and guard
+    every emission site with {!active}, so a disabled tracer costs one
+    immediate-field read per site — no event is even constructed:
+
+    {[
+      if Tracer.active tr then
+        Tracer.emit tr (Event.Propagation_started { constraints })
+    ]}
+
+    The tracer stamps each event with a monotonic sequence number and the
+    current logical clock (the number of design operations executed, which
+    the DPM advances at the start of each transition). *)
+
+type t
+
+val null : t
+(** The disabled tracer: {!active} is false, every operation is a no-op. *)
+
+val create : Sink.t -> t
+
+val active : t -> bool
+val emit : t -> Event.t -> unit
+(** Stamp and write. No-op on a disabled tracer (but prefer guarding with
+    {!active} so the event itself is never built). *)
+
+val set_clock : t -> int -> unit
+val clock : t -> int
+val seq : t -> int
+(** Number of events emitted so far. *)
+
+val close : t -> unit
+(** Close the underlying sink. *)

@@ -1,0 +1,11 @@
+(** Quoting rules shared by every exporter (CSV and JSON writers in
+    [Adpm_teamsim.Export], the JSONL trace codec in [Adpm_trace]). *)
+
+val csv : string -> string
+(** RFC 4180 quoting: wrap in double quotes when the string contains a
+    comma, quote, or newline, doubling embedded quotes. *)
+
+val json : string -> string
+(** JSON string-body escaping (without the surrounding quotes): quotes,
+    backslashes, and control characters. Bytes >= 0x20 pass through
+    unchanged, so UTF-8 text survives byte-for-byte. *)

@@ -8,6 +8,8 @@ let () =
       ("csp", Test_csp.suite);
       ("core", Test_core.suite);
       ("teamsim", Test_teamsim.suite);
+      ("trace", Test_trace.suite);
+      ("export", Test_export.suite);
       ("dddl", Test_dddl.suite);
       ("scenarios", Test_scenarios.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,449 @@
+(* Tests for Adpm_trace and the replay driver: JSON codec round-trips,
+   ring-buffer bounding, live capture through the engine, trace analysis,
+   and deterministic replay across scenarios and modes. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+open Adpm_trace
+
+let quick_cfg mode seed =
+  let cfg = Config.default ~mode ~seed in
+  { cfg with Config.max_ops = 500 }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  scan 0
+
+let stamp i event = { Event.seq = i; clock = i / 2; event }
+
+(* One event of every constructor, with awkward payloads: non-ASCII and
+   quoted strings, non-representable decimals, empty and non-empty lists. *)
+let sample_events =
+  let synthesis_op =
+    {
+      Event.op_designer = "desi\"gner, one\n(α)";
+      op_problem = 3;
+      op_kind =
+        Event.Synthesis [ ("w1", Event.Vnum 0.1); ("mode", Event.Vsym "low") ];
+      op_motivated_by = [ 2; 7 ];
+    }
+  in
+  let decompose_op =
+    {
+      Event.op_designer = "lead";
+      op_problem = 1;
+      op_kind =
+        Event.Decompose
+          [
+            {
+              Event.sb_name = "rf front-end";
+              sb_owner = "ann";
+              sb_inputs = [ "f0" ];
+              sb_outputs = [ "gain"; "nf" ];
+              sb_constraints = [ 1; 4 ];
+              sb_depends_on = [];
+              sb_object = Some "lna";
+            };
+            {
+              Event.sb_name = "baseband";
+              sb_owner = "bob";
+              sb_inputs = [];
+              sb_outputs = [ "bw" ];
+              sb_constraints = [];
+              sb_depends_on = [ "rf front-end" ];
+              sb_object = None;
+            };
+          ];
+      op_motivated_by = [];
+    }
+  in
+  let verification_op =
+    {
+      Event.op_designer = "ann";
+      op_problem = 2;
+      op_kind = Event.Verification [ 1; 2; 3 ];
+      op_motivated_by = [ 1 ];
+    }
+  in
+  List.mapi stamp
+    [
+      Event.Run_started { scenario = "lna"; mode = "ADPM"; seed = 42 };
+      Event.Op_submitted { op = synthesis_op; choose_evaluations = 5 };
+      Event.Op_submitted { op = decompose_op; choose_evaluations = 0 };
+      Event.Op_submitted { op = verification_op; choose_evaluations = 1 };
+      Event.Op_executed
+        {
+          index = 1;
+          designer = "ann";
+          kind = "synthesis";
+          evaluations = 17;
+          newly_violated = [ 4 ];
+          resolved = [];
+          skipped = [ 9 ];
+          spin = true;
+        };
+      Event.Propagation_started { constraints = 21 };
+      Event.Propagation_finished
+        { evaluations = 63; waves = [ 21; 30; 12 ]; empties = 1; fixpoint = true };
+      Event.Constraint_status_changed
+        { cid = 4; old_status = Event.Consistent; new_status = Event.Violated };
+      Event.Notification_pushed
+        {
+          recipient = "bob";
+          events = [ "violation-detected:4"; "feasible-reduced:bw" ];
+          violations = [ 4 ];
+        };
+      Event.Designer_decision
+        {
+          designer = "bob";
+          heuristic = Event.Smallest_subspace;
+          target = Some "bw";
+          alpha = 1;
+          beta = 3;
+        };
+      Event.Designer_decision
+        {
+          designer = "ann";
+          heuristic = Event.Conflict_resolution;
+          target = None;
+          alpha = 0;
+          beta = 0;
+        };
+      Event.Run_finished
+        {
+          completed = true;
+          operations = 37;
+          evaluations = 1042;
+          setup_evaluations = 63;
+          spins = 2;
+          violations = [ 4; 6 ];
+        };
+    ]
+
+(* {2 JSON} *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Num 0.1;
+      Json.Num (-3.25);
+      Json.Num 1e17;
+      Json.Num 123456789.;
+      Json.Str "plain";
+      Json.Str "qu\"ote,\ncomma — ünïcode";
+      Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Null ];
+      Json.Obj [ ("a", Json.Arr []); ("b", Json.Obj [ ("c", Json.Bool false) ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" (Json.to_string j))
+          true (j = j')
+      | Error e -> Alcotest.failf "parse error on %s: %s" (Json.to_string j) e)
+    samples
+
+let test_json_escapes () =
+  match Json.parse {|{"s":"aé\n\t\"\\b","n":-0.5e2}|} with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok j ->
+    Alcotest.(check (option string))
+      "unicode escape decoded"
+      (Some "a\xc3\xa9\n\t\"\\b")
+      (Option.bind (Json.member "s" j) Json.to_str);
+    Alcotest.(check (option (float 1e-9)))
+      "exponent" (Some (-50.))
+      (Option.bind (Json.member "n" j) Json.to_float)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted garbage %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "trailing {} junk"; "\"unterminated" ]
+
+(* {2 Codec round-trip} *)
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun stamped ->
+      let line = Codec.to_line stamped in
+      match Codec.of_line line with
+      | Ok decoded ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" (Event.kind_label stamped.Event.event))
+          true (decoded = stamped)
+      | Error e -> Alcotest.failf "decode error on %s: %s" line e)
+    sample_events
+
+let test_codec_file_roundtrip () =
+  let path = Filename.temp_file "adpm_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Sink.jsonl_file path in
+      List.iter sink.Sink.write sample_events;
+      sink.Sink.close ();
+      match Codec.read_file path with
+      | Ok events ->
+        Alcotest.(check bool) "file round-trip" true (events = sample_events)
+      | Error e -> Alcotest.failf "read_file: %s" e)
+
+let test_codec_rejects_malformed () =
+  List.iter
+    (fun line ->
+      match Codec.of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [
+      "{}";
+      {|{"seq":0,"clock":0,"type":"no_such_event"}|};
+      {|{"seq":0,"clock":0,"type":"run_started","scenario":"x","mode":"ADPM"}|};
+      "[1,2,3]";
+    ]
+
+(* {2 Sinks} *)
+
+let test_ring_bounding () =
+  let buffer, sink = Sink.memory ~capacity:4 in
+  List.iter sink.Sink.write sample_events;
+  let total = List.length sample_events in
+  Alcotest.(check int) "stored" 4 (Sink.Ring.stored buffer);
+  Alcotest.(check int) "dropped" (total - 4) (Sink.Ring.dropped buffer);
+  Alcotest.(check int) "capacity" 4 (Sink.Ring.capacity buffer);
+  let kept = Sink.Ring.contents buffer in
+  let expected =
+    List.filteri (fun i _ -> i >= total - 4) sample_events
+  in
+  Alcotest.(check bool) "most recent, oldest first" true (kept = expected);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Sink.Ring.create: capacity must be positive")
+    (fun () -> ignore (Sink.Ring.create ~capacity:0))
+
+let test_tee_and_null () =
+  let b1, s1 = Sink.memory ~capacity:10 in
+  let b2, s2 = Sink.memory ~capacity:10 in
+  let tee = Sink.tee s1 s2 in
+  List.iteri (fun i e -> if i < 3 then tee.Sink.write e) sample_events;
+  tee.Sink.close ();
+  Alcotest.(check int) "left got all" 3 (Sink.Ring.stored b1);
+  Alcotest.(check int) "right got all" 3 (Sink.Ring.stored b2);
+  Sink.null.Sink.write (List.hd sample_events);
+  Sink.null.Sink.close ()
+
+let test_tracer_stamping () =
+  let buffer, sink = Sink.memory ~capacity:100 in
+  let tr = Tracer.create sink in
+  Alcotest.(check bool) "created tracer active" true (Tracer.active tr);
+  Alcotest.(check bool) "null tracer inactive" false (Tracer.active Tracer.null);
+  Tracer.emit tr (Event.Propagation_started { constraints = 1 });
+  Tracer.set_clock tr 7;
+  Tracer.emit tr (Event.Propagation_started { constraints = 2 });
+  (* emitting through the null tracer is a silent no-op *)
+  Tracer.emit Tracer.null (Event.Propagation_started { constraints = 3 });
+  match Sink.Ring.contents buffer with
+  | [ a; b ] ->
+    Alcotest.(check int) "first seq" 0 a.Event.seq;
+    Alcotest.(check int) "first clock" 0 a.Event.clock;
+    Alcotest.(check int) "second seq" 1 b.Event.seq;
+    Alcotest.(check int) "second clock" 7 b.Event.clock
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+(* {2 Live capture through the engine} *)
+
+let capture mode seed scenario =
+  let buffer, sink = Sink.memory ~capacity:100_000 in
+  let tracer = Tracer.create sink in
+  let outcome = Engine.run ~tracer (quick_cfg mode seed) scenario in
+  Tracer.close tracer;
+  (outcome, Sink.Ring.contents buffer)
+
+let test_live_trace_shape () =
+  let outcome, events = capture Dpm.Adpm 1 Lna.scenario in
+  let summary = outcome.Engine.o_summary in
+  (match events with
+  | { Event.event = Event.Run_started { scenario; mode; seed }; _ } :: _ ->
+    Alcotest.(check string) "scenario" "lna" scenario;
+    Alcotest.(check string) "mode" "ADPM" mode;
+    Alcotest.(check int) "seed" 1 seed
+  | _ -> Alcotest.fail "first event must be run_started");
+  (match List.rev events with
+  | { Event.event = Event.Run_finished { operations; completed; _ }; _ } :: _
+    ->
+    Alcotest.(check int) "N_O recorded" summary.Metrics.s_operations operations;
+    Alcotest.(check bool) "completed recorded" summary.Metrics.s_completed
+      completed
+  | _ -> Alcotest.fail "last event must be run_finished");
+  let submitted =
+    List.length
+      (List.filter
+         (fun s ->
+           match s.Event.event with Event.Op_submitted _ -> true | _ -> false)
+         events)
+  in
+  Alcotest.(check int) "one op_submitted per op" summary.Metrics.s_operations
+    submitted;
+  let decisions =
+    List.filter
+      (fun s ->
+        match s.Event.event with Event.Designer_decision _ -> true | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "designer decisions recorded" true (decisions <> []);
+  ignore
+    (List.fold_left
+       (fun (seq, clock) s ->
+         Alcotest.(check int) "seq is dense" seq s.Event.seq;
+         Alcotest.(check bool) "clock is monotone" true (s.Event.clock >= clock);
+         (seq + 1, s.Event.clock))
+       (0, 0) events)
+
+let test_disabled_tracing_changes_nothing () =
+  let baseline = Engine.run (quick_cfg Dpm.Adpm 3 ) Lna.scenario in
+  let traced, _events = capture Dpm.Adpm 3 Lna.scenario in
+  Alcotest.(check int) "same ops"
+    baseline.Engine.o_summary.Metrics.s_operations
+    traced.Engine.o_summary.Metrics.s_operations;
+  Alcotest.(check int) "same evals"
+    baseline.Engine.o_summary.Metrics.s_evaluations
+    traced.Engine.o_summary.Metrics.s_evaluations
+
+(* {2 Analysis} *)
+
+let test_analyze () =
+  let outcome, events = capture Dpm.Adpm 1 Sensor.scenario in
+  let report = Analyze.analyze events in
+  Alcotest.(check (option string)) "scenario" (Some "sensor")
+    report.Analyze.r_scenario;
+  Alcotest.(check int) "operations"
+    outcome.Engine.o_summary.Metrics.s_operations report.Analyze.r_operations;
+  Alcotest.(check bool) "adpm run propagates" true
+    (report.Analyze.r_propagations > 0);
+  Alcotest.(check bool) "waves recorded" true
+    (report.Analyze.r_wave_sizes <> []);
+  let rendered = Analyze.render report in
+  Alcotest.(check bool) "render mentions scenario" true
+    (contains ~sub:"sensor" rendered);
+  match Json.parse (Json.to_string (Analyze.to_json report)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "analysis JSON does not re-parse: %s" e
+
+(* {2 Replay} *)
+
+let replay_scenarios = [ Simple.scenario; Lna.scenario; Sensor.scenario ]
+
+let test_replay_convergence () =
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun seed ->
+              let _, events = capture mode seed scenario in
+              let report = Replay.run ~scenarios:replay_scenarios events in
+              let label =
+                Printf.sprintf "%s/%s seed %d"
+                  scenario.Scenario.sc_name (Dpm.mode_to_string mode) seed
+              in
+              if not (Replay.converged report) then
+                Alcotest.failf "%s diverged:\n%s" label (Replay.render report);
+              Alcotest.(check bool)
+                (label ^ " replayed every op")
+                true
+                (report.Replay.rp_operations > 0))
+            [ 1; 2 ])
+        [ Dpm.Conventional; Dpm.Adpm ])
+    [ Simple.scenario; Lna.scenario ]
+
+let test_replay_through_file () =
+  let path = Filename.temp_file "adpm_replay" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let tracer = Tracer.create (Sink.jsonl_file path) in
+      let _ = Engine.run ~tracer (quick_cfg Dpm.Adpm 5) Sensor.scenario in
+      Tracer.close tracer;
+      match Codec.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok events ->
+        let report = Replay.run ~scenarios:replay_scenarios events in
+        if not (Replay.converged report) then
+          Alcotest.failf "file replay diverged:\n%s" (Replay.render report))
+
+let test_replay_detects_tampering () =
+  let _, events = capture Dpm.Adpm 1 Lna.scenario in
+  let tampered =
+    List.map
+      (fun s ->
+        match s.Event.event with
+        | Event.Run_finished
+            {
+              completed;
+              operations;
+              evaluations;
+              setup_evaluations;
+              spins;
+              violations;
+            } ->
+          {
+            s with
+            Event.event =
+              Event.Run_finished
+                {
+                  completed;
+                  operations = operations + 1;
+                  evaluations;
+                  setup_evaluations;
+                  spins;
+                  violations;
+                };
+          }
+        | _ -> s)
+      events
+  in
+  let report = Replay.run ~scenarios:replay_scenarios tampered in
+  Alcotest.(check bool) "tampered totals detected" false
+    (Replay.converged report)
+
+let test_replay_rejects_unusable_traces () =
+  Alcotest.check_raises "empty trace"
+    (Replay.Replay_error "trace contains no run_started event") (fun () ->
+      ignore (Replay.run ~scenarios:replay_scenarios []));
+  let bogus =
+    [ stamp 0 (Event.Run_started { scenario = "nope"; mode = "ADPM"; seed = 1 }) ]
+  in
+  match Replay.run ~scenarios:replay_scenarios bogus with
+  | exception Replay.Replay_error _ -> ()
+  | _ -> Alcotest.fail "unknown scenario must raise"
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec file round-trip" `Quick test_codec_file_roundtrip;
+    Alcotest.test_case "codec rejects malformed" `Quick
+      test_codec_rejects_malformed;
+    Alcotest.test_case "ring bounding" `Quick test_ring_bounding;
+    Alcotest.test_case "tee and null sinks" `Quick test_tee_and_null;
+    Alcotest.test_case "tracer stamping" `Quick test_tracer_stamping;
+    Alcotest.test_case "live trace shape" `Quick test_live_trace_shape;
+    Alcotest.test_case "tracing is observationally inert" `Quick
+      test_disabled_tracing_changes_nothing;
+    Alcotest.test_case "trace analysis" `Quick test_analyze;
+    Alcotest.test_case "replay converges (2 scenarios x 2 modes)" `Quick
+      test_replay_convergence;
+    Alcotest.test_case "replay through a file" `Quick test_replay_through_file;
+    Alcotest.test_case "replay detects tampering" `Quick
+      test_replay_detects_tampering;
+    Alcotest.test_case "replay rejects unusable traces" `Quick
+      test_replay_rejects_unusable_traces;
+  ]
