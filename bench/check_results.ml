@@ -1,0 +1,35 @@
+(* Bench-smoke gate: fail loudly (nonzero exit) if BENCH_results.json is
+   missing, unparseable, or lacks a finite positive incremental_speedup —
+   so a refactor that silently stops producing the incremental-vs-full
+   comparison breaks @check instead of shipping an empty benchmark. *)
+
+module Json = Adpm_trace.Json
+
+let file = "BENCH_results.json"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench-smoke check FAILED: %s\n" msg;
+      exit 1)
+    fmt
+
+let () =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> die "%s missing (%s)" file msg
+  in
+  let json =
+    match Json.parse contents with
+    | Ok j -> j
+    | Error msg -> die "%s does not parse: %s" file msg
+  in
+  match Json.member "incremental_speedup" json with
+  | None -> die "%s lacks the incremental_speedup field" file
+  | Some v -> (
+    match Json.to_float v with
+    | None -> die "incremental_speedup is not a number"
+    | Some s when not (Float.is_finite s && s > 0.) ->
+      die "incremental_speedup %g is not a finite positive ratio" s
+    | Some s -> Printf.printf "bench-smoke check OK: incremental_speedup=%.2fx\n" s)

@@ -32,11 +32,20 @@ let timed name f =
   timings := (name, Unix.gettimeofday () -. t0) :: !timings;
   v
 
-let results_json ~fig9_seeds verdicts =
+let results_json ~fig9_seeds verdicts incr =
   Json.Obj
     [
       ("fast", Json.Bool fast);
       ("fig9_seeds", Json.Num (float_of_int fig9_seeds));
+      ("incremental_speedup", Json.Num incr.Incremental.speedup);
+      ( "incremental",
+        Json.Obj
+          [
+            ("revisions_full", Json.Num (float_of_int incr.Incremental.total_full));
+            ( "revisions_incremental",
+              Json.Num (float_of_int incr.Incremental.total_incr) );
+            ("outcomes_agree", Json.Bool incr.Incremental.all_agree);
+          ] );
       ( "wall_time_s",
         Json.Obj
           (List.rev_map (fun (name, dt) -> (name, Json.Num dt)) !timings) );
@@ -98,10 +107,17 @@ let () =
     (timed "scaling" (fun () ->
          Exp_scaling.render (Exp_scaling.run ~seeds:(if fast then 3 else 8) ())));
 
+  section "Incremental DCM: full vs dirty-seeded HC4 (receiver, Fig. 9 case)";
+  let incr =
+    timed "incremental" (fun () ->
+        Incremental.run ~seeds:(if fast then 3 else 10) ())
+  in
+  print_string (Incremental.render incr);
+
   section "Micro-benchmarks (bechamel)";
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
-  let json = results_json ~fig9_seeds (Exp_fig9.verdicts fig9) in
+  let json = results_json ~fig9_seeds (Exp_fig9.verdicts fig9) incr in
   let oc = open_out "BENCH_results.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -76,6 +76,26 @@ let mode_arg =
     & info [ "m"; "mode" ] ~docv:"MODE"
         ~doc:"Design process mode: $(b,adpm) or $(b,conventional).")
 
+let engine_conv =
+  let parse s =
+    match Dpm.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "bad engine %s (incremental|full)" s))
+  in
+  let print ppf e = Format.pp_print_string ppf (Dpm.engine_to_string e) in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Dpm.Incremental
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "DCM propagation engine: $(b,incremental) (dirty-seeded restarts \
+           from the persisted box store, the default) or $(b,full) \
+           (from-scratch HC4 after every operation). Both produce identical \
+           design outcomes; the trace records which one ran.")
+
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
@@ -116,13 +136,13 @@ let trace_arg =
            $(b,replay).")
 
 let run_cmd =
-  let action scenario_name mode seed verbose csv json trace =
+  let action scenario_name mode engine seed verbose csv json trace =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
       exit 1
     | Ok scenario ->
-      let cfg = Config.default ~mode ~seed in
+      let cfg = { (Config.default ~mode ~seed) with Config.engine } in
       let on_op r =
         if verbose then
           Printf.printf "  op %3d %-12s %-12s evals=%3d new-violations=%d%s\n"
@@ -163,8 +183,8 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ scenario_arg $ mode_arg $ seed_arg $ verbose_arg $ csv_arg
-      $ json_arg $ trace_arg)
+      const action $ scenario_arg $ mode_arg $ engine_arg $ seed_arg
+      $ verbose_arg $ csv_arg $ json_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
 

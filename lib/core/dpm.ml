@@ -11,6 +11,15 @@ let mode_of_string = function
   | "ADPM" | "adpm" -> Some Adpm
   | _ -> None
 
+type engine = Full | Incremental
+
+let engine_to_string = function Full -> "full" | Incremental -> "incremental"
+
+let engine_of_string = function
+  | "full" -> Some Full
+  | "incremental" -> Some Incremental
+  | _ -> None
+
 type history_entry = {
   h_index : int;
   h_op : Operator.t;
@@ -32,6 +41,7 @@ type result = {
 
 type t = {
   d_mode : mode;
+  mutable d_engine : engine;
   d_max_revisions : int;
   net : Network.t;
   probs : (int, Problem.t) Hashtbl.t;
@@ -47,6 +57,11 @@ type t = {
   modified_at : (string, int) Hashtbl.t; (* prop -> op index of last assignment *)
   mutable hist : history_entry list; (* reversed *)
   mutable d_tracer : Tracer.t;
+  mutable d_revision_work : int; (* HC4 revisions done by DPM propagations *)
+  d_heur_cache : Heuristic_data.Cache.t;
+  (* relaxed-feasibility memo, valid for one network revision *)
+  mutable d_relaxed_rev : int;
+  d_relaxed : (string, Domain.t) Hashtbl.t;
 }
 
 let register_problem_internal t parent_id p =
@@ -62,10 +77,12 @@ let register_problem_internal t parent_id p =
     let parent = Hashtbl.find t.probs pid in
     Problem.link_child ~parent ~child:p
 
-let create ~mode ?(max_revisions = 10_000) net ~objects ~top =
+let create ~mode ?(engine = Incremental) ?(max_revisions = 10_000) net ~objects
+    ~top =
   let t =
     {
       d_mode = mode;
+      d_engine = engine;
       d_max_revisions = max_revisions;
       net;
       probs = Hashtbl.create 16;
@@ -81,6 +98,10 @@ let create ~mode ?(max_revisions = 10_000) net ~objects ~top =
       modified_at = Hashtbl.create 64;
       hist = [];
       d_tracer = Tracer.null;
+      d_revision_work = 0;
+      d_heur_cache = Heuristic_data.Cache.create ();
+      d_relaxed_rev = -1;
+      d_relaxed = Hashtbl.create 32;
     }
   in
   List.iter
@@ -106,16 +127,44 @@ let problems_owned_by t designer =
 let objects t = List.rev_map (fun n -> Hashtbl.find t.objs n) t.obj_order
 let find_object t name = Hashtbl.find_opt t.objs name
 
+(* First-seen order; called once per operation via [subscriptions], so a
+   seen-table beats the quadratic [List.mem]/append-at-end construction. *)
 let designers t =
-  List.fold_left
-    (fun acc p ->
-      let o = p.Problem.pr_owner in
-      if List.mem o acc then acc else acc @ [ o ])
-    [] (problems t)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rev =
+    List.fold_left
+      (fun acc p ->
+        let o = p.Problem.pr_owner in
+        if Hashtbl.mem seen o then acc
+        else begin
+          Hashtbl.replace seen o ();
+          o :: acc
+        end)
+      [] (problems t)
+  in
+  List.rev rev
 
 let op_count t = t.ops
 let eval_count t = t.evals
 let spin_count t = t.spins
+let revision_work t = t.d_revision_work
+
+let engine t = t.d_engine
+let set_engine t engine = t.d_engine <- engine
+
+let run_propagation ?max_revisions t =
+  let max_revisions =
+    match max_revisions with Some n -> n | None -> t.d_max_revisions
+  in
+  let outcome =
+    match t.d_engine with
+    | Full -> Propagate.run_and_apply ~max_revisions ~tracer:t.d_tracer t.net
+    | Incremental ->
+      Propagate.run_incremental_and_apply ~max_revisions ~tracer:t.d_tracer
+        t.net
+  in
+  t.d_revision_work <- t.d_revision_work + outcome.Propagate.revisions;
+  outcome
 
 let set_tracer t tracer = t.d_tracer <- tracer
 let tracer t = t.d_tracer
@@ -155,20 +204,35 @@ let heuristic_info t prop =
   match t.d_mode with
   | Conventional -> None
   | Adpm ->
-    if Network.mem_prop t.net prop then Some (Heuristic_data.mine_prop t.net prop)
+    if Network.mem_prop t.net prop then
+      Some (Heuristic_data.Cache.mine_prop t.d_heur_cache t.net prop)
     else None
 
 let relaxed_feasible_group t ~target ~unpin =
   match t.d_mode with
   | Conventional ->
     invalid_arg "Dpm.relaxed_feasible: unavailable in conventional mode"
-  | Adpm ->
-    let d, evals =
-      Propagate.relaxed_feasible_group ~max_revisions:t.d_max_revisions t.net
-        ~target ~unpin
-    in
-    t.evals <- t.evals + evals;
-    d
+  | Adpm -> (
+    (* memoised per network revision: designer decision loops re-query the
+       same relaxations while weighing candidates, and nothing mutates the
+       network between those queries. A cache hit repeats no propagation,
+       so it charges no evaluations. *)
+    let rev = Network.revision t.net in
+    if rev <> t.d_relaxed_rev then begin
+      Hashtbl.reset t.d_relaxed;
+      t.d_relaxed_rev <- rev
+    end;
+    let key = String.concat "\x00" (target :: unpin) in
+    match Hashtbl.find_opt t.d_relaxed key with
+    | Some d -> d
+    | None ->
+      let d, evals =
+        Propagate.relaxed_feasible_group ~max_revisions:t.d_max_revisions t.net
+          ~target ~unpin
+      in
+      t.evals <- t.evals + evals;
+      Hashtbl.replace t.d_relaxed key d;
+      d)
 
 let relaxed_feasible t prop = relaxed_feasible_group t ~target:prop ~unpin:[]
 
@@ -344,25 +408,24 @@ let apply_synthesis t idx op assignments =
   match t.d_mode with
   | Conventional -> (0, [])
   | Adpm ->
-    let outcome =
-      Propagate.run_and_apply ~max_revisions:t.d_max_revisions
-        ~tracer:t.d_tracer t.net
-    in
+    let outcome = run_propagation t in
     (outcome.Propagate.evaluations, [])
 
 let apply_verification t idx op cids =
+  (* Eligibility is mode-specific, and [skipped] must be its exact
+     complement: in ADPM mode propagation keeps everything fresh, so a
+     verification is an explicit point check of the requested, bound
+     constraints; in conventional mode the staleness/cross-subsystem rules
+     apply. Partitioning per mode keeps a constraint from being reported
+     skipped while it was actually checked. *)
   let eligible, skipped =
-    List.partition
-      (fun cid -> eligible_now t (Network.find_constraint t.net cid))
-      cids
-  in
-  let eligible =
     match t.d_mode with
-    | Conventional -> eligible
+    | Conventional ->
+      List.partition
+        (fun cid -> eligible_now t (Network.find_constraint t.net cid))
+        cids
     | Adpm ->
-      (* Propagation keeps everything fresh; a verification in ADPM mode is
-         an explicit point check of the requested, bound constraints. *)
-      List.filter
+      List.partition
         (fun cid -> args_bound t (Network.find_constraint t.net cid))
         cids
   in
@@ -416,10 +479,10 @@ let apply_decompose t op specs =
   match t.d_mode with
   | Conventional -> (0, [])
   | Adpm ->
-    let outcome =
-      Propagate.run_and_apply ~max_revisions:t.d_max_revisions
-        ~tracer:t.d_tracer t.net
-    in
+    (* decomposition may have registered new problems/constraints: the
+       network invalidates its persisted propagation state on structural
+       changes, so the incremental engine transparently restarts in full *)
+    let outcome = run_propagation t in
     (outcome.Propagate.evaluations, [])
 
 let apply t op =

@@ -33,6 +33,18 @@ val mode_of_string : string -> mode option
 (** Inverse of {!mode_to_string} (also accepts ["adpm"]); used when
     decoding recorded traces. *)
 
+type engine = Full | Incremental
+(** Propagation engine selection. [Full] reruns HC4 from the initial
+    ranges on every operation ({!Adpm_csp.Propagate.run_full}); the default
+    [Incremental] restarts from the box store persisted in the network,
+    seeding the worklist with the constraints of dirty properties only
+    ({!Adpm_csp.Propagate.run_incremental}). Both produce identical
+    feasible subspaces and statuses; they differ only in HC4 revision
+    work (see {!revision_work}) and therefore in the per-engine N_T. *)
+
+val engine_to_string : engine -> string
+val engine_of_string : string -> engine option
+
 type t
 
 type result = {
@@ -52,6 +64,7 @@ type result = {
 
 val create :
   mode:mode ->
+  ?engine:engine ->
   ?max_revisions:int ->
   Network.t ->
   objects:Design_object.t list ->
@@ -84,6 +97,23 @@ val designers : t -> string list
 val op_count : t -> int
 val eval_count : t -> int
 val spin_count : t -> int
+
+val revision_work : t -> int
+(** Total HC4 revisions performed by the propagations this DPM ran
+    (synthesis/decomposition updates and {!run_propagation}) — the
+    implementation-cost counter the incremental engine reduces, separate
+    from the paper's evaluation unit N_T. *)
+
+(** {1 Propagation engine} *)
+
+val engine : t -> engine
+val set_engine : t -> engine -> unit
+
+val run_propagation : ?max_revisions:int -> t -> Adpm_csp.Propagate.outcome
+(** Run the configured engine over the network and apply the results —
+    the entry point the simulation engine uses for the pre-turn setup
+    propagation. [max_revisions] defaults to the value given at
+    {!create}. *)
 
 (** {1 Tracing} *)
 

@@ -9,6 +9,11 @@ type prop = {
   p_meta : (string * string) list;
 }
 
+type pstate = {
+  ps_boxes : (string, Interval.t) Hashtbl.t;
+  ps_empties : (int, unit) Hashtbl.t;
+}
+
 type t = {
   props : (string, prop) Hashtbl.t;
   mutable prop_order : string list; (* reversed insertion order *)
@@ -19,6 +24,9 @@ type t = {
   declared_mono : (string, Monotone.direction) Hashtbl.t;
   (* key: "<cid>/<prop>" *)
   mutable next_cid : int;
+  mutable n_rev : int;
+  dirty : (string, unit) Hashtbl.t;
+  mutable n_pstate : pstate option;
 }
 
 let create () =
@@ -31,7 +39,26 @@ let create () =
     statuses = Hashtbl.create 64;
     declared_mono = Hashtbl.create 16;
     next_cid = 0;
+    n_rev = 0;
+    dirty = Hashtbl.create 16;
+    n_pstate = None;
   }
+
+let bump t = t.n_rev <- t.n_rev + 1
+let revision t = t.n_rev
+let mark_dirty t name = Hashtbl.replace t.dirty name ()
+let dirty_props t = Hashtbl.fold (fun name () acc -> name :: acc) t.dirty []
+let clear_dirty t = Hashtbl.reset t.dirty
+let prop_state t = t.n_pstate
+
+let store_prop_state t ps =
+  t.n_pstate <- Some ps;
+  bump t
+
+let invalidate_prop_state t = t.n_pstate <- None
+
+let copy_pstate ps =
+  { ps_boxes = Hashtbl.copy ps.ps_boxes; ps_empties = Hashtbl.copy ps.ps_empties }
 
 let copy t =
   let fresh = create () in
@@ -45,6 +72,9 @@ let copy t =
   Hashtbl.iter (fun id s -> Hashtbl.replace fresh.statuses id s) t.statuses;
   Hashtbl.iter (fun k d -> Hashtbl.replace fresh.declared_mono k d) t.declared_mono;
   fresh.next_cid <- t.next_cid;
+  fresh.n_rev <- t.n_rev;
+  Hashtbl.iter (fun name () -> Hashtbl.replace fresh.dirty name ()) t.dirty;
+  fresh.n_pstate <- Option.map copy_pstate t.n_pstate;
   fresh
 
 let add_prop t ?(meta = []) name domain =
@@ -55,17 +85,23 @@ let add_prop t ?(meta = []) name domain =
   Hashtbl.replace t.props name
     { p_name = name; p_initial = domain; p_assigned = None; p_feasible = domain;
       p_meta = meta };
-  t.prop_order <- name :: t.prop_order
+  t.prop_order <- name :: t.prop_order;
+  (* structural change: any persisted propagation state is stale *)
+  invalidate_prop_state t;
+  bump t
 
 let prop_names t = List.rev t.prop_order
 let find_prop t name = Hashtbl.find t.props name
 let mem_prop t name = Hashtbl.mem t.props name
 let initial_domain t name = (find_prop t name).p_initial
 let feasible t name = (find_prop t name).p_feasible
-let set_feasible t name d = (find_prop t name).p_feasible <- d
+let set_feasible t name d =
+  (find_prop t name).p_feasible <- d;
+  bump t
 
 let reset_feasible t =
-  Hashtbl.iter (fun _ p -> p.p_feasible <- p.p_initial) t.props
+  Hashtbl.iter (fun _ p -> p.p_feasible <- p.p_initial) t.props;
+  bump t
 
 let assign t name value =
   let p = find_prop t name in
@@ -83,9 +119,14 @@ let assign t name value =
   | Value.Num _, (Domain.Symbolic _ | Domain.Empty)
   | Value.Sym _, (Domain.Continuous _ | Domain.Finite _ | Domain.Empty) ->
     invalid_arg (Printf.sprintf "Network.assign: kind mismatch for %s" name));
-  p.p_assigned <- Some value
+  p.p_assigned <- Some value;
+  mark_dirty t name;
+  bump t
 
-let unassign t name = (find_prop t name).p_assigned <- None
+let unassign t name =
+  (find_prop t name).p_assigned <- None;
+  mark_dirty t name;
+  bump t
 let assigned t name = (find_prop t name).p_assigned
 
 let assigned_num t name =
@@ -134,6 +175,8 @@ let add_constraint t ~name lhs rel rhs =
   Hashtbl.replace t.constrs c.Constr.id c;
   t.constr_order <- c.Constr.id :: t.constr_order;
   t.next_cid <- t.next_cid + 1;
+  invalidate_prop_state t;
+  bump t;
   c
 
 let constraints t =
@@ -150,8 +193,13 @@ let constraints_of_prop t name =
 let status t id =
   try Hashtbl.find t.statuses id with Not_found -> Constr.Consistent
 
-let set_status t id s = Hashtbl.replace t.statuses id s
-let reset_statuses t = Hashtbl.reset t.statuses
+let set_status t id s =
+  Hashtbl.replace t.statuses id s;
+  bump t
+
+let reset_statuses t =
+  Hashtbl.reset t.statuses;
+  bump t
 
 let violated t =
   List.filter (fun c -> status t c.Constr.id = Constr.Violated) (constraints t)
@@ -167,7 +215,8 @@ let alpha t name =
 let mono_key cid prop = Printf.sprintf "%d/%s" cid prop
 
 let declare_monotone t cid prop dir =
-  Hashtbl.replace t.declared_mono (mono_key cid prop) dir
+  Hashtbl.replace t.declared_mono (mono_key cid prop) dir;
+  bump t
 
 let diff_direction t c prop =
   match Hashtbl.find_opt t.declared_mono (mono_key c.Constr.id prop) with
@@ -198,7 +247,10 @@ let solved t =
   && List.for_all (fun c -> check_constraint_point t c) (constraints t)
 
 let reset_assignments t =
-  Hashtbl.iter (fun _ p -> p.p_assigned <- None) t.props
+  Hashtbl.iter (fun _ p -> p.p_assigned <- None) t.props;
+  invalidate_prop_state t;
+  clear_dirty t;
+  bump t
 
 let pp_summary ppf t =
   Format.fprintf ppf "network: %d properties, %d constraints, %d violated"

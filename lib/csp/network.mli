@@ -20,10 +20,44 @@ type prop = private {
   p_meta : (string * string) list;
 }
 
+type pstate = {
+  ps_boxes : (string, Interval.t) Hashtbl.t;
+      (** contracted interval store of the last propagation fixpoint *)
+  ps_empties : (int, unit) Hashtbl.t;
+      (** constraints proven unsatisfiable during that fixpoint *)
+}
+(** Persistent propagation state: the contracted box store kept across
+    design operations so the incremental engine can restart from the
+    previous fixpoint instead of the initial ranges. *)
+
 type t
 
 val create : unit -> t
 val copy : t -> t
+
+(** {1 Revision tracking}
+
+    The revision counter increments on every mutation (assignments,
+    structural additions, status and feasible updates), so memoised
+    heuristic layers can key their caches on it. The dirty set records
+    which properties changed assignment since the last time a propagation
+    engine consumed it. *)
+
+val revision : t -> int
+
+val dirty_props : t -> string list
+(** Properties assigned or unassigned since the last {!clear_dirty}
+    (unspecified order). *)
+
+val clear_dirty : t -> unit
+
+val prop_state : t -> pstate option
+(** The box store persisted by the last propagation run, if still valid.
+    Structural changes ({!add_prop}, {!add_constraint},
+    {!reset_assignments}) invalidate it. *)
+
+val store_prop_state : t -> pstate -> unit
+val invalidate_prop_state : t -> unit
 
 (** {1 Properties} *)
 

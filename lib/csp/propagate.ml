@@ -6,18 +6,23 @@ type outcome = {
   feasible : (string * Domain.t) list;
   statuses : (int * Constr.status) list;
   evaluations : int;
+  revisions : int;
   fixpoint : bool;
 }
 
 (* [narrowed] is always a sub-interval of [old_iv] (HC4 intersects with the
-   input box); requeue only when the shrink is significant. *)
+   input box); requeue only when the shrink is significant. When both widths
+   are infinite their difference says nothing ([inf < inf] is false even
+   when a bound genuinely moved, e.g. [-inf,+inf] -> [0,+inf]), so compare
+   the bounds directly. *)
 let significantly_narrower ~eps old_iv narrowed =
   let old_w = Interval.width old_iv and new_w = Interval.width narrowed in
-  if new_w < old_w then begin
-    if Float.is_finite old_w then old_w -. new_w > eps *. Float.max 1. old_w
-    else true
-  end
-  else false
+  if Float.is_finite old_w then
+    new_w < old_w && old_w -. new_w > eps *. Float.max 1. old_w
+  else if Float.is_finite new_w then true
+  else
+    Interval.lo narrowed > Interval.lo old_iv
+    || Interval.hi narrowed < Interval.hi old_iv
 
 let numeric_props net =
   List.filter
@@ -40,9 +45,10 @@ let initial_boxes net =
    budget was exhausted. Constraints found Empty are recorded in
    [empty_marks] when provided. When [waves] is given, it receives the
    revision count of each propagation wave in order: wave 0 is the initial
-   queue of all constraints, wave n+1 the constraints requeued while
-   processing wave n. *)
-let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks ?waves net boxes =
+   queue — [seed] when given (the incremental engine's dirty-seeded
+   worklist), every constraint otherwise — and wave n+1 the constraints
+   requeued while processing wave n. *)
+let fixpoint ?(eps = 0.) ~max_revisions ?empty_marks ?waves ?seed net boxes =
   let env name = Hashtbl.find boxes name in
   let queue = Queue.create () in
   let queued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -52,7 +58,8 @@ let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks ?waves net boxes =
       Queue.add c queue
     end
   in
-  List.iter enqueue (Network.constraints net);
+  List.iter enqueue
+    (match seed with Some cs -> cs | None -> Network.constraints net);
   let evaluations = ref 0 in
   let budget_hit = ref false in
   let any_empty = ref false in
@@ -88,12 +95,25 @@ let fixpoint ?(eps = 1e-9) ~max_revisions ?empty_marks ?waves net boxes =
       List.iter
         (fun (x, iv) ->
           let old_iv = Hashtbl.find boxes x in
-          if not (Interval.equal old_iv iv) then begin
+          (* Sub-eps narrowings are discarded, not just left unqueued:
+             applying them would make the final box depend on the revision
+             trajectory, and the incremental engine restarts from the
+             stored fixpoint along a different trajectory than a
+             from-scratch run. Discarding keeps the stored boxes an exact
+             fixpoint of this gated contraction, so both engines converge
+             to bit-identical results. *)
+          if
+            (not (Interval.equal old_iv iv))
+            && significantly_narrower ~eps old_iv iv
+          then begin
             Hashtbl.replace boxes x iv;
-            if significantly_narrower ~eps old_iv iv then
-              List.iter
-                (fun c' -> if c'.Constr.id <> c.Constr.id then enqueue c')
-                (Network.constraints_of_prop net x)
+            (* The revised constraint requeues itself too: HC4-revise is
+               not idempotent, and fair scheduling (iterate until no
+               revise can change anything) is what makes the final boxes
+               a true fixpoint — and therefore independent of revision
+               order, which the incremental engine's bit-identical
+               equivalence with from-scratch runs rests on. *)
+            List.iter enqueue (Network.constraints_of_prop net x)
           end)
         bindings
   done;
@@ -165,24 +185,12 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
   in
   sweeps 3
 
-let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull)
-    ?(tracer = Tracer.null) net =
-  if Tracer.active tracer then
-    Tracer.emit tracer
-      (Event.Propagation_started { constraints = Network.constraint_count net });
-  let boxes = initial_boxes net in
-  let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let waves = ref [] in
-  let evals, _, budget_hit =
-    fixpoint ~eps ~max_revisions ~empty_marks ~waves net boxes
-  in
-  let evaluations = ref evals in
-  (match consistency with
-  | `Hull -> ()
-  | `Shave slices ->
-    if slices < 2 then invalid_arg "Propagate.run: shaving needs >= 2 slices";
-    shave_bounds ~eps ~max_revisions ~slices net boxes evaluations);
+(* The final classification sweep shared by both engines: status of every
+   constraint on the contracted box (one evaluation each) plus the feasible
+   subspace of every numeric property. *)
+let classify net boxes empty_marks revisions =
   let env name = Hashtbl.find boxes name in
+  let evaluations = ref revisions in
   let statuses =
     List.map
       (fun c ->
@@ -206,16 +214,149 @@ let run ?(eps = 1e-9) ?(max_revisions = 10_000) ?(consistency = `Hull)
         (name, d))
       (numeric_props net)
   in
+  (statuses, feasible, !evaluations)
+
+(* [base_revisions] charges work done before this run to its counters: a
+   full restart that replaces an aborted incremental attempt inherits the
+   attempt's revisions, so reported costs reflect all HC4 work performed. *)
+let run_core ~eps ~max_revisions ~consistency ~tracer ~engine ~boxes
+    ~empty_marks ~seed ?(base_revisions = 0) net =
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Propagation_started { constraints = Network.constraint_count net });
+  let seeded =
+    match seed with
+    | Some cs -> List.length cs
+    | None -> Network.constraint_count net
+  in
+  let waves = ref [] in
+  let evals, _, budget_hit =
+    fixpoint ~eps ~max_revisions ~empty_marks ~waves ?seed net boxes
+  in
+  let revisions = ref (base_revisions + evals) in
+  (match consistency with
+  | `Hull -> ()
+  | `Shave slices ->
+    if slices < 2 then invalid_arg "Propagate.run: shaving needs >= 2 slices";
+    shave_bounds ~eps ~max_revisions ~slices net boxes revisions);
+  let statuses, feasible, evaluations = classify net boxes empty_marks !revisions in
   if Tracer.active tracer then
     Tracer.emit tracer
       (Event.Propagation_finished
          {
-           evaluations = !evaluations;
+           engine;
+           seeded;
+           evaluations;
+           revisions = !revisions;
            waves = !waves;
            empties = Hashtbl.length empty_marks;
            fixpoint = not budget_hit;
          });
-  { feasible; statuses; evaluations = !evaluations; fixpoint = not budget_hit }
+  { feasible; statuses; evaluations; revisions = !revisions; fixpoint = not budget_hit }
+
+let run ?(eps = 0.) ?(max_revisions = 10_000) ?(consistency = `Hull)
+    ?(tracer = Tracer.null) net =
+  run_core ~eps ~max_revisions ~consistency ~tracer ~engine:"full"
+    ~boxes:(initial_boxes net)
+    ~empty_marks:(Hashtbl.create 8)
+    ~seed:None net
+
+let run_full = run
+
+(* Constraints touching any dirty property, first-seen order, deduplicated. *)
+let dirty_seed net dirty =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let acc =
+    List.fold_left
+      (fun acc name ->
+        List.fold_left
+          (fun acc c ->
+            if Hashtbl.mem seen c.Constr.id then acc
+            else begin
+              Hashtbl.replace seen c.Constr.id ();
+              c :: acc
+            end)
+          acc
+          (Network.constraints_of_prop net name))
+      [] dirty
+  in
+  List.rev acc
+
+let run_incremental ?(eps = 0.) ?(max_revisions = 10_000)
+    ?(tracer = Tracer.null) net =
+  let persist boxes empty_marks outcome =
+    Network.store_prop_state net
+      { Network.ps_boxes = boxes; ps_empties = empty_marks };
+    Network.clear_dirty net;
+    outcome
+  in
+  let full_restart ?(base_revisions = 0) () =
+    let boxes = initial_boxes net in
+    let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    persist boxes empty_marks
+      (run_core ~eps ~max_revisions ~consistency:`Hull ~tracer ~engine:"full"
+         ~boxes ~empty_marks ~seed:None ~base_revisions net)
+  in
+  match Network.prop_state net with
+  | None -> full_restart ()
+  | Some ps ->
+    let dirty = Network.dirty_props net in
+    (* Restarting from the previous fixpoint is sound only when every dirty
+       property's fresh box lies inside the stored contracted box:
+       propagation is a monotone contraction, so narrowing the start can
+       only reproduce the same greatest fixpoint. Unassignments and
+       assignments outside the stored box widen the start, in which case a
+       stale contraction could wrongly survive — fall back to a
+       from-scratch run. *)
+    let narrowing_only =
+      List.for_all
+        (fun name ->
+          match Network.box net name with
+          | None -> true (* symbolic: propagation never sees it *)
+          | Some fresh -> (
+            match Hashtbl.find_opt ps.Network.ps_boxes name with
+            | Some stored -> Interval.subset fresh stored
+            | None -> false))
+        dirty
+    in
+    (* Empty constraints break the order-independence argument: a revise
+       that returns Empty contributes no narrowings, so *when* a constraint
+       turns empty along a trajectory decides which of its earlier
+       narrowings survive in the final box. Emptiness is monotone downward
+       (both the backward projections and the box shrink as the box
+       shrinks, so a constraint empty on a box is empty on every sub-box),
+       which yields a sound discipline: only restart incrementally from an
+       empty-free stored state, and discard the attempt if it discovers
+       any empty. An empty-free attempt then certifies the from-scratch
+       run is empty-free too — a constraint empty anywhere along the full
+       trajectory would be empty on the attempt's (tighter) fixpoint, and
+       fair scheduling revises every constraint at its arguments' final
+       values, so the attempt (or, for untouched constraints, the previous
+       run) would have marked it. *)
+    if (not narrowing_only) || Hashtbl.length ps.Network.ps_empties > 0 then
+      full_restart ()
+    else begin
+      let boxes = Hashtbl.copy ps.Network.ps_boxes in
+      List.iter
+        (fun name ->
+          match Network.box net name with
+          | Some fresh -> Hashtbl.replace boxes name fresh
+          | None -> ())
+        dirty;
+      let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      let outcome =
+        run_core ~eps ~max_revisions ~consistency:`Hull ~tracer
+          ~engine:"incremental" ~boxes ~empty_marks
+          ~seed:(Some (dirty_seed net dirty))
+          net
+      in
+      if Hashtbl.length empty_marks > 0 then
+        (* A dirty assignment introduced a conflict: the attempt's result
+           is trajectory-dependent, so rerun from scratch, charging the
+           aborted attempt's work to the restart. *)
+        full_restart ~base_revisions:outcome.revisions ()
+      else persist boxes empty_marks outcome
+    end
 
 let apply net outcome =
   List.iter (fun (name, d) -> Network.set_feasible net name d) outcome.feasible;
@@ -223,6 +364,11 @@ let apply net outcome =
 
 let run_and_apply ?eps ?max_revisions ?consistency ?tracer net =
   let outcome = run ?eps ?max_revisions ?consistency ?tracer net in
+  apply net outcome;
+  outcome
+
+let run_incremental_and_apply ?eps ?max_revisions ?tracer net =
+  let outcome = run_incremental ?eps ?max_revisions ?tracer net in
   apply net outcome;
   outcome
 

@@ -27,6 +27,11 @@ type outcome = {
       (** Feasible subspace per numeric property. *)
   statuses : (int * Constr.status) list;  (** Per constraint id. *)
   evaluations : int;  (** Constraint evaluations performed. *)
+  revisions : int;
+      (** HC4 revisions performed (the evaluation total minus the final
+          status sweep) — the implementation work the incremental engine
+          reduces, reported separately from the paper's evaluation cost
+          unit. *)
   fixpoint : bool;  (** False when stopped by the revision budget. *)
 }
 
@@ -40,7 +45,12 @@ val run :
 (** Pure with respect to the network: reads assignments and initial domains,
     writes nothing. [max_revisions] (default 10_000) bounds non-terminating
     slow convergence; [eps] is the relative narrowing threshold below which
-    a domain change does not requeue neighbours (default 1e-9).
+    a projection is discarded — neither applied nor requeued (default 0:
+    HC4's built-in magnitude-relative projection slack already quantises
+    narrowings and guarantees termination, and a zero threshold keeps the
+    gated revision operator monotone, which makes the fixpoint independent
+    of revision order — the property the incremental engine's bit-identical
+    equivalence with from-scratch runs rests on).
     [consistency] defaults to [`Hull]; [`Shave n] additionally shaves each
     unbound variable's bounds in [1/n]-width slices (n >= 2).
 
@@ -49,6 +59,49 @@ val run :
     carries per-wave revision counts of the primary HC4 fixpoint (shaving
     probes are charged to the evaluation total but not waved). *)
 
+val run_full :
+  ?eps:float ->
+  ?max_revisions:int ->
+  ?consistency:[ `Hull | `Shave of int ] ->
+  ?tracer:Adpm_trace.Tracer.t ->
+  Network.t ->
+  outcome
+(** Alias of {!run}: from-scratch propagation seeding the worklist with
+    every constraint. The reference point the incremental engine is checked
+    against. *)
+
+val run_incremental :
+  ?eps:float ->
+  ?max_revisions:int ->
+  ?tracer:Adpm_trace.Tracer.t ->
+  Network.t ->
+  outcome
+(** Incremental propagation (hull consistency only). Restarts from the box
+    store persisted in the network by the previous call
+    ({!Network.prop_state}), seeding the worklist with only the constraints
+    of properties whose assignment changed since then
+    ({!Network.dirty_props}).
+
+    Soundness: propagation is a fair chaotic iteration of monotone
+    contracting revision operators, so the restart converges to the same
+    (bit-identical) fixpoint as a from-scratch run — provided the restart
+    only {e narrows} the start and no constraint turns empty. Concretely,
+    the incremental path is used only when every dirty property's fresh
+    box lies inside its stored contracted box and the stored state carries
+    no empty marks; if the seeded run then discovers an empty constraint
+    (a conflicting assignment), the attempt is discarded and a full run
+    replaces it, inheriting the attempt's revision count. On any widening
+    (unassignment, assignment outside the stored box), on structural
+    changes (which invalidate the stored state), and on the first call, it
+    likewise falls back to a full from-scratch run. Either way the
+    contracted store is persisted back into the network and the dirty set
+    cleared; feasible subspaces and statuses are {e not} applied (see
+    {!apply}).
+
+    The [evaluations] total still charges one unit per HC4 revision plus
+    the full status sweep, so the paper's cost model is per-engine;
+    [revisions] is where the saving shows. *)
+
 val apply : Network.t -> outcome -> unit
 (** Store feasible subspaces and statuses into the network. *)
 
@@ -56,6 +109,13 @@ val run_and_apply :
   ?eps:float ->
   ?max_revisions:int ->
   ?consistency:[ `Hull | `Shave of int ] ->
+  ?tracer:Adpm_trace.Tracer.t ->
+  Network.t ->
+  outcome
+
+val run_incremental_and_apply :
+  ?eps:float ->
+  ?max_revisions:int ->
   ?tracer:Adpm_trace.Tracer.t ->
   Network.t ->
   outcome

@@ -65,25 +65,35 @@ let annotate env e =
 (* Plain floating-point arithmetic is used instead of outward rounding, so a
    backward projection can land one ulp away from a degenerate input box
    (e.g. [(a - b) + b <> a]); widen projections by a magnitude-relative
-   epsilon before intersecting so that only real gaps produce Empty. *)
-let projection_slack iv =
-  let finite_mag x = if Float.is_finite x then Float.abs x else 0. in
-  let m =
-    Float.max 1.0 (Float.max (finite_mag (Interval.lo iv)) (finite_mag (Interval.hi iv)))
-  in
-  1e-11 *. m
+   epsilon before intersecting so that only real gaps produce Empty.
+
+   The slack is per-bound, not per-interval: [t -> t -. slack t] and
+   [t -> t +. slack t] are monotone in [t], so widening is isotone in the
+   interval-inclusion order ([X subset Y] implies [widen X subset widen Y]).
+   A per-interval slack taken from the largest finite magnitude is *not*
+   isotone — a projection with one infinite bound gets a smaller slack than
+   a tighter all-finite one — and propagation relies on isotonicity for its
+   fixpoint to be independent of revision order (the incremental engine's
+   restarts must converge to bit-identical boxes). *)
+let bound_slack t = 1e-11 *. Float.max 1.0 (Float.abs t)
+
+let widen iv =
+  let lo = Interval.lo iv and hi = Interval.hi iv in
+  let lo = if Float.is_finite lo then lo -. bound_slack lo else lo in
+  let hi = if Float.is_finite hi then hi +. bound_slack hi else hi in
+  Interval.make lo hi
 
 let revise ~env e target =
   let narrowings : (string, Interval.t) Hashtbl.t = Hashtbl.create 8 in
   let record x iv =
-    let iv = Interval.inflate (projection_slack iv) iv in
+    let iv = widen iv in
     let cur = try Hashtbl.find narrowings x with Not_found -> env x in
     match Interval.intersect cur iv with
     | None -> raise Empty_projection
     | Some res -> Hashtbl.replace narrowings x res
   in
   let meet node tgt =
-    let tgt = Interval.inflate (projection_slack tgt) tgt in
+    let tgt = widen tgt in
     match Interval.intersect node.fwd tgt with
     | None -> raise Empty_projection
     | Some iv -> iv

@@ -4,6 +4,7 @@ type forward_ordering = Smallest_subspace | Most_constrained | Random_target
 
 type t = {
   mode : Dpm.mode;
+  engine : Dpm.engine;
   seed : int;
   max_ops : int;
   max_revisions : int;
@@ -19,6 +20,7 @@ type t = {
 let default ~mode ~seed =
   {
     mode;
+    engine = Dpm.Incremental;
     seed;
     max_ops = 2000;
     max_revisions = 10_000;

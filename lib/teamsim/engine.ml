@@ -7,6 +7,7 @@ type outcome = { o_summary : Metrics.run_summary; o_dpm : Dpm.t }
 
 let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   let dpm = scenario.Scenario.sc_build ~mode:cfg.Config.mode in
+  Dpm.set_engine dpm cfg.Config.engine;
   Dpm.set_tracer dpm tracer;
   if Tracer.active tracer then
     Tracer.emit tracer
@@ -15,6 +16,7 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
            scenario = scenario.Scenario.sc_name;
            mode = Dpm.mode_to_string cfg.Config.mode;
            seed = cfg.Config.seed;
+           engine = Dpm.engine_to_string cfg.Config.engine;
          });
   let rng = Rng.create cfg.Config.seed in
   let designers =
@@ -34,8 +36,7 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
     | Dpm.Conventional -> 0
     | Dpm.Adpm ->
       let outcome =
-        Propagate.run_and_apply ~tracer ~max_revisions:cfg.Config.max_revisions
-          (Dpm.network dpm)
+        Dpm.run_propagation ~max_revisions:cfg.Config.max_revisions dpm
       in
       record
         {

@@ -27,7 +27,7 @@ let create ~mode ~seed scenario ~designer =
   in
   (match mode with
   | Dpm.Conventional -> ()
-  | Dpm.Adpm -> ignore (Propagate.run_and_apply (Dpm.network dpm)));
+  | Dpm.Adpm -> ignore (Dpm.run_propagation dpm));
   { dpm; player = designer; player_model; teammates;
     models = scenario.Scenario.sc_models }
 

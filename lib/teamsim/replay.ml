@@ -29,13 +29,13 @@ let status_of_constr = function
   | Constr.Consistent -> Event.Consistent
 
 let run ~scenarios events =
-  let scenario_name, mode_name, seed =
+  let scenario_name, mode_name, seed, engine_name =
     match
       List.find_map
         (fun s ->
           match s.Event.event with
-          | Event.Run_started { scenario; mode; seed } ->
-            Some (scenario, mode, seed)
+          | Event.Run_started { scenario; mode; seed; engine } ->
+            Some (scenario, mode, seed, engine)
           | _ -> None)
         events
     with
@@ -56,14 +56,22 @@ let run ~scenarios events =
     | Some m -> m
     | None -> fail "trace references unknown mode %S" mode_name
   in
+  let engine =
+    match Dpm.engine_of_string engine_name with
+    | Some e -> e
+    | None -> fail "trace references unknown engine %S" engine_name
+  in
   let dpm = scenario.Scenario.sc_build ~mode in
+  (* per-engine evaluation totals differ (the incremental engine performs
+     fewer HC4 revisions), so replay must run the same engine the trace was
+     recorded with to reproduce N_T *)
+  Dpm.set_engine dpm engine;
   (* the engine's pre-turn propagation (its cost is recorded separately in
      the run_finished event, so it is checked, not merged into N_T) *)
   let setup_evals =
     match mode with
     | Dpm.Conventional -> 0
-    | Dpm.Adpm ->
-      (Propagate.run_and_apply (Dpm.network dpm)).Propagate.evaluations
+    | Dpm.Adpm -> (Dpm.run_propagation dpm).Propagate.evaluations
   in
   let mismatches = ref [] in
   let add label expected actual =

@@ -13,9 +13,14 @@ type span = {
 type report = {
   r_scenario : string option;
   r_mode : string option;
+  r_engine : string option;  (** engine the run was configured with *)
   r_operations : int;
   r_evaluations : int;
   r_propagations : int;
+  r_propagations_incremental : int;
+      (** propagations whose worklist was dirty-seeded *)
+  r_revisions_full : int;  (** HC4 revisions done by full-seeded runs *)
+  r_revisions_incremental : int;  (** HC4 revisions done by dirty-seeded runs *)
   r_wave_sizes : int list;  (** revisions per wave, all propagations *)
   r_latencies : latency list;  (** per designer, name order *)
   r_spans : span list;  (** per constraint, id order *)
@@ -23,9 +28,10 @@ type report = {
 }
 
 let analyze events =
-  let scenario = ref None and mode = ref None in
+  let scenario = ref None and mode = ref None and engine = ref None in
   let operations = ref 0 and evaluations = ref 0 in
-  let propagations = ref 0 in
+  let propagations = ref 0 and propagations_incremental = ref 0 in
+  let revisions_full = ref 0 and revisions_incremental = ref 0 in
   let wave_sizes = ref [] in
   let notifications = ref 0 in
   (* pending notification clocks per designer, oldest first *)
@@ -43,9 +49,10 @@ let analyze events =
     (fun { clock; event; _ } ->
       last_clock := max !last_clock clock;
       match event with
-      | Run_started { scenario = s; mode = m; _ } ->
+      | Run_started { scenario = s; mode = m; engine = e; _ } ->
         scenario := Some s;
-        mode := Some m
+        mode := Some m;
+        engine := Some e
       | Run_finished { operations = n_o; evaluations = n_t; _ } ->
         operations := n_o;
         evaluations := n_t
@@ -61,8 +68,13 @@ let analyze events =
         incr notifications;
         let waiting = try Hashtbl.find pending recipient with Not_found -> [] in
         Hashtbl.replace pending recipient (waiting @ [ clock ])
-      | Propagation_finished { waves; _ } ->
+      | Propagation_finished { engine = e; revisions; waves; _ } ->
         incr propagations;
+        if String.equal e "incremental" then begin
+          incr propagations_incremental;
+          revisions_incremental := !revisions_incremental + revisions
+        end
+        else revisions_full := !revisions_full + revisions;
         wave_sizes := List.rev_append waves !wave_sizes
       | Constraint_status_changed { cid; new_status; _ } -> (
         match (Hashtbl.find_opt open_since cid, new_status) with
@@ -107,9 +119,13 @@ let analyze events =
   {
     r_scenario = !scenario;
     r_mode = !mode;
+    r_engine = !engine;
     r_operations = !operations;
     r_evaluations = !evaluations;
     r_propagations = !propagations;
+    r_propagations_incremental = !propagations_incremental;
+    r_revisions_full = !revisions_full;
+    r_revisions_incremental = !revisions_incremental;
     r_wave_sizes = List.rev !wave_sizes;
     r_latencies = latency_list;
     r_spans = span_list;
@@ -119,11 +135,14 @@ let analyze events =
 let render r =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "=== Trace analysis: %s / %s ===\n"
+  add "=== Trace analysis: %s / %s (engine %s) ===\n"
     (Option.value ~default:"?" r.r_scenario)
-    (Option.value ~default:"?" r.r_mode);
-  add "operations %d, evaluations %d, propagations %d, notifications %d\n\n"
+    (Option.value ~default:"?" r.r_mode)
+    (Option.value ~default:"?" r.r_engine);
+  add "operations %d, evaluations %d, propagations %d, notifications %d\n"
     r.r_operations r.r_evaluations r.r_propagations r.r_notifications;
+  add "HC4 revisions: %d incremental (over %d dirty-seeded runs), %d full\n\n"
+    r.r_revisions_incremental r.r_propagations_incremental r.r_revisions_full;
   (if r.r_latencies <> [] then begin
      let table =
        Table.create ~title:"Notification latency (clock ticks to next own op)"
@@ -175,9 +194,14 @@ let to_json r =
       ( "scenario",
         match r.r_scenario with Some s -> Json.Str s | None -> Json.Null );
       ("mode", match r.r_mode with Some m -> Json.Str m | None -> Json.Null);
+      ( "engine",
+        match r.r_engine with Some e -> Json.Str e | None -> Json.Null );
       ("operations", jint r.r_operations);
       ("evaluations", jint r.r_evaluations);
       ("propagations", jint r.r_propagations);
+      ("propagations_incremental", jint r.r_propagations_incremental);
+      ("revisions_full", jint r.r_revisions_full);
+      ("revisions_incremental", jint r.r_revisions_incremental);
       ("notifications", jint r.r_notifications);
       ("wave_sizes", Json.Arr (List.map jint r.r_wave_sizes));
       ( "notification_latency",

@@ -21,9 +21,17 @@ type span = {
 type report = {
   r_scenario : string option;
   r_mode : string option;
+  r_engine : string option;
+      (** engine the run was configured with, from [Run_started] *)
   r_operations : int;
   r_evaluations : int;
   r_propagations : int;
+  r_propagations_incremental : int;
+      (** propagations whose worklist was dirty-seeded *)
+  r_revisions_full : int;
+      (** HC4 revisions performed by full-seeded propagations *)
+  r_revisions_incremental : int;
+      (** HC4 revisions performed by dirty-seeded propagations *)
   r_wave_sizes : int list;
   r_latencies : latency list;
   r_spans : span list;

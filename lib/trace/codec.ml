@@ -49,8 +49,13 @@ let json_of_op op =
     @ [ ("motivated_by", json_of_ints op.op_motivated_by) ])
 
 let fields_of_event = function
-  | Run_started { scenario; mode; seed } ->
-    [ ("scenario", Json.Str scenario); ("mode", Json.Str mode); ("seed", jint seed) ]
+  | Run_started { scenario; mode; seed; engine } ->
+    [
+      ("scenario", Json.Str scenario);
+      ("mode", Json.Str mode);
+      ("seed", jint seed);
+      ("engine", Json.Str engine);
+    ]
   | Op_submitted { op; choose_evaluations } ->
     [ ("op", json_of_op op); ("choose_evaluations", jint choose_evaluations) ]
   | Op_executed
@@ -67,9 +72,13 @@ let fields_of_event = function
       ("spin", Json.Bool spin);
     ]
   | Propagation_started { constraints } -> [ ("constraints", jint constraints) ]
-  | Propagation_finished { evaluations; waves; empties; fixpoint } ->
+  | Propagation_finished { engine; seeded; evaluations; revisions; waves; empties; fixpoint }
+    ->
     [
+      ("engine", Json.Str engine);
+      ("seeded", jint seeded);
       ("evaluations", jint evaluations);
+      ("revisions", jint revisions);
       ("waves", json_of_ints waves);
       ("empties", jint empties);
       ("fixpoint", Json.Bool fixpoint);
@@ -156,6 +165,21 @@ let get_strings j key =
         | None -> fail "field %s: expected string element" key)
       items
 
+(* Backward-compatible readers: traces recorded before the incremental
+   engine lack the per-engine fields, so decoding falls back to defaults
+   instead of failing. *)
+let get_str_default j key default =
+  match Json.member key j with
+  | None -> default
+  | Some v -> (
+    match Json.to_str v with Some s -> s | None -> fail "field %s: expected string" key)
+
+let get_int_default j key default =
+  match Json.member key j with
+  | None -> default
+  | Some v -> (
+    match Json.to_int v with Some i -> i | None -> fail "field %s: expected int" key)
+
 let get_str_opt j key =
   match Json.member key j with
   | Some Json.Null | None -> None
@@ -219,7 +243,12 @@ let event_of_json j =
   match get_str j "type" with
   | "run_started" ->
     Run_started
-      { scenario = get_str j "scenario"; mode = get_str j "mode"; seed = get_int j "seed" }
+      {
+        scenario = get_str j "scenario";
+        mode = get_str j "mode";
+        seed = get_int j "seed";
+        engine = get_str_default j "engine" "full";
+      }
   | "op_submitted" ->
     Op_submitted
       { op = op_of_json (get j "op"); choose_evaluations = get_int j "choose_evaluations" }
@@ -238,10 +267,14 @@ let event_of_json j =
   | "propagation_started" ->
     Propagation_started { constraints = get_int j "constraints" }
   | "propagation_finished" ->
+    let waves = get_ints j "waves" in
     Propagation_finished
       {
+        engine = get_str_default j "engine" "full";
+        seeded = get_int_default j "seeded" (match waves with w :: _ -> w | [] -> 0);
         evaluations = get_int j "evaluations";
-        waves = get_ints j "waves";
+        revisions = get_int_default j "revisions" (List.fold_left ( + ) 0 waves);
+        waves;
         empties = get_int j "empties";
         fixpoint = get_bool j "fixpoint";
       }

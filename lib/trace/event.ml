@@ -58,7 +58,12 @@ let heuristic_of_string = function
   | _ -> None
 
 type t =
-  | Run_started of { scenario : string; mode : string; seed : int }
+  | Run_started of {
+      scenario : string;
+      mode : string;
+      seed : int;
+      engine : string;  (** propagation engine: "full" or "incremental" *)
+    }
   | Op_submitted of { op : op_spec; choose_evaluations : int }
   | Op_executed of {
       index : int;
@@ -72,7 +77,10 @@ type t =
     }
   | Propagation_started of { constraints : int }
   | Propagation_finished of {
+      engine : string;  (** how the worklist was seeded: "full"/"incremental" *)
+      seeded : int;  (** constraints in the initial worklist *)
       evaluations : int;
+      revisions : int;  (** HC4 revisions (evaluations minus status sweep) *)
       waves : int list;  (** revisions per propagation wave, in order *)
       empties : int;  (** constraints proven unsatisfiable on the box *)
       fixpoint : bool;  (** false when the revision budget stopped it *)

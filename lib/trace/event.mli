@@ -54,7 +54,15 @@ val heuristic_to_string : heuristic -> string
 val heuristic_of_string : string -> heuristic option
 
 type t =
-  | Run_started of { scenario : string; mode : string; seed : int }
+  | Run_started of {
+      scenario : string;
+      mode : string;
+      seed : int;
+      engine : string;
+          (** propagation engine the run was configured with ("full" or
+              "incremental"); replay re-selects the same engine so N_T
+              totals match *)
+    }
   | Op_submitted of { op : op_spec; choose_evaluations : int }
       (** Emitted by the engine just before the DPM executes the operation.
           [choose_evaluations] is the constraint-evaluation cost the
@@ -72,7 +80,16 @@ type t =
     }  (** Emitted by the DPM after the transition completes. *)
   | Propagation_started of { constraints : int }
   | Propagation_finished of {
+      engine : string;
+          (** how this propagation's worklist was seeded: ["full"] (every
+              constraint) or ["incremental"] (constraints of dirty
+              properties only); an incremental engine falling back to a
+              from-scratch run reports ["full"] *)
+      seeded : int;  (** constraints in the initial worklist *)
       evaluations : int;
+      revisions : int;
+          (** HC4 revisions performed (the evaluation total minus the final
+              status sweep) — the work the incremental engine saves *)
       waves : int list;
       empties : int;
       fixpoint : bool;

@@ -186,6 +186,44 @@ let test_relaxed_feasible_mode_gate () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: ADPM verifications used the conventional eligibility rules
+   to compute [r_skipped], so a constraint that propagation had just kept
+   fresh could be reported skipped *and* point-checked in the same
+   operation. Skipped must be the exact complement of the checked set. *)
+let test_adpm_skipped_disjoint_from_checked () =
+  let dpm, c_cross, c_a, _ = fixture Dpm.Adpm in
+  ignore (Dpm.apply dpm (synth "alice" 1 [ ("xa", 4.) ]));
+  (* xb unbound: cross cannot be point-checked; amin can *)
+  let r =
+    Dpm.apply dpm
+      (Operator.verification ~designer:"leader" ~problem:0
+         [ c_a.Constr.id; c_cross.Constr.id ])
+  in
+  Alcotest.(check (list int)) "only cross skipped" [ c_cross.Constr.id ]
+    r.Dpm.r_skipped;
+  Alcotest.(check bool) "checked constraint not reported skipped" true
+    (not (List.mem c_a.Constr.id r.Dpm.r_skipped));
+  Alcotest.(check int) "exactly the bound constraint evaluated" 1
+    r.Dpm.r_evaluations;
+  Alcotest.(check status) "amin point-checked satisfied" Constr.Satisfied
+    (Dpm.known_status dpm c_a.Constr.id)
+
+(* Regression: [Dpm.designers] accumulated with [acc @ [o]] (quadratic) —
+   the rewrite must still return owners in first-seen problem order,
+   without duplicates. *)
+let test_designers_first_seen_order () =
+  let dpm, _, _, _ = fixture Dpm.Adpm in
+  let extra id name owner =
+    Dpm.register_problem dpm ~parent:(Some 0)
+      (Problem.make ~id ~name ~owner ())
+  in
+  extra 3 "A2" "alice";
+  extra 4 "C" "carol";
+  extra 5 "B2" "bob";
+  Alcotest.(check (list string)) "first-seen order, deduplicated"
+    [ "leader"; "alice"; "bob"; "carol" ]
+    (Dpm.designers dpm)
+
 (* {2 Conventional mode semantics} *)
 
 let test_conventional_no_propagation () =
@@ -425,6 +463,9 @@ let suite =
     ("ADPM solved detection", `Quick, test_adpm_solved);
     ("ADPM notifications routed", `Quick, test_adpm_notifications_routed);
     ("relaxed feasible mode gate", `Quick, test_relaxed_feasible_mode_gate);
+    ("ADPM skipped disjoint from checked", `Quick,
+     test_adpm_skipped_disjoint_from_checked);
+    ("designers first-seen order", `Quick, test_designers_first_seen_order);
     ("conventional: no propagation", `Quick, test_conventional_no_propagation);
     ("conventional: verification & staleness", `Quick,
      test_conventional_verification_and_staleness);

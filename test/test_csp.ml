@@ -233,6 +233,111 @@ let test_relaxed_feasible () =
   Alcotest.(check (option (float 0.))) "x still 3" (Some 3.)
     (Network.assigned_num net "x")
 
+(* Regression: [significantly_narrower] used to compare only interval
+   widths, so a bound move between two infinite-width boxes
+   ([-inf,+inf] -> [0,+inf]) never requeued neighbours and half-infinite
+   chains stopped propagating. Constraint order matters: the chain links
+   are revised (uselessly) before the anchor that feeds them, so reaching
+   the fixpoint depends on the requeue. *)
+let test_half_infinite_chain () =
+  let net = Network.create () in
+  Network.add_prop net "x0" (Domain.continuous neg_infinity infinity);
+  Network.add_prop net "x1" (Domain.continuous neg_infinity infinity);
+  Network.add_prop net "x2" (Domain.continuous neg_infinity infinity);
+  ignore (Network.add_constraint net ~name:"c01" (v "x1") Constr.Ge (v "x0"));
+  ignore (Network.add_constraint net ~name:"c12" (v "x2") Constr.Ge (v "x1"));
+  ignore (Network.add_constraint net ~name:"anchor" (v "x0") Constr.Ge (c 0.));
+  let outcome = Propagate.run net in
+  let lo name =
+    match Domain.hull (List.assoc name outcome.Propagate.feasible) with
+    | Some iv -> Interval.lo iv
+    | None -> Alcotest.fail (name ^ " wiped out")
+  in
+  let near_zero label x =
+    Alcotest.(check bool) label true (Float.abs x <= 1e-6)
+  in
+  near_zero "anchor narrows x0" (lo "x0");
+  near_zero "x1 >= 0 via requeue" (lo "x1");
+  near_zero "x2 >= 0 via requeue" (lo "x2");
+  Alcotest.(check bool) "fixpoint reached" true outcome.Propagate.fixpoint
+
+(* {2 Incremental propagation} *)
+
+let check_outcomes_equal label (full : Propagate.outcome)
+    (incr : Propagate.outcome) =
+  List.iter
+    (fun (name, d) ->
+      Alcotest.(check dom)
+        (label ^ ": feasible " ^ name)
+        d
+        (List.assoc name incr.Propagate.feasible))
+    full.Propagate.feasible;
+  List.iter
+    (fun (cid, s) ->
+      Alcotest.(check status)
+        (Printf.sprintf "%s: status of constraint %d" label cid)
+        s
+        (List.assoc cid incr.Propagate.statuses))
+    full.Propagate.statuses
+
+(* Run an incremental propagation under a memory tracer and return the
+   outcome plus the engine label the Propagation_finished event reported
+   ("incremental" for a dirty-seeded restart, "full" for a fallback). *)
+let traced_incremental net =
+  let open Adpm_trace in
+  let buffer, sink = Sink.memory ~capacity:100 in
+  let tracer = Tracer.create sink in
+  let outcome = Propagate.run_incremental_and_apply ~tracer net in
+  let engine =
+    List.fold_left
+      (fun acc stamped ->
+        match stamped.Event.event with
+        | Event.Propagation_finished { engine; _ } -> Some engine
+        | _ -> acc)
+      None (Sink.Ring.contents buffer)
+  in
+  (outcome, engine)
+
+let test_incremental_matches_full_after_assign () =
+  let net, _, _ = small_net () in
+  ignore (Propagate.run_incremental_and_apply net);
+  Network.assign net "y" (Value.Num 8.);
+  let incr, engine = traced_incremental net in
+  Alcotest.(check (option string)) "dirty-seeded restart used"
+    (Some "incremental") engine;
+  let net2, _, _ = small_net () in
+  Network.assign net2 "y" (Value.Num 8.);
+  let full = Propagate.run_full net2 in
+  check_outcomes_equal "after assign" full incr
+
+let test_incremental_fallback_on_unassign () =
+  let net, _, _ = small_net () in
+  Network.assign net "x" (Value.Num 9.);
+  ignore (Propagate.run_incremental_and_apply net);
+  Network.unassign net "x";
+  let incr, engine = traced_incremental net in
+  Alcotest.(check (option string)) "widening falls back to full"
+    (Some "full") engine;
+  let net2, _, _ = small_net () in
+  let full = Propagate.run_full net2 in
+  check_outcomes_equal "after unassign" full incr
+
+let test_incremental_invalidated_by_add_constraint () =
+  let net, _, _ = small_net () in
+  ignore (Propagate.run_incremental_and_apply net);
+  Alcotest.(check bool) "store persisted" true
+    (Network.prop_state net <> None);
+  let _c3 = Network.add_constraint net ~name:"ymax" (v "y") Constr.Le (c 5.) in
+  Alcotest.(check bool) "structural change invalidates the store" true
+    (Network.prop_state net = None);
+  let incr, engine = traced_incremental net in
+  Alcotest.(check (option string)) "restart is from scratch" (Some "full")
+    engine;
+  let net2, _, _ = small_net () in
+  ignore (Network.add_constraint net2 ~name:"ymax" (v "y") Constr.Le (c 5.));
+  let full = Propagate.run_full net2 in
+  check_outcomes_equal "after add_constraint" full incr
+
 (* Propagation soundness: every ground solution survives propagation. *)
 let propagate_preserves_solutions =
   QCheck.Test.make ~name:"propagation preserves ground solutions" ~count:200
@@ -378,6 +483,13 @@ let suite =
     ("propagation idempotent at fixpoint", `Quick, test_propagate_idempotent);
     ("propagation revision budget", `Quick, test_propagate_budget);
     ("relaxed feasibility", `Quick, test_relaxed_feasible);
+    ("half-infinite chain propagates", `Quick, test_half_infinite_chain);
+    ("incremental = full after assign", `Quick,
+     test_incremental_matches_full_after_assign);
+    ("incremental falls back on unassign", `Quick,
+     test_incremental_fallback_on_unassign);
+    ("incremental store invalidated by add_constraint", `Quick,
+     test_incremental_invalidated_by_add_constraint);
     QCheck_alcotest.to_alcotest propagate_preserves_solutions;
     QCheck_alcotest.to_alcotest propagation_monotone;
     ("AC-3 prunes", `Quick, test_ac3_prunes);

@@ -6,6 +6,7 @@ let () =
       ("expr", Test_expr.suite);
       ("hc4", Test_hc4.suite);
       ("csp", Test_csp.suite);
+      ("incremental", Test_incremental.suite);
       ("core", Test_core.suite);
       ("teamsim", Test_teamsim.suite);
       ("trace", Test_trace.suite);

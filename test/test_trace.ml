@@ -69,7 +69,8 @@ let sample_events =
   in
   List.mapi stamp
     [
-      Event.Run_started { scenario = "lna"; mode = "ADPM"; seed = 42 };
+      Event.Run_started
+        { scenario = "lna"; mode = "ADPM"; seed = 42; engine = "incremental" };
       Event.Op_submitted { op = synthesis_op; choose_evaluations = 5 };
       Event.Op_submitted { op = decompose_op; choose_evaluations = 0 };
       Event.Op_submitted { op = verification_op; choose_evaluations = 1 };
@@ -86,7 +87,15 @@ let sample_events =
         };
       Event.Propagation_started { constraints = 21 };
       Event.Propagation_finished
-        { evaluations = 63; waves = [ 21; 30; 12 ]; empties = 1; fixpoint = true };
+        {
+          engine = "incremental";
+          seeded = 21;
+          evaluations = 63;
+          revisions = 63;
+          waves = [ 21; 30; 12 ];
+          empties = 1;
+          fixpoint = true;
+        };
       Event.Constraint_status_changed
         { cid = 4; old_status = Event.Consistent; new_status = Event.Violated };
       Event.Notification_pushed
@@ -269,10 +278,12 @@ let test_live_trace_shape () =
   let outcome, events = capture Dpm.Adpm 1 Lna.scenario in
   let summary = outcome.Engine.o_summary in
   (match events with
-  | { Event.event = Event.Run_started { scenario; mode; seed }; _ } :: _ ->
+  | { Event.event = Event.Run_started { scenario; mode; seed; engine }; _ } :: _
+    ->
     Alcotest.(check string) "scenario" "lna" scenario;
     Alcotest.(check string) "mode" "ADPM" mode;
-    Alcotest.(check int) "seed" 1 seed
+    Alcotest.(check int) "seed" 1 seed;
+    Alcotest.(check string) "engine" "incremental" engine
   | _ -> Alcotest.fail "first event must be run_started");
   (match List.rev events with
   | { Event.event = Event.Run_finished { operations; completed; _ }; _ } :: _
@@ -417,7 +428,11 @@ let test_replay_rejects_unusable_traces () =
     (Replay.Replay_error "trace contains no run_started event") (fun () ->
       ignore (Replay.run ~scenarios:replay_scenarios []));
   let bogus =
-    [ stamp 0 (Event.Run_started { scenario = "nope"; mode = "ADPM"; seed = 1 }) ]
+    [
+      stamp 0
+        (Event.Run_started
+           { scenario = "nope"; mode = "ADPM"; seed = 1; engine = "full" });
+    ]
   in
   match Replay.run ~scenarios:replay_scenarios bogus with
   | exception Replay.Replay_error _ -> ()
