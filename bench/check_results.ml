@@ -1,7 +1,15 @@
 (* Bench-smoke gate: fail loudly (nonzero exit) if BENCH_results.json is
-   missing, unparseable, or lacks a finite positive incremental_speedup —
-   so a refactor that silently stops producing the incremental-vs-full
-   comparison breaks @check instead of shipping an empty benchmark. *)
+   missing, unparseable, or lacks a finite positive incremental_speedup or
+   parallel_speedup — so a refactor that silently stops producing the
+   incremental-vs-full comparison or the parallel-vs-sequential comparison
+   breaks @check instead of shipping an empty benchmark.
+
+   The parallel gate: the field must always be a finite positive ratio,
+   and on a real measurement (parallel_jobs >= 2, non-fast run) it must be
+   >= 1 — a multi-worker pass of the Fig. 9 cells that fails to beat the
+   sequential pass is a regression. Fast smoke runs are exempt from the
+   >= 1 bar because their cells are milliseconds long, where fork overhead
+   and timer noise dominate. *)
 
 module Json = Adpm_trace.Json
 
@@ -25,11 +33,32 @@ let () =
     | Ok j -> j
     | Error msg -> die "%s does not parse: %s" file msg
   in
-  match Json.member "incremental_speedup" json with
-  | None -> die "%s lacks the incremental_speedup field" file
-  | Some v -> (
-    match Json.to_float v with
-    | None -> die "incremental_speedup is not a number"
-    | Some s when not (Float.is_finite s && s > 0.) ->
-      die "incremental_speedup %g is not a finite positive ratio" s
-    | Some s -> Printf.printf "bench-smoke check OK: incremental_speedup=%.2fx\n" s)
+  let speedup name =
+    match Json.member name json with
+    | None -> die "%s lacks the %s field" file name
+    | Some v -> (
+      match Json.to_float v with
+      | None -> die "%s is not a number" name
+      | Some s when not (Float.is_finite s && s > 0.) ->
+        die "%s %g is not a finite positive ratio" name s
+      | Some s -> s)
+  in
+  let incremental = speedup "incremental_speedup" in
+  let parallel = speedup "parallel_speedup" in
+  let fast =
+    match Option.bind (Json.member "fast" json) Json.to_bool with
+    | Some b -> b
+    | None -> die "%s lacks the fast field" file
+  in
+  let jobs =
+    match Option.bind (Json.member "parallel_jobs" json) Json.to_int with
+    | Some n -> n
+    | None -> die "%s lacks the parallel_jobs field" file
+  in
+  if jobs >= 2 && (not fast) && parallel < 1. then
+    die "parallel_speedup %g < 1 with %d jobs: the parallel path regressed"
+      parallel jobs;
+  Printf.printf
+    "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
+     (jobs=%d)\n"
+    incremental parallel jobs

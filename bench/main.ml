@@ -10,10 +10,13 @@
 
    Environment knobs:
      ADPM_BENCH_SEEDS  seeds per Fig. 9 cell (default 60, as in the paper)
-     ADPM_BENCH_FAST   set to shrink every experiment (CI smoke mode) *)
+     ADPM_BENCH_FAST   set to shrink every experiment (CI smoke mode)
+     ADPM_BENCH_JOBS   worker processes for multi-seed experiments
+                       (default: one per CPU core) *)
 
 open Adpm_experiments
 module Json = Adpm_trace.Json
+module Pool = Adpm_parallel.Pool
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -32,12 +35,16 @@ let timed name f =
   timings := (name, Unix.gettimeofday () -. t0) :: !timings;
   v
 
-let results_json ~fig9_seeds verdicts incr =
+let results_json ~fig9_seeds ~parallel verdicts incr =
+  let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   Json.Obj
     [
       ("fast", Json.Bool fast);
       ("fig9_seeds", Json.Num (float_of_int fig9_seeds));
       ("incremental_speedup", Json.Num incr.Incremental.speedup);
+      ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
+      ("parallel_speedup", Json.Num parallel_speedup);
+      ("parallel_agrees", Json.Bool parallel_agrees);
       ( "incremental",
         Json.Obj
           [
@@ -71,6 +78,7 @@ let results_json ~fig9_seeds verdicts incr =
 
 let () =
   let fig9_seeds = getenv_int "ADPM_BENCH_SEEDS" (if fast then 10 else 60) in
+  let njobs = max 1 (getenv_int "ADPM_BENCH_JOBS" (Pool.cpu_count ())) in
   let fig7_seeds = if fast then 5 else 20 in
   let fig10_seeds = if fast then 3 else 10 in
   let ablation_seeds = if fast then 5 else 15 in
@@ -81,7 +89,8 @@ let () =
 
   section "Figure 7: per-operation profiles (simplified case)";
   print_string
-    (timed "fig7" (fun () -> Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ())));
+    (timed "fig7" (fun () ->
+         Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ~jobs:njobs ())));
 
   section "Figure 8: design process statistics window";
   print_string (timed "fig8" (fun () -> Exp_fig8.render (Exp_fig8.run ())));
@@ -90,22 +99,77 @@ let () =
   let fig9 = timed "fig9" (fun () -> Exp_fig9.run ~seeds:fig9_seeds ()) in
   print_string (Exp_fig9.render fig9);
 
+  (* Parallel runner: redo the Fig. 9 cells with the worker pool and
+     compare wall time against the sequential pass above. On a single-CPU
+     host there is nothing to overlap, so the ratio is definitionally 1
+     and the fork path is left to the test suite's equivalence checks. *)
+  let parallel =
+    if njobs < 2 then (1, 1.0, true)
+    else begin
+      section
+        (Printf.sprintf "Parallel runner: Fig. 9 cells at jobs=%d vs jobs=1"
+           njobs);
+      let fig9_par =
+        timed "fig9_parallel" (fun () ->
+            Exp_fig9.run ~seeds:fig9_seeds ~jobs:njobs ())
+      in
+      let wall name = List.assoc name !timings in
+      let speedup = wall "fig9" /. wall "fig9_parallel" in
+      (* Per-run sample lists, not whole aggregates: Stats_acc carries an
+         internal sort cache whose state is irrelevant to equality. *)
+      let fingerprint (c : Adpm_teamsim.Report.aggregate) =
+        let samples = Adpm_util.Stats_acc.to_list in
+        ( c.Adpm_teamsim.Report.a_scenario,
+          c.Adpm_teamsim.Report.a_mode,
+          c.Adpm_teamsim.Report.a_runs,
+          c.Adpm_teamsim.Report.a_completed,
+          List.map samples
+            [
+              c.Adpm_teamsim.Report.a_ops;
+              c.Adpm_teamsim.Report.a_evals;
+              c.Adpm_teamsim.Report.a_evals_per_op;
+              c.Adpm_teamsim.Report.a_spins;
+              c.Adpm_teamsim.Report.a_violations;
+            ] )
+      in
+      let cells r =
+        [
+          r.Exp_fig9.sensor_conv; r.Exp_fig9.sensor_adpm;
+          r.Exp_fig9.receiver_conv; r.Exp_fig9.receiver_adpm;
+        ]
+      in
+      let agrees =
+        List.for_all2
+          (fun a b -> fingerprint a = fingerprint b)
+          (cells fig9_par) (cells fig9)
+      in
+      Printf.printf
+        "jobs=%d: sequential %.2fs, parallel %.2fs -> speedup %.2fx; results %s\n"
+        njobs (wall "fig9")
+        (wall "fig9_parallel")
+        speedup
+        (if agrees then "bit-identical" else "DIVERGED");
+      (njobs, speedup, agrees)
+    end
+  in
+
   section "Figure 10: specification-tightness sweep";
   print_string
     (timed "fig10" (fun () ->
-         Exp_fig10.render (Exp_fig10.run ~seeds:fig10_seeds ())));
+         Exp_fig10.render (Exp_fig10.run ~seeds:fig10_seeds ~jobs:njobs ())));
 
   section "Ablations: ADPM heuristics, CSP orderings, DCM consistency";
   print_string
     (timed "ablation" (fun () ->
          Exp_ablation.render
            (Exp_ablation.run ~seeds:ablation_seeds ~instances:ablation_instances
-              ())));
+              ~jobs:njobs ())));
 
   section "Scaling study (extension): hardness vs acceleration and penalty";
   print_string
     (timed "scaling" (fun () ->
-         Exp_scaling.render (Exp_scaling.run ~seeds:(if fast then 3 else 8) ())));
+         Exp_scaling.render
+           (Exp_scaling.run ~seeds:(if fast then 3 else 8) ~jobs:njobs ())));
 
   section "Incremental DCM: full vs dirty-seeded HC4 (receiver, Fig. 9 case)";
   let incr =
@@ -117,7 +181,7 @@ let () =
   section "Micro-benchmarks (bechamel)";
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
-  let json = results_json ~fig9_seeds (Exp_fig9.verdicts fig9) incr in
+  let json = results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr in
   let oc = open_out "BENCH_results.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -105,6 +105,19 @@ let seeds_arg =
     & opt int 60
     & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds per cell.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker processes for multi-seed runs ($(b,0) = one per CPU \
+           core). Results are bit-identical for any value; only wall time \
+           changes.")
+
+let effective_jobs jobs =
+  if jobs = 0 then Adpm_parallel.Pool.cpu_count () else max 1 jobs
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every operation.")
 
@@ -247,20 +260,23 @@ let analyze_cmd =
     term
 
 let sweep_cmd =
-  let action scenario_name seeds csv =
+  let action scenario_name seeds jobs csv =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
       exit 1
     | Ok scenario ->
+      let jobs = effective_jobs jobs in
       let seed_list = List.init seeds (fun i -> i + 1) in
       let conv_runs =
-        Engine.run_many (Config.default ~mode:Dpm.Conventional ~seed:0) scenario
-          ~seeds:seed_list
+        Engine.run_many ~jobs
+          (Config.default ~mode:Dpm.Conventional ~seed:0)
+          scenario ~seeds:seed_list
       in
       let adpm_runs =
-        Engine.run_many (Config.default ~mode:Dpm.Adpm ~seed:0) scenario
-          ~seeds:seed_list
+        Engine.run_many ~jobs
+          (Config.default ~mode:Dpm.Adpm ~seed:0)
+          scenario ~seeds:seed_list
       in
       print_string
         (Report.comparison_table
@@ -272,7 +288,9 @@ let sweep_cmd =
         Printf.printf "wrote per-run CSV to %s\n" path
       | None -> ())
   in
-  let term = Term.(const action $ scenario_arg $ seeds_arg $ csv_arg) in
+  let term =
+    Term.(const action $ scenario_arg $ seeds_arg $ jobs_arg $ csv_arg)
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")
     term

@@ -35,9 +35,10 @@ type result = {
   consistency : consistency_row list;
 }
 
-let teamsim_row label cfg seeds =
+let teamsim_row ~jobs label cfg seeds =
   let summaries =
-    Engine.run_many cfg Receiver.scenario ~seeds:(List.init seeds (fun i -> i + 1))
+    Engine.run_many ~jobs cfg Receiver.scenario
+      ~seeds:(List.init seeds (fun i -> i + 1))
   in
   let ops = Stats_acc.create () and evals = Stats_acc.create () in
   let completed = ref 0 in
@@ -56,29 +57,29 @@ let teamsim_row label cfg seeds =
     runs = seeds;
   }
 
-let teamsim_ablation seeds =
+let teamsim_ablation ~jobs seeds =
   let base = Config.default ~mode:Dpm.Adpm ~seed:0 in
   [
-    teamsim_row "ADPM, all heuristics" base seeds;
-    teamsim_row "no feasible-subspace ordering (2.3.1)"
+    teamsim_row ~jobs "ADPM, all heuristics" base seeds;
+    teamsim_row ~jobs "no feasible-subspace ordering (2.3.1)"
       { base with Config.forward_ordering = Config.Random_target }
       seeds;
-    teamsim_row "most-constrained-first ordering (2.3.2)"
+    teamsim_row ~jobs "most-constrained-first ordering (2.3.2)"
       { base with Config.forward_ordering = Config.Most_constrained }
       seeds;
-    teamsim_row "no alpha conflict repair (2.3.3)"
+    teamsim_row ~jobs "no alpha conflict repair (2.3.3)"
       { base with Config.use_alpha_repair = false }
       seeds;
-    teamsim_row "no monotone direction hints"
+    teamsim_row ~jobs "no monotone direction hints"
       { base with Config.use_monotone_hints = false }
       seeds;
-    teamsim_row "no constraint-margin repair windows"
+    teamsim_row ~jobs "no constraint-margin repair windows"
       { base with Config.use_relaxed_feasible = false }
       seeds;
-    teamsim_row "no design-history tabu"
+    teamsim_row ~jobs "no design-history tabu"
       { base with Config.use_history_tabu = false }
       seeds;
-    teamsim_row "conventional (lambda = F)"
+    teamsim_row ~jobs "conventional (lambda = F)"
       (Config.default ~mode:Dpm.Conventional ~seed:0)
       seeds;
   ]
@@ -151,9 +152,9 @@ let consistency_ablation () =
     measure "bound shaving, 8 slices" (`Shave 8);
   ]
 
-let run ?(seeds = 15) ?(instances = 30) () =
+let run ?(seeds = 15) ?(instances = 30) ?(jobs = 1) () =
   {
-    teamsim = teamsim_ablation seeds;
+    teamsim = teamsim_ablation ~jobs seeds;
     search = search_ablation instances;
     consistency = consistency_ablation ();
   }

@@ -52,8 +52,9 @@ type result = {
   consistency : consistency_row list;
 }
 
-val run : ?seeds:int -> ?instances:int -> unit -> result
+val run : ?seeds:int -> ?instances:int -> ?jobs:int -> unit -> result
 (** Defaults: 15 seeds per TeamSim configuration, 30 random CSP
-    instances. *)
+    instances. [jobs] parallelizes the TeamSim rows (the CSP and
+    consistency ablations are single-process). *)
 
 val render : result -> string

@@ -20,7 +20,8 @@ type result = {
   adpm_spread : float;
 }
 
-val run : ?seeds:int -> ?sweep:float list -> unit -> result
-(** Defaults: 10 seeds per point, {!Adpm_scenarios.Receiver.gain_sweep}. *)
+val run : ?seeds:int -> ?sweep:float list -> ?jobs:int -> unit -> result
+(** Defaults: 10 seeds per point, {!Adpm_scenarios.Receiver.gain_sweep}.
+    [jobs] forwards to {!Adpm_teamsim.Engine.run_many}. *)
 
 val render : result -> string

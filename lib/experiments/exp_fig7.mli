@@ -25,7 +25,8 @@ type result = {
   adpm_mean_ops : float;
 }
 
-val run : ?seeds:int -> unit -> result
-(** Averages profiles over [seeds] (default 20) runs per mode. *)
+val run : ?seeds:int -> ?jobs:int -> unit -> result
+(** Averages profiles over [seeds] (default 20) runs per mode. [jobs]
+    forwards to {!Adpm_teamsim.Engine.run_many}. *)
 
 val render : result -> string

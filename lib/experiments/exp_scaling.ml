@@ -18,12 +18,12 @@ type point = {
 
 type result = { by_size : point list; by_tightness : point list }
 
-let measure params ~label ~seeds =
+let measure params ~label ~seeds ~jobs =
   let scenario = Generated.scenario params in
   let run mode =
     let cfg = Config.default ~mode ~seed:0 in
     let summaries =
-      Engine.run_many cfg scenario ~seeds:(List.init seeds (fun i -> i + 1))
+      Engine.run_many ~jobs cfg scenario ~seeds:(List.init seeds (fun i -> i + 1))
     in
     let ops = Stats_acc.create () and evals = Stats_acc.create () in
     let all_done = ref true in
@@ -54,7 +54,7 @@ let size_sweep = [ (2, 2); (3, 2); (4, 3); (6, 3); (8, 4) ]
 let size_slack = 0.06
 let tightness_sweep = [ 0.3; 0.15; 0.08; 0.05 ]
 
-let run ?(seeds = 8) () =
+let run ?(seeds = 8) ?(jobs = 1) () =
   let by_size =
     List.map
       (fun (n, k) ->
@@ -62,7 +62,7 @@ let run ?(seeds = 8) () =
           { (Generated.default_params ~subsystems:n ~vars:k) with
             Generated.g_slack = size_slack }
           ~label:(Printf.sprintf "%d subsystems x %d vars" n k)
-          ~seeds)
+          ~seeds ~jobs)
       size_sweep
   in
   let by_tightness =
@@ -72,7 +72,7 @@ let run ?(seeds = 8) () =
           { (Generated.default_params ~subsystems:4 ~vars:3) with
             Generated.g_slack = slack }
           ~label:(Printf.sprintf "slack %.0f%%" (slack *. 100.))
-          ~seeds)
+          ~seeds ~jobs)
       tightness_sweep
   in
   { by_size; by_tightness }

@@ -30,7 +30,8 @@ type point = {
 
 type result = { by_size : point list; by_tightness : point list }
 
-val run : ?seeds:int -> unit -> result
-(** Default 8 seeds per (point, mode). *)
+val run : ?seeds:int -> ?jobs:int -> unit -> result
+(** Default 8 seeds per (point, mode). [jobs] forwards to
+    {!Adpm_teamsim.Engine.run_many}. *)
 
 val render : result -> string

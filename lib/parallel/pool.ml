@@ -1,0 +1,243 @@
+(* Fork-based worker pool.
+
+   Wire protocol (child -> parent, one pipe per worker): a sequence of
+   frames, each a header line "ok <index> <length>\n" or
+   "err <index> <length>\n" followed by exactly <length> payload bytes
+   (the serialized result, or the exception text). Length framing makes
+   the protocol safe for arbitrary payload bytes — including newlines —
+   and lets the parent detect truncation: a worker that dies mid-write
+   leaves a recognizably incomplete tail, never a plausible result. *)
+
+exception Worker_error of { index : int; message : string }
+
+let available () = Sys.os_type = "Unix"
+
+let cpu_count () =
+  match In_channel.with_open_text "/proc/cpuinfo" In_channel.input_all with
+  | contents ->
+    let n =
+      List.fold_left
+        (fun acc line ->
+          if String.length line >= 9 && String.sub line 0 9 = "processor" then
+            acc + 1
+          else acc)
+        0
+        (String.split_on_char '\n' contents)
+    in
+    max 1 n
+  | exception Sys_error _ -> 1
+
+(* {2 In-process fallback} *)
+
+let map_inline ~f items =
+  List.mapi
+    (fun index item ->
+      try f item
+      with e ->
+        raise (Worker_error { index; message = Printexc.to_string e }))
+    items
+
+(* {2 Child side} *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let frame tag index payload =
+  Printf.sprintf "%s %d %d\n%s" tag index (String.length payload) payload
+
+(* Runs in the forked child: compute this worker's shard in item order,
+   streaming one frame per item, then exit without running the parent's
+   at_exit handlers (we share its heap image). *)
+let child_main wfd ~f shard =
+  let status =
+    match
+      List.iter
+        (fun (index, item) ->
+          let tag, payload =
+            match f item with
+            | payload -> ("ok", payload)
+            | exception e -> ("err", Printexc.to_string e)
+          in
+          write_all wfd (frame tag index payload))
+        shard
+    with
+    | () -> 0
+    | exception _ -> 2 (* pipe broke or f's result failed to serialize *)
+  in
+  (try Unix.close wfd with Unix.Unix_error _ -> ());
+  Unix._exit status
+
+(* {2 Parent side: frame parsing} *)
+
+type parsed = {
+  ok : (int * string) list;
+  errs : (int * string) list;
+  malformed : bool; (* trailing bytes that do not form a complete frame *)
+}
+
+let parse_frames s =
+  let len = String.length s in
+  let rec go pos ok errs =
+    if pos >= len then { ok; errs; malformed = false }
+    else
+      match String.index_from_opt s pos '\n' with
+      | None -> { ok; errs; malformed = true }
+      | Some nl -> (
+        let header = String.sub s pos (nl - pos) in
+        match String.split_on_char ' ' header with
+        | [ tag; index; length ] -> (
+          match (int_of_string_opt index, int_of_string_opt length) with
+          | Some index, Some length
+            when length >= 0 && nl + 1 + length <= len -> (
+            let payload = String.sub s (nl + 1) length in
+            let next = nl + 1 + length in
+            match tag with
+            | "ok" -> go next ((index, payload) :: ok) errs
+            | "err" -> go next ok ((index, payload) :: errs)
+            | _ -> { ok; errs; malformed = true })
+          | _ -> { ok; errs; malformed = true })
+        | _ -> { ok; errs; malformed = true })
+  in
+  go 0 [] []
+
+(* Drain every worker pipe concurrently (a worker can outpace the pipe
+   buffer, so reading sequentially could deadlock) until all report EOF. *)
+let drain readers =
+  let buffers = List.map (fun (w, fd) -> (fd, (w, Buffer.create 4096))) readers in
+  let chunk = Bytes.create 65536 in
+  let open_fds = ref (List.map snd readers) in
+  while !open_fds <> [] do
+    let ready, _, _ =
+      try Unix.select !open_fds [] [] (-1.)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        let _, buf = List.assoc fd buffers in
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          Unix.close fd;
+          open_fds := List.filter (fun fd' -> fd' <> fd) !open_fds
+        | n -> Buffer.add_subbytes buf chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      ready
+  done;
+  List.map (fun (_, (w, buf)) -> (w, Buffer.contents buf)) buffers
+
+let status_to_string = function
+  | Unix.WEXITED 0 -> "exited cleanly"
+  | Unix.WEXITED n -> Printf.sprintf "exited with status %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+(* {2 Parent side: orchestration} *)
+
+let map_forked ~jobs ~f items =
+  let n = Array.length items in
+  let shard w =
+    let rec go i acc =
+      if i >= n then List.rev acc
+      else go (i + 1) (if i mod jobs = w then (i, items.(i)) :: acc else acc)
+    in
+    go 0 []
+  in
+  (* Flush before forking so buffered output is not duplicated in children. *)
+  flush stdout;
+  flush stderr;
+  let workers = ref [] in
+  (* (worker, pid, read_fd), newest first *)
+  (try
+     for w = 0 to jobs - 1 do
+       let rfd, wfd = Unix.pipe ~cloexec:false () in
+       match Unix.fork () with
+       | 0 ->
+         (* Child: drop every parent-side fd we know about, keep only our
+            own write end (sibling read ends would otherwise keep sibling
+            pipes open past their writers' death). *)
+         Unix.close rfd;
+         List.iter
+           (fun (_, _, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
+           !workers;
+         child_main wfd ~f (shard w)
+       | pid ->
+         Unix.close wfd;
+         workers := (w, pid, rfd) :: !workers
+     done
+   with e ->
+     (* Fork or pipe creation failed partway: reap what exists, then give
+        the caller the in-process result rather than a capacity error. *)
+     List.iter
+       (fun (_, pid, fd) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+       !workers;
+     workers := [];
+     ignore e);
+  match !workers with
+  | [] -> map_inline ~f (Array.to_list items)
+  | workers ->
+    let payloads = drain (List.map (fun (w, _, fd) -> (w, fd)) workers) in
+    let statuses =
+      List.map
+        (fun (w, pid, _) ->
+          let rec wait () =
+            match Unix.waitpid [] pid with
+            | _, status -> status
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          in
+          (w, wait ()))
+        workers
+    in
+    let results = Array.make n None in
+    let failures = ref [] in
+    let fail index message = failures := (index, message) :: !failures in
+    List.iter
+      (fun (w, raw) ->
+        let parsed = parse_frames raw in
+        List.iter
+          (fun (index, payload) ->
+            if index >= 0 && index < n && index mod jobs = w then
+              results.(index) <- Some payload)
+          parsed.ok;
+        List.iter
+          (fun (index, message) ->
+            let index = if index >= 0 && index < n then index else w in
+            fail index ("worker raised: " ^ message))
+          parsed.errs;
+        let status = List.assoc w statuses in
+        let died = status <> Unix.WEXITED 0 in
+        if parsed.malformed || died then
+          (* Name every shard item the worker never delivered. *)
+          List.iter
+            (fun (index, _) ->
+              if results.(index) = None && not (List.mem_assoc index !failures)
+              then
+                fail index
+                  (Printf.sprintf "worker %d %s%s before delivering a result"
+                     w
+                     (status_to_string status)
+                     (if parsed.malformed then " (malformed result frame)"
+                      else "")))
+            (shard w))
+      payloads;
+    (* Belt and braces: any still-missing result is a failure too. *)
+    Array.iteri
+      (fun index r ->
+        if r = None && not (List.mem_assoc index !failures) then
+          fail index "worker delivered no result")
+      results;
+    (match List.sort compare !failures with
+    | (index, message) :: _ -> raise (Worker_error { index; message })
+    | [] -> ());
+    Array.to_list (Array.map Option.get results)
+
+let map_serialized ~jobs ~f items =
+  let n = List.length items in
+  let jobs = min jobs n in
+  if jobs <= 1 || not (available ()) then map_inline ~f items
+  else map_forked ~jobs ~f (Array.of_list items)

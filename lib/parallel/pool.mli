@@ -1,0 +1,40 @@
+(** Fork-based worker pool for embarrassingly parallel batch work.
+
+    [map_serialized] shards a list of work items across [jobs] worker
+    processes ([Unix.fork] + pipes — no OCaml 5 domain dependency), runs
+    the item function in each child, ships each result back to the parent
+    as an opaque serialized string over a length-framed pipe protocol, and
+    reassembles the results {b in item order}. Because every item is
+    processed by exactly the same function the caller would have run
+    in-process, the output is identical to [List.map f items] whenever [f]
+    is deterministic per item — parallelism never changes a result, only
+    wall time.
+
+    Failure contract: a worker that raises, dies, or writes a malformed
+    frame never degrades into a silent partial result. The parent raises
+    {!Worker_error} carrying the index of the (lowest-indexed) failing
+    item, so callers can name the exact work item (e.g. the random seed)
+    in their error message. *)
+
+exception Worker_error of { index : int; message : string }
+(** Raised by {!map_serialized} when any item fails: [index] is the
+    0-based position of the failing item in the input list ([message]
+    explains how it failed — an exception in the item function, a worker
+    process death, or an undecodable result frame). When several items
+    fail, the lowest index is reported, deterministically. *)
+
+val available : unit -> bool
+(** Whether [Unix.fork] is usable on this platform. When [false],
+    {!map_serialized} silently runs in-process (equivalent results). *)
+
+val cpu_count : unit -> int
+(** Number of online CPUs (from [/proc/cpuinfo]); [1] when undetectable.
+    A sensible default for [jobs]. *)
+
+val map_serialized : jobs:int -> f:('a -> string) -> 'a list -> string list
+(** [map_serialized ~jobs ~f items] is [List.map f items], computed by up
+    to [jobs] forked workers (item [i] goes to worker [i mod jobs]).
+    Results come back in item order. With [jobs <= 1], a single-item
+    list, or fork unavailable, runs in-process with no forking at all.
+
+    @raise Worker_error as per the failure contract above. *)

@@ -2,6 +2,7 @@ open Adpm_util
 open Adpm_csp
 open Adpm_core
 open Adpm_trace
+module Pool = Adpm_parallel.Pool
 
 type outcome = { o_summary : Metrics.run_summary; o_dpm : Dpm.t }
 
@@ -125,7 +126,41 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   in
   { o_summary = summary; o_dpm = dpm }
 
-let run_many cfg scenario ~seeds =
-  List.map
-    (fun seed -> (run (Config.with_seed cfg seed) scenario).o_summary)
-    seeds
+(* Parallelism never changes a number: each seed's run draws from its own
+   Rng stream regardless of which process executes it, and the summary
+   round-trips exactly through Metrics_codec (ints, bools, strings only).
+   So the only contract the pool must keep is order and loudness: results
+   come back in seed order, and any worker failure names its seed. *)
+let run_many ?(jobs = 1) cfg scenario ~seeds =
+  let run_seed seed = (run (Config.with_seed cfg seed) scenario).o_summary in
+  if jobs <= 1 || List.length seeds <= 1 || not (Pool.available ()) then
+    List.map run_seed seeds
+  else begin
+    let payloads =
+      try
+        Pool.map_serialized ~jobs
+          ~f:(fun seed -> Metrics_codec.to_string (run_seed seed))
+          seeds
+      with Pool.Worker_error { index; message } ->
+        failwith
+          (Printf.sprintf "Engine.run_many: worker failed for seed %d: %s"
+             (List.nth seeds index) message)
+    in
+    List.map2
+      (fun seed payload ->
+        match Metrics_codec.of_string payload with
+        | Error msg ->
+          failwith
+            (Printf.sprintf
+               "Engine.run_many: undecodable worker result for seed %d: %s"
+               seed msg)
+        | Ok summary ->
+          if summary.Metrics.s_seed <> seed then
+            failwith
+              (Printf.sprintf
+                 "Engine.run_many: worker result out of order: expected seed \
+                  %d, got %d"
+                 seed summary.Metrics.s_seed);
+          summary)
+      seeds payloads
+  end

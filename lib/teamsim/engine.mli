@@ -33,5 +33,19 @@ val run :
     caller owns the tracer and must [Tracer.close] it. *)
 
 val run_many :
-  Config.t -> Scenario.t -> seeds:int list -> Metrics.run_summary list
-(** One run per seed, same configuration otherwise. *)
+  ?jobs:int ->
+  Config.t ->
+  Scenario.t ->
+  seeds:int list ->
+  Metrics.run_summary list
+(** One run per seed, same configuration otherwise.
+
+    [jobs] (default 1) shards the seed list across that many forked worker
+    processes ({!Adpm_parallel.Pool}). The result is {b bit-identical} to
+    the sequential path for any [jobs] — same summaries, same seed order —
+    because each seed's run owns its Rng stream and summaries round-trip
+    exactly through {!Metrics_codec}. With [jobs <= 1], a single seed, or
+    fork unavailable, no process is forked.
+
+    @raise Failure naming the failing seed if a worker crashes or returns
+    an undecodable result (no silent partial aggregates). *)

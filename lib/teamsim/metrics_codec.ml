@@ -1,0 +1,69 @@
+open Adpm_core
+module Json = Adpm_trace.Json
+
+let to_string = Export.summary_json
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let record_of_json j =
+  let* m_index = field "op" Json.to_int j in
+  let* m_designer = field "designer" Json.to_str j in
+  let* m_kind = field "kind" Json.to_str j in
+  let* m_evaluations = field "evaluations" Json.to_int j in
+  let* m_new_violations = field "new_violations" Json.to_int j in
+  let* m_known_violations = field "known_violations" Json.to_int j in
+  let* m_spin = field "spin" Json.to_bool j in
+  Ok
+    {
+      Metrics.m_index;
+      m_designer;
+      m_kind;
+      m_evaluations;
+      m_new_violations;
+      m_known_violations;
+      m_spin;
+    }
+
+let rec records_of_json = function
+  | [] -> Ok []
+  | j :: rest ->
+    let* r = record_of_json j in
+    let* rs = records_of_json rest in
+    Ok (r :: rs)
+
+let of_json j =
+  let* s_scenario = field "scenario" Json.to_str j in
+  let* mode_name = field "mode" Json.to_str j in
+  let* s_mode =
+    match Dpm.mode_of_string mode_name with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "unknown mode %S" mode_name)
+  in
+  let* s_seed = field "seed" Json.to_int j in
+  let* s_completed = field "completed" Json.to_bool j in
+  let* s_operations = field "operations" Json.to_int j in
+  let* s_evaluations = field "evaluations" Json.to_int j in
+  let* s_spins = field "spins" Json.to_int j in
+  let* profile = field "profile" Json.to_list j in
+  let* s_profile = records_of_json profile in
+  Ok
+    {
+      Metrics.s_scenario;
+      s_mode;
+      s_seed;
+      s_completed;
+      s_operations;
+      s_evaluations;
+      s_spins;
+      s_profile;
+    }
+
+let of_string s =
+  match Json.parse s with
+  | Error msg -> Error ("summary JSON does not parse: " ^ msg)
+  | Ok j -> of_json j

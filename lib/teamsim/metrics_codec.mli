@@ -1,0 +1,16 @@
+(** JSON codec for {!Metrics.run_summary}.
+
+    The encoder is exactly {!Export.summary_json} (one compact JSON
+    document, the same schema external tools consume); the decoder reads
+    it back with the trace library's hand-rolled parser. Round-trip is
+    exact: every field of a summary is an int, bool, or string, so no
+    precision is lost — this is what lets the parallel runner ship
+    summaries between processes and reassemble results bit-identical to
+    the in-process path. *)
+
+val to_string : Metrics.run_summary -> string
+(** Alias of {!Export.summary_json}. *)
+
+val of_string : string -> (Metrics.run_summary, string) result
+(** Inverse of {!to_string}. [Error] describes the first missing or
+    mistyped field (or the parse error) — never raises. *)

@@ -54,6 +54,11 @@ let aggregate summaries =
       a_violations = violations;
     }
 
+(* One pass over every record, accumulating into arrays indexed by op
+   number (index 0 is the ADPM setup record, excluded as before). Indices
+   no run reached are skipped — the old per-index rescan was quadratic in
+   run length and silently reported 0 for such gaps instead of the
+   documented survivor mean. *)
 let mean_profile summaries =
   let max_index =
     List.fold_left
@@ -63,22 +68,28 @@ let mean_profile summaries =
           acc s.Metrics.s_profile)
       0 summaries
   in
-  List.init max_index (fun i ->
-      let index = i + 1 in
-      let viols = ref 0. and evals = ref 0. and n = ref 0 in
+  let n = Array.make (max_index + 1) 0 in
+  let viols = Array.make (max_index + 1) 0. in
+  let evals = Array.make (max_index + 1) 0. in
+  List.iter
+    (fun s ->
       List.iter
-        (fun s ->
-          List.iter
-            (fun r ->
-              if r.Metrics.m_index = index then begin
-                incr n;
-                viols := !viols +. float_of_int r.Metrics.m_new_violations;
-                evals := !evals +. float_of_int r.Metrics.m_evaluations
-              end)
-            s.Metrics.s_profile)
-        summaries;
-      let n = float_of_int (max 1 !n) in
-      (index, !viols /. n, !evals /. n))
+        (fun r ->
+          let i = r.Metrics.m_index in
+          if i >= 1 then begin
+            n.(i) <- n.(i) + 1;
+            viols.(i) <- viols.(i) +. float_of_int r.Metrics.m_new_violations;
+            evals.(i) <- evals.(i) +. float_of_int r.Metrics.m_evaluations
+          end)
+        s.Metrics.s_profile)
+    summaries;
+  List.filter_map
+    (fun i ->
+      if n.(i) = 0 then None
+      else
+        let c = float_of_int n.(i) in
+        Some (i, viols.(i) /. c, evals.(i) /. c))
+    (List.init max_index (fun i -> i + 1))
 
 let comparison_table ~title aggregates =
   let table =

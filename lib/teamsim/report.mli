@@ -24,7 +24,9 @@ val aggregate : Metrics.run_summary list -> aggregate
 
 val mean_profile : Metrics.run_summary list -> (int * float * float) list
 (** Per operation index: (index, mean new violations, mean evaluations)
-    averaged across runs that reached that index — the data of Fig. 7. *)
+    averaged across runs that reached that index — the data of Fig. 7.
+    Ascending by index; indices no run reached are omitted. Single pass
+    over the profiles (linear in the total number of records). *)
 
 val comparison_table :
   title:string -> aggregate list -> string

@@ -1,5 +1,7 @@
 let csv s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  (* '\r' must force quoting too: a bare CR splits the row in most CSV
+     readers just like LF does. *)
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 

@@ -3,7 +3,7 @@
 
 val csv : string -> string
 (** RFC 4180 quoting: wrap in double quotes when the string contains a
-    comma, quote, or newline, doubling embedded quotes. *)
+    comma, quote, or line break (LF or CR), doubling embedded quotes. *)
 
 val json : string -> string
 (** JSON string-body escaping (without the surrounding quotes): quotes,

@@ -42,9 +42,11 @@ let pick_array rng arr =
   arr.(int rng (Array.length arr))
 
 let pick rng xs =
+  (* O(n) walk, no array copy: pick sits on the designers' hot path. Draws
+     exactly one rng value, like pick_array, so streams are unchanged. *)
   match xs with
   | [] -> invalid_arg "Rng.pick: empty list"
-  | _ -> pick_array rng (Array.of_list xs)
+  | _ -> List.nth xs (int rng (List.length xs))
 
 let shuffle rng xs =
   let arr = Array.of_list xs in

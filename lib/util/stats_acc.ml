@@ -6,10 +6,20 @@ type t = {
   mutable max_v : float;
   mutable sum : float;
   mutable samples : float list; (* reverse insertion order *)
+  mutable sorted : float array option; (* quantile cache, cleared on add *)
 }
 
 let create () =
-  { n = 0; mean = 0.; m2 = 0.; min_v = nan; max_v = nan; sum = 0.; samples = [] }
+  {
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    min_v = nan;
+    max_v = nan;
+    sum = 0.;
+    samples = [];
+    sorted = None;
+  }
 
 let add t x =
   t.n <- t.n + 1;
@@ -24,7 +34,8 @@ let add t x =
     if x < t.min_v then t.min_v <- x;
     if x > t.max_v then t.max_v <- x
   end;
-  t.samples <- x :: t.samples
+  t.samples <- x :: t.samples;
+  t.sorted <- None
 
 let add_int t x = add t (float_of_int x)
 
@@ -44,11 +55,19 @@ let total t = t.sum
 
 let to_list t = List.rev t.samples
 
+let sorted_samples t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.samples in
+    Array.sort Float.compare arr;
+    t.sorted <- Some arr;
+    arr
+
 let quantile t q =
   if t.n = 0 then nan
   else begin
-    let arr = Array.of_list t.samples in
-    Array.sort compare arr;
+    let arr = sorted_samples t in
     let q = if q < 0. then 0. else if q > 1. then 1. else q in
     let pos = q *. float_of_int (t.n - 1) in
     let lo = int_of_float (Float.floor pos) in

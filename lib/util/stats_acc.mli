@@ -39,7 +39,9 @@ val total : t -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [\[0, 1\]], by linear interpolation between
-    order statistics; [nan] when empty. *)
+    order statistics; [nan] when empty. The sorted sample array is cached
+    and invalidated by {!add}, so repeated quantile queries between
+    additions sort only once. *)
 
 val median : t -> float
 (** [quantile t 0.5]. *)

@@ -14,6 +14,8 @@ let hostile_strings =
     "comma, inside";
     "double \"quotes\"";
     "line\nbreak";
+    "carriage\rreturn";
+    "crlf\r\nline";
     "tab\tand control \x01 bytes";
     "trailing,\"mix\"\n";
     "non-ASCII: héhé — 設計 αβ";
@@ -59,7 +61,9 @@ let test_csv_escape_is_field_safe () =
         Alcotest.(check bool) "unquoted field has no comma" false
           (String.contains escaped ',');
         Alcotest.(check bool) "unquoted field has no newline" false
-          (String.contains escaped '\n')
+          (String.contains escaped '\n');
+        Alcotest.(check bool) "unquoted field has no carriage return" false
+          (String.contains escaped '\r')
       end)
     hostile_strings
 

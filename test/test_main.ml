@@ -9,6 +9,7 @@ let () =
       ("incremental", Test_incremental.suite);
       ("core", Test_core.suite);
       ("teamsim", Test_teamsim.suite);
+      ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("export", Test_export.suite);
       ("dddl", Test_dddl.suite);

@@ -1,0 +1,230 @@
+(* Tests for the parallel multi-seed runner: the fork pool's failure
+   contract (loud, deterministic, names the failing item/seed), the
+   Metrics_codec JSON round-trip it ships summaries through, and the
+   headline guarantee — Engine.run_many returns bit-identical summary
+   lists for any jobs value, on every scenario in both modes. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+module Pool = Adpm_parallel.Pool
+
+let summary =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Metrics.summary_line s))
+    ( = )
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* {2 Pool} *)
+
+let test_pool_identity () =
+  let items = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let f x = string_of_int (x * x) in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d keeps order" jobs)
+        expected
+        (Pool.map_serialized ~jobs ~f items))
+    [ 1; 2; 3; 8; 100 ]
+
+let test_pool_empty () =
+  Alcotest.(check (list string))
+    "empty input" []
+    (Pool.map_serialized ~jobs:4 ~f:(fun (_ : int) -> "x") [])
+
+let test_pool_hostile_payloads () =
+  (* Length framing must survive payloads full of newlines and frame-ish
+     text. *)
+  let items = [ "plain"; "line\nbreak"; "ok 0 5\nfake"; "\r\n\r\n"; "" ] in
+  let f x = x ^ "\n" ^ x in
+  Alcotest.(check (list string))
+    "payloads with newlines survive" (List.map f items)
+    (Pool.map_serialized ~jobs:2 ~f items)
+
+let check_worker_error name expected_index f =
+  match f () with
+  | (_ : string list) -> Alcotest.failf "%s: expected Worker_error" name
+  | exception Pool.Worker_error { index; message } ->
+    Alcotest.(check int) (name ^ ": failing index") expected_index index;
+    Alcotest.(check bool)
+      (name ^ ": message is not empty")
+      true
+      (String.length message > 0)
+
+let test_pool_worker_raises () =
+  (* Item 3 fails; every other item's work still exists but the pool must
+     raise, lowest failing index first, in both execution paths. *)
+  let f x = if x = 30 then failwith "boom on 30" else string_of_int x in
+  let items = [ 0; 10; 20; 30; 40 ] in
+  check_worker_error "forked" 3 (fun () ->
+      Pool.map_serialized ~jobs:2 ~f items);
+  check_worker_error "inline" 3 (fun () ->
+      Pool.map_serialized ~jobs:1 ~f items)
+
+let test_pool_worker_raises_lowest_index () =
+  let f x = if x mod 2 = 0 then failwith "even" else string_of_int x in
+  check_worker_error "many failures" 1 (fun () ->
+      Pool.map_serialized ~jobs:3 ~f [ 1; 2; 3; 4; 5; 6 ])
+
+let test_pool_worker_dies () =
+  (* A worker that exits mid-shard (simulating a crash) must surface a
+     loud error naming its undelivered item, not a short result list. *)
+  let f x = if x = 2 then Unix._exit 7 else string_of_int x in
+  match Pool.map_serialized ~jobs:2 ~f [ 0; 1; 2; 3 ] with
+  | (_ : string list) -> Alcotest.fail "expected Worker_error after exit 7"
+  | exception Pool.Worker_error { index; message } ->
+    Alcotest.(check int) "undelivered item named" 2 index;
+    Alcotest.(check bool)
+      "message mentions the exit status" true
+      (contains message "status 7")
+
+(* {2 Metrics_codec} *)
+
+let hostile_names =
+  [
+    "plain";
+    "quote \" inside";
+    "line\nbreak";
+    "carriage\rreturn";
+    "comma, \"mix\"\r\n";
+    "tab\tand control \x01 bytes";
+  ]
+
+let synthetic_summary name i =
+  {
+    Metrics.s_scenario = name;
+    s_mode = (if i mod 2 = 0 then Dpm.Adpm else Dpm.Conventional);
+    s_seed = 17 + i;
+    s_completed = i mod 3 <> 0;
+    s_operations = 2;
+    s_evaluations = 41 + i;
+    s_spins = i;
+    s_profile =
+      [
+        {
+          Metrics.m_index = 1;
+          m_designer = name;
+          m_kind = "synthesis";
+          m_evaluations = 40 + i;
+          m_new_violations = 1;
+          m_known_violations = 1;
+          m_spin = false;
+        };
+        {
+          Metrics.m_index = 2;
+          m_designer = "d2 " ^ name;
+          m_kind = "verification";
+          m_evaluations = 1;
+          m_new_violations = 0;
+          m_known_violations = 0;
+          m_spin = true;
+        };
+      ];
+  }
+
+let test_codec_roundtrip_hostile () =
+  List.iteri
+    (fun i name ->
+      let s = synthetic_summary name i in
+      match Metrics_codec.of_string (Metrics_codec.to_string s) with
+      | Ok s' -> Alcotest.check summary (Printf.sprintf "round-trip %S" name) s s'
+      | Error e -> Alcotest.failf "round-trip %S failed: %s" name e)
+    hostile_names
+
+let test_codec_roundtrip_real_run () =
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:5 in
+  let s = (Engine.run cfg Lna.scenario).Engine.o_summary in
+  match Metrics_codec.of_string (Metrics_codec.to_string s) with
+  | Ok s' -> Alcotest.check summary "real run round-trips" s s'
+  | Error e -> Alcotest.failf "real run round-trip failed: %s" e
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun garbage ->
+      match Metrics_codec.of_string garbage with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "garbage %S decoded" garbage)
+    [
+      "";
+      "not json";
+      "{}";
+      {|{"scenario":"x"}|};
+      {|{"scenario":"x","mode":"warp","seed":1,"completed":true,"operations":0,"evaluations":0,"spins":0,"profile":[]}|};
+      {|{"scenario":"x","mode":"ADPM","seed":1,"completed":true,"operations":0,"evaluations":0,"spins":0,"profile":[{"op":1}]}|};
+    ]
+
+(* {2 Engine.run_many equivalence} *)
+
+let scenarios =
+  [
+    Simple.scenario;
+    Simple_dddl.scenario;
+    Lna.scenario;
+    Sensor.scenario;
+    Receiver.scenario;
+    Generated.scenario (Generated.default_params ~subsystems:4 ~vars:3);
+  ]
+
+let test_equivalence () =
+  let seeds = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun mode ->
+          let cfg = Config.default ~mode ~seed:0 in
+          let reference = Engine.run_many ~jobs:1 cfg scenario ~seeds in
+          List.iter
+            (fun jobs ->
+              Alcotest.(check (list summary))
+                (Printf.sprintf "%s/%s jobs=%d" scenario.Scenario.sc_name
+                   (Dpm.mode_to_string mode) jobs)
+                reference
+                (Engine.run_many ~jobs cfg scenario ~seeds))
+            [ 2; 4 ])
+        [ Dpm.Conventional; Dpm.Adpm ])
+    scenarios
+
+let test_equivalence_preserves_seed_order () =
+  let seeds = [ 9; 3; 7; 1; 5 ] in
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
+  let summaries = Engine.run_many ~jobs:3 cfg Sensor.scenario ~seeds in
+  Alcotest.(check (list int))
+    "seed order preserved" seeds
+    (List.map (fun s -> s.Metrics.s_seed) summaries)
+
+let test_run_many_failure_names_seed () =
+  (* A scenario whose build raises makes every worker fail; the engine
+     must report the lowest-indexed seed, deterministically. *)
+  let broken =
+    Scenario.make ~name:"broken" ~description:"always fails" (fun ~mode:_ ->
+        failwith "synthetic build failure")
+  in
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
+  match Engine.run_many ~jobs:2 cfg broken ~seeds:[ 7; 8; 9 ] with
+  | (_ : Metrics.run_summary list) -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S names seed 7" msg)
+      true (contains msg "seed 7")
+
+let suite =
+  [
+    ("pool identity and order", `Quick, test_pool_identity);
+    ("pool empty input", `Quick, test_pool_empty);
+    ("pool hostile payloads", `Quick, test_pool_hostile_payloads);
+    ("pool worker raises", `Quick, test_pool_worker_raises);
+    ("pool lowest failing index", `Quick, test_pool_worker_raises_lowest_index);
+    ("pool worker dies", `Quick, test_pool_worker_dies);
+    ("codec round-trip hostile names", `Quick, test_codec_roundtrip_hostile);
+    ("codec round-trip real run", `Quick, test_codec_roundtrip_real_run);
+    ("codec rejects garbage", `Quick, test_codec_rejects_garbage);
+    ("parallel equals sequential", `Slow, test_equivalence);
+    ("seed order preserved", `Quick, test_equivalence_preserves_seed_order);
+    ("worker failure names seed", `Quick, test_run_many_failure_names_seed);
+  ]

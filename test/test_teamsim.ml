@@ -167,6 +167,36 @@ let test_mean_profile () =
       Alcotest.(check bool) "evals nonnegative" true (evals >= 0.))
     profile
 
+let test_mean_profile_survivor_mean () =
+  (* Synthetic profiles with an index gap: no run has a record at op 2.
+     The mean must be taken over the runs that reached each index (the
+     survivor mean), and unreached indices must be omitted — not padded
+     with zeros as the old quadratic implementation did. *)
+  let make records =
+    {
+      Metrics.s_scenario = "synthetic";
+      s_mode = Dpm.Adpm;
+      s_seed = 1;
+      s_completed = true;
+      s_operations = List.length records;
+      s_evaluations = 0;
+      s_spins = 0;
+      s_profile =
+        List.map
+          (fun (i, viol, evals) ->
+            { Metrics.m_index = i; m_designer = "d"; m_kind = "synthesis";
+              m_evaluations = evals; m_new_violations = viol;
+              m_known_violations = 0; m_spin = false })
+          records;
+    }
+  in
+  let a = make [ (1, 1, 10); (3, 1, 30) ] in
+  let b = make [ (1, 3, 20) ] in
+  Alcotest.(check (list (triple int (float 1e-9) (float 1e-9))))
+    "survivor means, gap omitted"
+    [ (1, 2., 15.); (3, 1., 30.) ]
+    (Report.mean_profile [ a; b ])
+
 (* {2 Designer-level checks through the engine} *)
 
 let test_tool_consistency () =
@@ -224,6 +254,7 @@ let suite =
     ("report aggregation", `Quick, test_report_aggregate);
     ("report validation", `Quick, test_report_aggregate_validation);
     ("mean profile", `Quick, test_mean_profile);
+    ("mean profile survivor mean", `Quick, test_mean_profile_survivor_mean);
     ("tool-model consistency at completion", `Quick, test_tool_consistency);
     ("ablation configurations complete", `Quick, test_ablation_flags_run);
   ]

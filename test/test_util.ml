@@ -65,6 +65,17 @@ let test_rng_uniformity () =
         (c > n / 20 && c < n * 3 / 20))
     buckets
 
+let test_rng_pick_matches_pick_array () =
+  (* pick walks the list without the old Array.of_list copy; it must keep
+     drawing exactly one rng value and choosing the same element. *)
+  let xs = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] in
+  let arr = Array.of_list xs in
+  let a = Rng.create 23 and b = Rng.create 23 in
+  for _ = 1 to 200 do
+    Alcotest.(check string) "same choice, same stream" (Rng.pick_array b arr)
+      (Rng.pick a xs)
+  done
+
 let test_rng_pick_and_shuffle () =
   let rng = Rng.create 17 in
   let xs = [ 1; 2; 3; 4; 5 ] in
@@ -110,6 +121,18 @@ let test_stats_quantiles () =
   check_float "q0.25" 2. (Stats_acc.quantile acc 0.25);
   (* clamped out-of-range arguments *)
   check_float "q>1 clamps" 5. (Stats_acc.quantile acc 2.)
+
+let test_stats_quantile_cache_invalidation () =
+  (* quantile caches the sorted array; an add must invalidate it so later
+     queries see the new sample. *)
+  let acc = Stats_acc.create () in
+  List.iter (Stats_acc.add acc) [ 5.; 1.; 3. ];
+  check_float "median before" 3. (Stats_acc.median acc);
+  check_float "median again (cached)" 3. (Stats_acc.median acc);
+  Stats_acc.add acc 100.;
+  Stats_acc.add acc 200.;
+  check_float "median after adds" 5. (Stats_acc.median acc);
+  check_float "max quantile sees new samples" 200. (Stats_acc.quantile acc 1.)
 
 let test_stats_insertion_order () =
   let acc = Stats_acc.create () in
@@ -200,11 +223,14 @@ let suite =
     ("rng float range", `Quick, test_rng_float_range);
     ("rng uniformity", `Quick, test_rng_uniformity);
     ("rng pick and shuffle", `Quick, test_rng_pick_and_shuffle);
+    ("rng pick matches pick_array", `Quick, test_rng_pick_matches_pick_array);
     ("stats basics", `Quick, test_stats_basic);
     ("stats empty", `Quick, test_stats_empty);
     ("stats single", `Quick, test_stats_single);
     ("stats quantiles", `Quick, test_stats_quantiles);
     ("stats insertion order", `Quick, test_stats_insertion_order);
+    ("stats quantile cache invalidation", `Quick,
+     test_stats_quantile_cache_invalidation);
     QCheck_alcotest.to_alcotest stats_welford_matches_naive;
     ("table render", `Quick, test_table_render);
     ("table ragged rows", `Quick, test_table_ragged_rows);
