@@ -45,6 +45,18 @@ let () =
   in
   let incremental = speedup "incremental_speedup" in
   let parallel = speedup "parallel_speedup" in
+  (* the discrete-event engine must both exist and agree: a missing or
+     non-finite overhead ratio means the scheduler comparison silently
+     stopped running, and des_agrees=false means the latency-0 fingerprint
+     diverged from the lockstep reference — both are hard failures *)
+  let des_overhead = speedup "des_overhead" in
+  (match Option.bind (Json.member "des_agrees" json) Json.to_bool with
+  | Some true -> ()
+  | Some false ->
+    die
+      "des_agrees is false: the discrete-event engine's latency-0 summaries \
+       diverged from the lockstep loop"
+  | None -> die "%s lacks the des_agrees field" file);
   let fast =
     match Option.bind (Json.member "fast" json) Json.to_bool with
     | Some b -> b
@@ -60,5 +72,5 @@ let () =
       parallel jobs;
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
-     (jobs=%d)\n"
-    incremental parallel jobs
+     (jobs=%d) des_overhead=%.2fx\n"
+    incremental parallel jobs des_overhead

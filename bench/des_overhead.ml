@@ -1,0 +1,63 @@
+(* Scheduler-overhead check: the discrete-event engine at latency 0 must
+   produce exactly the summaries of the reference lockstep loop over the
+   Fig. 9 grid (both scenarios, both modes, every seed), and its event
+   queue should cost little on top of the design work itself. The measured
+   wall-time ratio and the equality verdict land in BENCH_results.json so
+   check_results can gate on them. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+type result = {
+  seeds : int;
+  lockstep_s : float;
+  scheduler_s : float;
+  overhead : float;  (* scheduler wall / lockstep wall, latency 0 *)
+  agrees : bool;  (* identical summaries across the whole grid *)
+}
+
+let grid seeds =
+  List.concat_map
+    (fun scenario ->
+      List.concat_map
+        (fun mode ->
+          List.map
+            (fun seed -> (scenario, mode, seed))
+            (List.init seeds (fun i -> i + 1)))
+        [ Dpm.Conventional; Dpm.Adpm ])
+    [ Sensor.scenario; Receiver.scenario ]
+
+let run ~seeds () =
+  let cells = grid seeds in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let sweep engine =
+    List.map
+      (fun (scenario, mode, seed) ->
+        (engine (Config.default ~mode ~seed) scenario).Engine.o_summary)
+      cells
+  in
+  let lockstep, lockstep_s =
+    time (fun () -> sweep (fun cfg sc -> Engine.run_lockstep cfg sc))
+  in
+  let scheduler, scheduler_s =
+    time (fun () -> sweep (fun cfg sc -> Engine.run cfg sc))
+  in
+  {
+    seeds;
+    lockstep_s;
+    scheduler_s;
+    overhead = (if lockstep_s <= 0. then 1. else scheduler_s /. lockstep_s);
+    agrees = lockstep = scheduler;
+  }
+
+let render r =
+  Printf.sprintf
+    "Fig. 9 grid x %d seeds: lockstep %.3fs, scheduler %.3fs -> overhead \
+     %.2fx; summaries %s\n"
+    r.seeds r.lockstep_s r.scheduler_s r.overhead
+    (if r.agrees then "bit-identical" else "DIVERGED")

@@ -35,13 +35,15 @@ let timed name f =
   timings := (name, Unix.gettimeofday () -. t0) :: !timings;
   v
 
-let results_json ~fig9_seeds ~parallel verdicts incr =
+let results_json ~fig9_seeds ~parallel verdicts incr des =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   Json.Obj
     [
       ("fast", Json.Bool fast);
       ("fig9_seeds", Json.Num (float_of_int fig9_seeds));
       ("incremental_speedup", Json.Num incr.Incremental.speedup);
+      ("des_overhead", Json.Num des.Des_overhead.overhead);
+      ("des_agrees", Json.Bool des.Des_overhead.agrees);
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
@@ -178,10 +180,25 @@ let () =
   in
   print_string (Incremental.render incr);
 
+  section "Notification-latency sweep (extension): ADPM advantage vs lag";
+  print_string
+    (timed "latency" (fun () ->
+         Exp_latency.render
+           (Exp_latency.run ~seeds:(if fast then 3 else 20) ~jobs:njobs ())));
+
+  section "Discrete-event scheduler: overhead vs the lockstep loop (latency 0)";
+  let des =
+    timed "des_overhead" (fun () ->
+        Des_overhead.run ~seeds:(if fast then 3 else 12) ())
+  in
+  print_string (Des_overhead.render des);
+
   section "Micro-benchmarks (bechamel)";
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
-  let json = results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr in
+  let json =
+    results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr des
+  in
   let oc = open_out "BENCH_results.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -99,6 +99,49 @@ let engine_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let latency_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "l"; "latency" ] ~docv:"TICKS"
+        ~doc:
+          "Notification latency in virtual ticks: how long after an \
+           operation completes its outcome reaches teammate mailboxes (the \
+           acting designer's own feedback is instant). $(b,0), the \
+           default, reproduces the original instant-broadcast engine \
+           bit-for-bit.")
+
+let duration_conv =
+  let parse s =
+    match Adpm_sim.Model.duration_of_string s with
+    | Ok d -> Ok d
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf d =
+    Format.pp_print_string ppf (Adpm_sim.Model.duration_to_string d)
+  in
+  Arg.conv (parse, print)
+
+let duration_arg =
+  Arg.(
+    value
+    & opt duration_conv Adpm_sim.Model.unit_duration
+    & info [ "duration-model" ] ~docv:"MODEL"
+        ~doc:
+          "Virtual duration of each operation: $(b,uniform:N) (every \
+           operation takes N ticks) or $(b,per-kind:S,V,D) (synthesis, \
+           verification, decompose). Default $(b,uniform:1). At latency 0 \
+           durations stretch the virtual clock without changing any \
+           outcome.")
+
+(* Reject a bad combination of numeric settings before the engine raises. *)
+let validated cfg =
+  match Config.validate cfg with
+  | Ok () -> cfg
+  | Error msg ->
+    Printf.eprintf "invalid configuration: %s\n" msg;
+    exit 1
+
 let seeds_arg =
   Arg.(
     value
@@ -149,13 +192,22 @@ let trace_arg =
            $(b,replay).")
 
 let run_cmd =
-  let action scenario_name mode engine seed verbose csv json trace =
+  let action scenario_name mode engine seed latency duration_model verbose csv
+      json trace =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
       exit 1
     | Ok scenario ->
-      let cfg = { (Config.default ~mode ~seed) with Config.engine } in
+      let cfg =
+        validated
+          {
+            (Config.default ~mode ~seed) with
+            Config.engine;
+            latency;
+            duration_model;
+          }
+      in
       let on_op r =
         if verbose then
           Printf.printf "  op %3d %-12s %-12s evals=%3d new-violations=%d%s\n"
@@ -197,7 +249,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ mode_arg $ engine_arg $ seed_arg
-      $ verbose_arg $ csv_arg $ json_arg $ trace_arg)
+      $ latency_arg $ duration_arg $ verbose_arg $ csv_arg $ json_arg
+      $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
 
@@ -260,7 +313,7 @@ let analyze_cmd =
     term
 
 let sweep_cmd =
-  let action scenario_name seeds jobs csv =
+  let action scenario_name seeds jobs latency csv =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -268,15 +321,14 @@ let sweep_cmd =
     | Ok scenario ->
       let jobs = effective_jobs jobs in
       let seed_list = List.init seeds (fun i -> i + 1) in
+      let cfg mode =
+        validated { (Config.default ~mode ~seed:0) with Config.latency }
+      in
       let conv_runs =
-        Engine.run_many ~jobs
-          (Config.default ~mode:Dpm.Conventional ~seed:0)
-          scenario ~seeds:seed_list
+        Engine.run_many ~jobs (cfg Dpm.Conventional) scenario ~seeds:seed_list
       in
       let adpm_runs =
-        Engine.run_many ~jobs
-          (Config.default ~mode:Dpm.Adpm ~seed:0)
-          scenario ~seeds:seed_list
+        Engine.run_many ~jobs (cfg Dpm.Adpm) scenario ~seeds:seed_list
       in
       print_string
         (Report.comparison_table
@@ -289,7 +341,9 @@ let sweep_cmd =
       | None -> ())
   in
   let term =
-    Term.(const action $ scenario_arg $ seeds_arg $ jobs_arg $ csv_arg)
+    Term.(
+      const action $ scenario_arg $ seeds_arg $ jobs_arg $ latency_arg
+      $ csv_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")

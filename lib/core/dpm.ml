@@ -34,6 +34,7 @@ type result = {
   r_evaluations : int;
   r_newly_violated : int list;
   r_resolved : int list;
+  r_status_changes : (int * Constr.status * Constr.status) list;
   r_skipped : int list;
   r_notifications : Notify.notification list;
   r_spin : bool;
@@ -198,6 +199,11 @@ let known_violations t =
     (fun c ->
       if known_status t c.Constr.id = Constr.Violated then Some c.Constr.id
       else None)
+    (Network.constraints t.net)
+
+let known_statuses t =
+  List.map
+    (fun c -> (c.Constr.id, known_status t c.Constr.id))
     (Network.constraints t.net)
 
 let heuristic_info t prop =
@@ -520,6 +526,7 @@ let apply t op =
       else if before = Constr.Violated && after = Constr.Satisfied then
         resolved := cid :: !resolved)
     after_known;
+  let status_changes = List.sort compare !status_changes in
   if Tracer.active t.d_tracer then
     List.iter
       (fun (cid, before, after) ->
@@ -530,7 +537,7 @@ let apply t op =
                old_status = trace_status before;
                new_status = trace_status after;
              }))
-      (List.sort compare !status_changes);
+      status_changes;
   let spin =
     integration_level
     && List.exists
@@ -573,6 +580,7 @@ let apply t op =
       r_evaluations = evaluations;
       r_newly_violated = List.rev !newly_violated;
       r_resolved = List.rev !resolved;
+      r_status_changes = status_changes;
       r_skipped = skipped;
       r_notifications = notifications;
       r_spin = spin;

@@ -53,7 +53,14 @@ type result = {
   r_newly_violated : int list;
       (** constraints whose known status switched to Violated *)
   r_resolved : int list;
-      (** constraints whose known status left Violated *)
+      (** constraints whose known status left Violated for Satisfied *)
+  r_status_changes : (int * Constr.status * Constr.status) list;
+      (** every known-status transition [(cid, before, after)] the
+          operation caused, sorted by constraint id — including
+          conventional-mode freshness decay (Violated -> Consistent when a
+          verified constraint's argument is reassigned), which
+          [r_newly_violated]/[r_resolved] do not cover. Deferred-delivery
+          designers rebuild their believed statuses from this list. *)
   r_skipped : int list;
       (** requested verifications that were not eligible *)
   r_notifications : Notify.notification list;
@@ -142,6 +149,11 @@ val known_status : t -> int -> Constr.status
 
 val known_violations : t -> int list
 (** Constraint ids with [known_status = Violated]. *)
+
+val known_statuses : t -> (int * Constr.status) list
+(** [known_status] of every constraint, in network constraint order. The
+    simulation engine snapshots this after the ADPM setup propagation to
+    seed each designer's believed statuses (the kickoff meeting). *)
 
 val heuristic_info : t -> string -> Heuristic_data.prop_info option
 (** Mined heuristic-support data for a property; [None] in conventional

@@ -47,45 +47,51 @@ let diff ~subscriptions ~args_of ~old_statuses ~new_statuses ~old_feasible
     routed_events ~args_of ~old_statuses ~new_statuses ~old_feasible
       ~new_feasible
   in
+  match events with
+  | [] -> []
+  | _ ->
+    List.filter_map
+      (fun (designer, props) ->
+        (* one hash set per recipient, instead of a List.mem scan of the
+           subscription list for every touched property of every event *)
+        let subscribed = Hashtbl.create (max 8 (List.length props)) in
+        List.iter (fun p -> Hashtbl.replace subscribed p ()) props;
+        let relevant =
+          List.filter_map
+            (fun (touched, event) ->
+              if List.exists (Hashtbl.mem subscribed) touched then Some event
+              else None)
+            events
+        in
+        match relevant with
+        | [] -> None
+        | _ -> Some { n_recipient = designer; n_events = relevant })
+      subscriptions
+
+let event_label = function
+  | Violation_detected cid -> Printf.sprintf "violation-detected:%d" cid
+  | Violation_resolved cid -> Printf.sprintf "violation-resolved:%d" cid
+  | Feasible_reduced (prop, _) -> "feasible-reduced:" ^ prop
+  | Feasible_empty prop -> "feasible-empty:" ^ prop
+  | Problem_update (pid, status) ->
+    Printf.sprintf "problem-update:%d:%s" pid (Problem.status_to_string status)
+
+let detected_violations n =
   List.filter_map
-    (fun (designer, props) ->
-      let relevant =
-        List.filter_map
-          (fun (touched, event) ->
-            if List.exists (fun p -> List.mem p props) touched then Some event
-            else None)
-          events
-      in
-      match relevant with
-      | [] -> None
-      | _ -> Some { n_recipient = designer; n_events = relevant })
-    subscriptions
+    (function Violation_detected cid -> Some cid | _ -> None)
+    n.n_events
 
 let trace_pushed tracer notifications =
   let open Adpm_trace in
   if Tracer.active tracer then
     List.iter
       (fun n ->
-        let violations =
-          List.filter_map
-            (function Violation_detected cid -> Some cid | _ -> None)
-            n.n_events
-        in
-        let describe = function
-          | Violation_detected cid -> Printf.sprintf "violation-detected:%d" cid
-          | Violation_resolved cid -> Printf.sprintf "violation-resolved:%d" cid
-          | Feasible_reduced (prop, _) -> "feasible-reduced:" ^ prop
-          | Feasible_empty prop -> "feasible-empty:" ^ prop
-          | Problem_update (pid, status) ->
-            Printf.sprintf "problem-update:%d:%s" pid
-              (Problem.status_to_string status)
-        in
         Tracer.emit tracer
           (Event.Notification_pushed
              {
                recipient = n.n_recipient;
-               events = List.map describe n.n_events;
-               violations;
+               events = List.map event_label n.n_events;
+               violations = detected_violations n;
              }))
       notifications
 

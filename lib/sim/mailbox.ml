@@ -1,0 +1,15 @@
+(* A FIFO queue: deliveries are consumed in the order they arrived. *)
+
+type 'a t = 'a Queue.t
+
+let create () = Queue.create ()
+let push t x = Queue.add x t
+let pop t = Queue.take_opt t
+let is_empty t = Queue.is_empty t
+let length t = Queue.length t
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []

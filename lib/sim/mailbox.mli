@@ -1,0 +1,17 @@
+(** Per-designer delivery mailbox: a plain FIFO.
+
+    The Notification Manager enqueues deliveries as they arrive on the
+    virtual timeline; the designer consumes them — oldest first — at the
+    start of its next turn. FIFO order plus the event queue's
+    deterministic tie-break means a designer always observes a given
+    operation sequence in execution order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val drain : 'a t -> 'a list
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int

@@ -1,0 +1,62 @@
+type op_class = Synthesis | Verification | Decompose
+
+type duration =
+  | Uniform of int
+  | Per_kind of { dm_synthesis : int; dm_verification : int; dm_decompose : int }
+
+let unit_duration = Uniform 1
+
+let duration_for model cls =
+  match model with
+  | Uniform n -> n
+  | Per_kind { dm_synthesis; dm_verification; dm_decompose } -> (
+    match cls with
+    | Synthesis -> dm_synthesis
+    | Verification -> dm_verification
+    | Decompose -> dm_decompose)
+
+let validate_duration = function
+  | Uniform n when n < 0 -> Error "uniform duration must be non-negative"
+  | Uniform _ -> Ok ()
+  | Per_kind { dm_synthesis; dm_verification; dm_decompose } ->
+    if dm_synthesis < 0 || dm_verification < 0 || dm_decompose < 0 then
+      Error "per-kind durations must be non-negative"
+    else Ok ()
+
+let duration_to_string = function
+  | Uniform n -> Printf.sprintf "uniform:%d" n
+  | Per_kind { dm_synthesis; dm_verification; dm_decompose } ->
+    Printf.sprintf "per-kind:%d,%d,%d" dm_synthesis dm_verification dm_decompose
+
+let duration_of_string s =
+  let int_of part =
+    match int_of_string_opt (String.trim part) with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "bad duration component %S" part)
+  in
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad duration model %S (uniform:N | per-kind:S,V,D)" s)
+  | Some i -> (
+    let head = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match head with
+    | "uniform" -> Result.map (fun n -> Uniform n) (int_of rest)
+    | "per-kind" -> (
+      match String.split_on_char ',' rest with
+      | [ a; b; c ] ->
+        Result.bind (int_of a) (fun dm_synthesis ->
+            Result.bind (int_of b) (fun dm_verification ->
+                Result.map
+                  (fun dm_decompose ->
+                    Per_kind { dm_synthesis; dm_verification; dm_decompose })
+                  (int_of c)))
+      | _ ->
+        Error
+          (Printf.sprintf "bad per-kind duration %S (expected per-kind:S,V,D)" s))
+    | _ ->
+      Error (Printf.sprintf "bad duration model %S (uniform:N | per-kind:S,V,D)" s))
+
+let delivery_delay ~latency ~own = if own then 0 else latency
+
+let validate_latency latency =
+  if latency < 0 then Error "latency must be non-negative" else Ok ()

@@ -1,4 +1,5 @@
 open Adpm_core
+module Model = Adpm_sim.Model
 
 type forward_ordering = Smallest_subspace | Most_constrained | Random_target
 
@@ -8,6 +9,8 @@ type t = {
   seed : int;
   max_ops : int;
   max_revisions : int;
+  latency : int;
+  duration_model : Model.duration;
   delta_divisor : float;
   adaptive_delta : bool;
   forward_ordering : forward_ordering;
@@ -24,6 +27,8 @@ let default ~mode ~seed =
     seed;
     max_ops = 2000;
     max_revisions = 10_000;
+    latency = 0;
+    duration_model = Model.unit_duration;
     delta_divisor = 100.;
     adaptive_delta = true;
     forward_ordering = Smallest_subspace;
@@ -34,3 +39,28 @@ let default ~mode ~seed =
   }
 
 let with_seed t seed = { t with seed }
+
+let validate t =
+  if t.max_ops <= 0 then
+    Error (Printf.sprintf "max_ops must be positive (got %d)" t.max_ops)
+  else if t.max_revisions <= 0 then
+    Error
+      (Printf.sprintf "max_revisions must be positive (got %d)" t.max_revisions)
+  else
+    match Model.validate_latency t.latency with
+    | Error e -> Error (Printf.sprintf "%s (got %d)" e t.latency)
+    | Ok () -> (
+      match Model.validate_duration t.duration_model with
+      | Error e -> Error e
+      | Ok () ->
+        (* the comparison also rejects nan *)
+        if not (t.delta_divisor > 0.) then
+          Error
+            (Printf.sprintf "delta_divisor must be positive (got %g)"
+               t.delta_divisor)
+        else Ok ())
+
+let validate_exn t =
+  match validate t with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Config.validate: " ^ msg)

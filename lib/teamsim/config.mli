@@ -26,6 +26,15 @@ type t = {
   seed : int;
   max_ops : int;  (** safety bound on executed operations *)
   max_revisions : int;  (** propagation fixpoint budget per run *)
+  latency : int;
+      (** notification latency in virtual ticks: the Notification Manager
+          delivers an operation's outcome to teammates this long after the
+          operation completes ([0] = instant broadcast, the legacy
+          behaviour; the acting designer always learns instantly) *)
+  duration_model : Adpm_sim.Model.duration;
+      (** virtual ticks each operation takes (default
+          {!Adpm_sim.Model.unit_duration}); durations never change run
+          outcomes at [latency = 0], only the virtual makespan *)
   delta_divisor : float;
       (** repair step = |E_i| / delta_divisor (paper: about 100) *)
   adaptive_delta : bool;
@@ -45,6 +54,15 @@ type t = {
 
 val default : mode:Dpm.mode -> seed:int -> t
 (** All heuristics on ([forward_ordering = Smallest_subspace]),
-    [max_ops = 2000], [delta_divisor = 100.]. *)
+    [max_ops = 2000], [delta_divisor = 100.], [latency = 0],
+    unit durations. *)
 
 val with_seed : t -> int -> t
+
+val validate : t -> (unit, string) result
+(** Reject configurations the engine cannot honour: non-positive
+    [max_ops] or [max_revisions], a negative [latency], a negative
+    duration, or a non-positive (or nan) [delta_divisor]. *)
+
+val validate_exn : t -> unit
+(** @raise Invalid_argument with {!validate}'s message. *)

@@ -4,6 +4,11 @@ open Adpm_expr
 open Adpm_csp
 open Adpm_core
 open Adpm_trace
+module Mailbox = Adpm_sim.Mailbox
+
+(* A queued NM delivery: the outcome of one executed operation, tagged
+   with whether it was this designer's own. *)
+type delivery = { dv_own : bool; dv_op : Operator.t; dv_result : Dpm.result }
 
 type t = {
   d_name : string;
@@ -23,6 +28,13 @@ type t = {
      parameters are demoted so siblings get a chance (design-history
      consultation, ADPM mode where feedback is immediate) *)
   failed_repairs : (string, int) Hashtbl.t;
+  (* what this designer believes each constraint's status to be, rebuilt
+     from delivered status transitions; consulted instead of the DPM's
+     live view only under a nonzero notification latency, where the two
+     can disagree (staleness is the phenomenon being modelled) *)
+  believed : (int, Constr.status) Hashtbl.t;
+  (* queued NM deliveries, drained at the start of the next turn *)
+  inbox : delivery Mailbox.t;
 }
 
 let create cfg ~rng ~models name =
@@ -36,9 +48,23 @@ let create cfg ~rng ~models name =
     pending_reverify = Hashtbl.create 16;
     last_synthesis = None;
     failed_repairs = Hashtbl.create 16;
+    believed = Hashtbl.create 64;
+    inbox = Mailbox.create ();
   }
 
 let name d = d.d_name
+
+(* With latency 0 the engine delivers every outcome before the next turn,
+   so the DPM's live view and the believed table never disagree; using
+   the live view on that path keeps it bit-identical to the lockstep
+   engine. *)
+let delayed_view d = d.cfg.Config.latency > 0
+
+let believed_status d cid =
+  try Hashtbl.find d.believed cid with Not_found -> Constr.Consistent
+
+let learn_statuses d statuses =
+  List.iter (fun (cid, s) -> Hashtbl.replace d.believed cid s) statuses
 
 let tabu_key prop value = Printf.sprintf "%s@%.9g" prop value
 
@@ -119,10 +145,12 @@ let touches_through_models d c x =
       | None -> false)
     (Constr.args c)
 
-let known_violated_constraints dpm =
-  List.filter
-    (fun c -> Dpm.known_status dpm c.Constr.id = Constr.Violated)
-    (Network.constraints (Dpm.network dpm))
+let known_violated_constraints d dpm =
+  let violated =
+    if delayed_view d then fun c -> believed_status d c.Constr.id = Constr.Violated
+    else fun c -> Dpm.known_status dpm c.Constr.id = Constr.Violated
+  in
+  List.filter violated (Network.constraints (Dpm.network dpm))
 
 (* Repair votes for parameter [x]: how many known violations a move up
    (resp. down) would help fix, counting model-mediated influence. *)
@@ -137,7 +165,7 @@ let repair_votes d dpm x =
       end
       else (up, down, alpha))
     (0, 0, 0)
-    (known_violated_constraints dpm)
+    (known_violated_constraints d dpm)
 
 (* {2 Tool emulation}
 
@@ -408,7 +436,7 @@ let repair_op d dpm probs =
       List.filter_map
         (fun c ->
           if touches_through_models d c x then Some c.Constr.id else None)
-        (known_violated_constraints dpm)
+        (known_violated_constraints d dpm)
     in
     let repair_value prop direction =
       let net = Dpm.network dpm in
@@ -589,7 +617,7 @@ let choose_operation d dpm =
   match probs with
   | [] -> None
   | _ -> (
-    let violations_known = Dpm.known_violations dpm <> [] in
+    let violations_known = known_violated_constraints d dpm <> [] in
     let chosen =
       if violations_known then
         match repair_op d dpm probs with
@@ -621,7 +649,7 @@ let synthesis_with_tools d dpm prop v =
     List.filter_map
       (fun c ->
         if touches_through_models d c prop then Some c.Constr.id else None)
-      (known_violated_constraints dpm)
+      (known_violated_constraints d dpm)
   in
   synthesis_op d dpm probs ~motivated_by prop v
 
@@ -629,6 +657,13 @@ let request_verification d dpm =
   verification_op d dpm (addressable_problems d dpm)
 
 let observe d dpm ~own op result =
+  (* Every delivered outcome updates the believed constraint statuses —
+     this is the knowledge the NM pushes. [r_status_changes] includes the
+     conventional-mode freshness decays (Violated fading back to
+     Consistent) that the violated/resolved lists omit. *)
+  List.iter
+    (fun (cid, _old, status) -> Hashtbl.replace d.believed cid status)
+    result.Dpm.r_status_changes;
   match op.Operator.op_kind with
   | Operator.Synthesis assignments when own ->
     if result.Dpm.r_newly_violated <> [] && d.cfg.Config.use_history_tabu then
@@ -693,3 +728,15 @@ let observe d dpm ~own op result =
     | None -> ());
     List.iter (fun cid -> Hashtbl.remove d.pending_reverify cid) cids
   | Operator.Synthesis _ | Operator.Decompose _ -> ()
+
+(* {2 Mailbox} *)
+
+let deliver d ~own op result =
+  Mailbox.push d.inbox { dv_own = own; dv_op = op; dv_result = result }
+
+let drain d dpm =
+  let pending = Mailbox.drain d.inbox in
+  List.iter
+    (fun { dv_own; dv_op; dv_result } -> observe d dpm ~own:dv_own dv_op dv_result)
+    pending;
+  List.length pending

@@ -36,10 +36,19 @@ open Adpm_core
 
 type t
 
+type delivery = { dv_own : bool; dv_op : Operator.t; dv_result : Dpm.result }
+(** One queued NM delivery: the outcome of an executed operation, tagged
+    with whether it was this designer's own. *)
+
 val create :
   Config.t -> rng:Rng.t -> models:(string * Expr.t) list -> string -> t
 
 val name : t -> string
+
+val learn_statuses : t -> (int * Adpm_csp.Constr.status) list -> unit
+(** Seed the designer's believed constraint statuses (the project kickoff:
+    everyone leaves setup with the same picture of the network). Unknown
+    constraints default to [Consistent], matching the DPM's own default. *)
 
 val choose_operation : t -> Dpm.t -> Operator.t option
 (** One turn: select the next operation, or [None] to idle (everything
@@ -61,7 +70,18 @@ val request_verification : t -> Dpm.t -> Operator.t option
 val observe : t -> Dpm.t -> own:bool -> Operator.t -> Dpm.result -> unit
 (** Feedback after the DPM executed an operation — the designer's own
     ([own = true]) or a teammate's whose outcome the Notification Manager
-    relayed. Used to record tabu entries (assignments that produced
+    relayed. Updates the believed constraint statuses from the result's
+    status transitions, records tabu entries (assignments that produced
     violations, possibly discovered only at a later verification, possibly
-    one run by the team leader at integration) and to adapt the repair
+    one run by the team leader at integration) and adapts the repair
     step. *)
+
+val deliver : t -> own:bool -> Operator.t -> Dpm.result -> unit
+(** Enqueue an operation outcome in the designer's mailbox without
+    processing it. The discrete-event engine calls this when the
+    notification's virtual delivery time arrives; the designer absorbs the
+    queued deliveries at the start of its next turn ({!drain}). *)
+
+val drain : t -> Dpm.t -> int
+(** Process every queued delivery in arrival order through {!observe} and
+    return how many there were. *)

@@ -3,10 +3,25 @@ open Adpm_csp
 open Adpm_core
 open Adpm_trace
 module Pool = Adpm_parallel.Pool
+module Model = Adpm_sim.Model
+module Scheduler = Adpm_sim.Scheduler
 
-type outcome = { o_summary : Metrics.run_summary; o_dpm : Dpm.t }
+type outcome = {
+  o_summary : Metrics.run_summary;
+  o_dpm : Dpm.t;
+  o_makespan : int;
+}
 
-let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
+(* {2 Shared run scaffolding}
+
+   Everything outside the turn-taking discipline is identical between the
+   discrete-event driver and the reference lockstep loop: scenario build,
+   [Run_started], Rng stream layout (one split per designer, in designer
+   order), the ADPM setup propagation with its charged setup record, and
+   the closing summary. Keeping it in one place is what makes the
+   latency-0 equivalence contract auditable. *)
+
+let prepare ~tracer cfg scenario ~record =
   let dpm = scenario.Scenario.sc_build ~mode:cfg.Config.mode in
   Dpm.set_engine dpm cfg.Config.engine;
   Dpm.set_tracer dpm tracer;
@@ -26,11 +41,6 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         Designer.create cfg ~rng:(Rng.split rng)
           ~models:scenario.Scenario.sc_models name)
       (Dpm.designers dpm)
-  in
-  let profile = ref [] in
-  let record r =
-    profile := r :: !profile;
-    on_op r
   in
   let setup_evals =
     match cfg.Config.mode with
@@ -55,6 +65,55 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         };
       outcome.Propagate.evaluations
   in
+  (* the project kickoff: everyone leaves setup with the same picture of
+     the constraint network (matters only under a nonzero latency, where
+     later knowledge arrives with a delay) *)
+  let statuses = Dpm.known_statuses dpm in
+  List.iter (fun d -> Designer.learn_statuses d statuses) designers;
+  (dpm, rng, designers, setup_evals)
+
+let finish ~tracer cfg scenario dpm ~setup_evals ~profile ~makespan =
+  let completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm in
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Run_finished
+         {
+           completed;
+           operations = Dpm.op_count dpm;
+           evaluations = Dpm.eval_count dpm;
+           setup_evaluations = setup_evals;
+           spins = Dpm.spin_count dpm;
+           violations = List.sort compare (Dpm.known_violations dpm);
+         });
+  let summary =
+    {
+      Metrics.s_scenario = scenario.Scenario.sc_name;
+      s_mode = cfg.Config.mode;
+      s_seed = cfg.Config.seed;
+      s_completed = completed;
+      s_operations = Dpm.op_count dpm;
+      s_evaluations = Dpm.eval_count dpm + setup_evals;
+      s_spins = Dpm.spin_count dpm;
+      s_profile = List.rev !profile;
+    }
+  in
+  { o_summary = summary; o_dpm = dpm; o_makespan = makespan }
+
+(* {2 The reference lockstep loop}
+
+   The original engine: one while-loop round per shuffle, every designer
+   observes every outcome inline. Kept verbatim as the executable
+   specification the discrete-event driver is tested against (and as the
+   baseline for the scheduler-overhead benchmark). *)
+
+let run_lockstep ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
+  Config.validate_exn cfg;
+  let profile = ref [] in
+  let record r =
+    profile := r :: !profile;
+    on_op r
+  in
+  let dpm, rng, designers, setup_evals = prepare ~tracer cfg scenario ~record in
   let finished = ref false in
   let continue_run () =
     (not !finished) && Dpm.op_count dpm < cfg.Config.max_ops
@@ -100,31 +159,176 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
       order;
     if not !acted then finished := true
   done;
-  let completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm in
-  if Tracer.active tracer then
-    Tracer.emit tracer
-      (Event.Run_finished
-         {
-           completed;
-           operations = Dpm.op_count dpm;
-           evaluations = Dpm.eval_count dpm;
-           setup_evaluations = setup_evals;
-           spins = Dpm.spin_count dpm;
-           violations = List.sort compare (Dpm.known_violations dpm);
-         });
-  let summary =
-    {
-      Metrics.s_scenario = scenario.Scenario.sc_name;
-      s_mode = cfg.Config.mode;
-      s_seed = cfg.Config.seed;
-      s_completed = completed;
-      s_operations = Dpm.op_count dpm;
-      s_evaluations = Dpm.eval_count dpm + setup_evals;
-      s_spins = Dpm.spin_count dpm;
-      s_profile = List.rev !profile;
-    }
+  finish ~tracer cfg scenario dpm ~setup_evals ~profile
+    ~makespan:(Dpm.op_count dpm)
+
+(* {2 The discrete-event driver} *)
+
+type des_event =
+  | Round_start
+  | Next_turn  (** pop the next designer off this round's shuffled order *)
+  | Op_done of {
+      designer : Designer.t;
+      op : Operator.t;
+      evals_before : int;
+    }  (** the chosen operation's virtual duration elapsed: execute it *)
+  | Deliver of {
+      recipient : Designer.t;
+      own : bool;
+      op : Operator.t;
+      result : Dpm.result;
+      sent_at : int;
+      op_index : int;
+    }  (** a routed outcome reaches a mailbox *)
+
+let op_class op =
+  match op.Operator.op_kind with
+  | Operator.Synthesis _ -> Model.Synthesis
+  | Operator.Verification _ -> Model.Verification
+  | Operator.Decompose _ -> Model.Decompose
+
+(* Virtual-time semantics, and why latency 0 is bit-identical to the
+   lockstep loop:
+
+   - Turns are serialized: [Next_turn] is only scheduled from [Round_start]
+     or [Op_done], so at most one operation is ever in flight and durations
+     stretch the clock without reordering decisions.
+   - The shuffle is drawn once per [Round_start] from the same shared Rng
+     the lockstep loop uses, and a designer's own stream is consumed only
+     inside [choose_operation] — so every random draw happens in the same
+     order.
+   - Outcomes are delivered to mailboxes ([Designer.deliver]) and absorbed
+     at the start of the recipient's next turn ([Designer.drain]).
+     [observe] mutates only the observer's private state, so deferring it
+     from "immediately after apply" to "before the observer next chooses"
+     cannot change any decision: at latency 0 every delivery event carries
+     delay 0 and therefore pops before the next [Next_turn] (scheduled
+     later at the same time, hence a larger tie-break sequence), so each
+     mailbox is complete before its owner acts.
+   - With latency > 0 a teammate's outcome arrives [latency] ticks after
+     the operation completes; until then the recipient's believed
+     constraint statuses — and hence its repair decisions — lag the DPM's
+     live state. The designer's own feedback is always instant. *)
+let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
+  Config.validate_exn cfg;
+  let profile = ref [] in
+  let record r =
+    profile := r :: !profile;
+    on_op r
   in
-  { o_summary = summary; o_dpm = dpm }
+  let dpm, rng, designers, setup_evals = prepare ~tracer cfg scenario ~record in
+  let sch : des_event Scheduler.t = Scheduler.create () in
+  let finished = ref false in
+  let continue_run () =
+    (not !finished) && Dpm.op_count dpm < cfg.Config.max_ops
+  in
+  let order = ref [] in
+  let acted = ref false in
+  let handle ev =
+    match ev with
+    | Round_start ->
+      if continue_run () then begin
+        order := Rng.shuffle rng designers;
+        acted := false;
+        Scheduler.schedule sch ~delay:0 Next_turn
+      end
+      else Scheduler.halt sch
+    | Next_turn -> (
+      match !order with
+      | [] ->
+        if !acted then Scheduler.schedule sch ~delay:0 Round_start
+        else Scheduler.halt sch
+      | designer :: rest ->
+        order := rest;
+        if continue_run () then begin
+          ignore (Designer.drain designer dpm : int);
+          let evals_before = Dpm.eval_count dpm in
+          match Designer.choose_operation designer dpm with
+          | None -> Scheduler.schedule sch ~delay:0 Next_turn
+          | Some op ->
+            acted := true;
+            if Tracer.active tracer then
+              Tracer.emit tracer
+                (Event.Op_submitted
+                   {
+                     op = Operator.to_trace_spec op;
+                     choose_evaluations = Dpm.eval_count dpm - evals_before;
+                   });
+            let delay =
+              Model.duration_for cfg.Config.duration_model (op_class op)
+            in
+            Scheduler.schedule sch ~delay (Op_done { designer; op; evals_before })
+        end
+        else Scheduler.halt sch)
+    | Op_done { designer; op; evals_before } ->
+      let result = Dpm.apply dpm op in
+      if Tracer.active tracer then
+        Tracer.emit tracer
+          (Event.Op_completed
+             { index = result.Dpm.r_index; at = Scheduler.now sch });
+      let sent_at = Scheduler.now sch in
+      List.iter
+        (fun peer ->
+          let own = peer == designer in
+          Scheduler.schedule sch
+            ~delay:(Model.delivery_delay ~latency:cfg.Config.latency ~own)
+            (Deliver
+               {
+                 recipient = peer;
+                 own;
+                 op;
+                 result;
+                 sent_at;
+                 op_index = result.Dpm.r_index;
+               }))
+        designers;
+      record
+        {
+          Metrics.m_index = result.Dpm.r_index;
+          m_designer = Designer.name designer;
+          m_kind = Operator.kind_label op;
+          m_evaluations = Dpm.eval_count dpm - evals_before;
+          m_new_violations = List.length result.Dpm.r_newly_violated;
+          m_known_violations = List.length (Dpm.known_violations dpm);
+          m_spin = result.Dpm.r_spin;
+        };
+      if Dpm.solved dpm then begin
+        finished := true;
+        Scheduler.halt sch
+      end
+      else Scheduler.schedule sch ~delay:0 Next_turn
+    | Deliver { recipient; own; op; result; sent_at; op_index } ->
+      Designer.deliver recipient ~own op result;
+      if (not own) && Tracer.active tracer then (
+        (* announce only deliveries the NM actually routed: the recipient
+           subscribes to the touched properties and the outcome produced a
+           notification-worthy event *)
+        match
+          List.find_opt
+            (fun n ->
+              String.equal n.Notify.n_recipient (Designer.name recipient))
+            result.Dpm.r_notifications
+        with
+        | None -> ()
+        | Some n ->
+          Tracer.emit tracer
+            (Event.Notification_delivered
+               {
+                 recipient = Designer.name recipient;
+                 op_index;
+                 sent_at;
+                 delivered_at = Scheduler.now sch;
+                 events = List.map Notify.event_label n.Notify.n_events;
+                 violations = Notify.detected_violations n;
+               }))
+  in
+  Scheduler.schedule sch ~delay:0 Round_start;
+  Scheduler.run sch handle;
+  (* pending mailbox deliveries at halt are discarded: the project is over
+     (solved, idle, or out of budget) and nothing after [Run_finished] may
+     appear in the trace *)
+  finish ~tracer cfg scenario dpm ~setup_evals ~profile
+    ~makespan:(Scheduler.now sch)
 
 (* Parallelism never changes a number: each seed's run draws from its own
    Rng stream regardless of which process executes it, and the summary

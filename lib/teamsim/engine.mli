@@ -1,18 +1,32 @@
 (** The simulation engine.
 
-    Drives a scenario: simulated designers take turns requesting operations
-    (in a per-round shuffled order — designers act independently), the DPM
-    executes them, and statistics are captured per operation. A simulation
-    terminates when the top-level problem is solved — all outputs have a
-    value and no constraint is violated (Section 3.1.2) — or when every
-    designer idles for a full round, or when the operation budget runs
-    out. *)
+    Drives a scenario on a virtual clock: simulated designers take turns
+    requesting operations (in a per-round shuffled order — designers act
+    independently), the DPM executes them, and statistics are captured per
+    operation. A simulation terminates when the top-level problem is
+    solved — all outputs have a value and no constraint is violated
+    (Section 3.1.2) — or when every designer idles for a full round, or
+    when the operation budget runs out.
+
+    {!run} is a discrete-event scheduler ({!Adpm_sim.Scheduler}): each
+    operation occupies a configurable virtual duration
+    ([Config.duration_model]) and the Notification Manager's outcome
+    broadcasts reach teammate mailboxes [Config.latency] ticks after the
+    operation completes (a designer's own feedback is instant). Designers
+    absorb queued deliveries at the start of their next turn. At latency 0
+    this is {b bit-identical} — full summary, per-op profile included — to
+    the original lockstep loop, which {!run_lockstep} preserves as the
+    executable reference. *)
 
 open Adpm_core
 
 type outcome = {
   o_summary : Metrics.run_summary;
   o_dpm : Dpm.t;  (** final state, for inspection *)
+  o_makespan : int;
+      (** final virtual-clock reading in scheduler ticks. Under the unit
+          duration model and latency 0 this equals the operation count;
+          for {!run_lockstep} it is defined as the operation count. *)
 }
 
 val run :
@@ -21,16 +35,36 @@ val run :
   Config.t ->
   Scenario.t ->
   outcome
-(** Execute one simulation. In ADPM mode an initial propagation runs before
-    the first designer turn (constraints are propagated "beginning when
-    these constraints are generated"); its evaluations are charged to the
-    run as a setup record.
+(** Execute one simulation on the discrete-event scheduler. In ADPM mode an
+    initial propagation runs before the first designer turn (constraints
+    are propagated "beginning when these constraints are generated"); its
+    evaluations are charged to the run as a setup record.
 
     With an active [tracer] the engine emits the run lifecycle
     ([Run_started], one [Op_submitted] per accepted operation carrying its
-    decision-time evaluation cost, [Run_finished]) and attaches the tracer
-    to the DPM so execution-level events flow through the same stream. The
-    caller owns the tracer and must [Tracer.close] it. *)
+    decision-time evaluation cost, [Op_completed] with the virtual
+    completion time, [Notification_delivered] for each routed teammate
+    delivery, [Run_finished]) and attaches the tracer to the DPM so
+    execution-level events flow through the same stream. The caller owns
+    the tracer and must [Tracer.close] it.
+
+    @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
+
+val run_lockstep :
+  ?on_op:(Metrics.op_record -> unit) ->
+  ?tracer:Adpm_trace.Tracer.t ->
+  Config.t ->
+  Scenario.t ->
+  outcome
+(** The original synchronous loop, kept as the executable specification
+    {!run} is tested against (and as the baseline for the
+    scheduler-overhead benchmark). Ignores [Config.latency] and
+    [Config.duration_model]: every outcome is observed by every designer
+    inline, immediately after the operation executes.
+
+    @raise Invalid_argument if the configuration fails
+    {!Config.validate}. *)
 
 val run_many :
   ?jobs:int ->
@@ -38,7 +72,7 @@ val run_many :
   Scenario.t ->
   seeds:int list ->
   Metrics.run_summary list
-(** One run per seed, same configuration otherwise.
+(** One run per seed (via {!run}), same configuration otherwise.
 
     [jobs] (default 1) shards the seed list across that many forked worker
     processes ({!Adpm_parallel.Pool}). The result is {b bit-identical} to

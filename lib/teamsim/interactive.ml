@@ -46,8 +46,15 @@ let describe_op t op =
 
 let apply_and_report t op =
   let result = Dpm.apply t.dpm op in
-  Designer.observe t.player_model t.dpm ~own:true op result;
-  List.iter (fun d -> Designer.observe d t.dpm ~own:false op result) t.teammates;
+  (* route outcomes through the mailboxes the discrete-event engine uses,
+     at latency 0: deliver to everyone, then absorb immediately *)
+  let feed d =
+    let own = String.equal (Designer.name d) op.Operator.op_designer in
+    Designer.deliver d ~own op result;
+    ignore (Designer.drain d t.dpm : int)
+  in
+  feed t.player_model;
+  List.iter feed t.teammates;
   let net = Dpm.network t.dpm in
   let cname cid = (Network.find_constraint net cid).Constr.name in
   let buf = Buffer.create 256 in

@@ -165,6 +165,7 @@ let run ~scenarios events =
           cids
       | Event.Run_started _ | Event.Propagation_started _
       | Event.Propagation_finished _ | Event.Notification_pushed _
+      | Event.Op_completed _ | Event.Notification_delivered _
       | Event.Designer_decision _ ->
         ())
     events;

@@ -25,6 +25,13 @@ type report = {
   r_latencies : latency list;  (** per designer, name order *)
   r_spans : span list;  (** per constraint, id order *)
   r_notifications : int;
+  r_deliveries : int;  (** [Notification_delivered] events (DES runs) *)
+  r_delivery_latency_mean : float;
+      (** mean [delivered_at - sent_at] over deliveries, in virtual ticks
+          (nan when the trace has none) *)
+  r_makespan : int;
+      (** latest virtual [Op_completed] timestamp; [0] for lockstep
+          traces, which carry no virtual time *)
 }
 
 let analyze events =
@@ -34,6 +41,9 @@ let analyze events =
   let revisions_full = ref 0 and revisions_incremental = ref 0 in
   let wave_sizes = ref [] in
   let notifications = ref 0 in
+  let deliveries = ref 0 in
+  let delivery_ticks = ref 0 in
+  let makespan = ref 0 in
   (* pending notification clocks per designer, oldest first *)
   let pending : (string, int list) Hashtbl.t = Hashtbl.create 8 in
   let latencies : (string, int list) Hashtbl.t = Hashtbl.create 8 in
@@ -68,6 +78,10 @@ let analyze events =
         incr notifications;
         let waiting = try Hashtbl.find pending recipient with Not_found -> [] in
         Hashtbl.replace pending recipient (waiting @ [ clock ])
+      | Op_completed { at; _ } -> makespan := max !makespan at
+      | Notification_delivered { sent_at; delivered_at; _ } ->
+        incr deliveries;
+        delivery_ticks := !delivery_ticks + (delivered_at - sent_at)
       | Propagation_finished { engine = e; revisions; waves; _ } ->
         incr propagations;
         if String.equal e "incremental" then begin
@@ -130,6 +144,11 @@ let analyze events =
     r_latencies = latency_list;
     r_spans = span_list;
     r_notifications = !notifications;
+    r_deliveries = !deliveries;
+    r_delivery_latency_mean =
+      (if !deliveries = 0 then Float.nan
+       else float_of_int !delivery_ticks /. float_of_int !deliveries);
+    r_makespan = !makespan;
   }
 
 let render r =
@@ -141,6 +160,11 @@ let render r =
     (Option.value ~default:"?" r.r_engine);
   add "operations %d, evaluations %d, propagations %d, notifications %d\n"
     r.r_operations r.r_evaluations r.r_propagations r.r_notifications;
+  if r.r_deliveries > 0 then
+    add
+      "virtual makespan %d ticks; %d teammate deliveries, mean transit %.2f \
+       ticks\n"
+      r.r_makespan r.r_deliveries r.r_delivery_latency_mean;
   add "HC4 revisions: %d incremental (over %d dirty-seeded runs), %d full\n\n"
     r.r_revisions_incremental r.r_propagations_incremental r.r_revisions_full;
   (if r.r_latencies <> [] then begin
@@ -203,6 +227,11 @@ let to_json r =
       ("revisions_full", jint r.r_revisions_full);
       ("revisions_incremental", jint r.r_revisions_incremental);
       ("notifications", jint r.r_notifications);
+      ("deliveries", jint r.r_deliveries);
+      ( "delivery_latency_mean",
+        if Float.is_nan r.r_delivery_latency_mean then Json.Null
+        else Json.Num r.r_delivery_latency_mean );
+      ("makespan", jint r.r_makespan);
       ("wave_sizes", Json.Arr (List.map jint r.r_wave_sizes));
       ( "notification_latency",
         Json.Arr

@@ -36,6 +36,15 @@ type report = {
   r_latencies : latency list;
   r_spans : span list;
   r_notifications : int;
+  r_deliveries : int;
+      (** [Notification_delivered] events — teammate deliveries recorded
+          by the discrete-event engine *)
+  r_delivery_latency_mean : float;
+      (** mean virtual transit time [delivered_at - sent_at] (nan when the
+          trace has no deliveries) *)
+  r_makespan : int;
+      (** latest virtual operation-completion time; [0] for traces without
+          [Op_completed] events *)
 }
 
 val analyze : Event.stamped list -> report

@@ -89,9 +89,20 @@ let fields_of_event = function
       ("old", Json.Str (status_to_string old_status));
       ("new", Json.Str (status_to_string new_status));
     ]
+  | Op_completed { index; at } -> [ ("index", jint index); ("at", jint at) ]
   | Notification_pushed { recipient; events; violations } ->
     [
       ("recipient", Json.Str recipient);
+      ("events", json_of_strings events);
+      ("violations", json_of_ints violations);
+    ]
+  | Notification_delivered { recipient; op_index; sent_at; delivered_at; events; violations }
+    ->
+    [
+      ("recipient", Json.Str recipient);
+      ("op_index", jint op_index);
+      ("sent_at", jint sent_at);
+      ("delivered_at", jint delivered_at);
       ("events", json_of_strings events);
       ("violations", json_of_ints violations);
     ]
@@ -285,10 +296,22 @@ let event_of_json j =
         old_status = status_field j "old";
         new_status = status_field j "new";
       }
+  | "op_completed" ->
+    Op_completed { index = get_int j "index"; at = get_int j "at" }
   | "notification_pushed" ->
     Notification_pushed
       {
         recipient = get_str j "recipient";
+        events = get_strings j "events";
+        violations = get_ints j "violations";
+      }
+  | "notification_delivered" ->
+    Notification_delivered
+      {
+        recipient = get_str j "recipient";
+        op_index = get_int j "op_index";
+        sent_at = get_int j "sent_at";
+        delivered_at = get_int j "delivered_at";
         events = get_strings j "events";
         violations = get_ints j "violations";
       }

@@ -90,8 +90,20 @@ type t =
       old_status : status;
       new_status : status;
     }
+  | Op_completed of {
+      index : int;  (** operation index, matching [Op_executed] *)
+      at : int;  (** virtual completion time (scheduler ticks) *)
+    }
   | Notification_pushed of {
       recipient : string;
+      events : string list;  (** rendered event descriptions *)
+      violations : int list;  (** ids of newly violated constraints *)
+    }
+  | Notification_delivered of {
+      recipient : string;
+      op_index : int;  (** the operation whose outcome was delivered *)
+      sent_at : int;  (** virtual time the NM sent it (op completion) *)
+      delivered_at : int;  (** virtual arrival time (sent + latency) *)
       events : string list;  (** rendered event descriptions *)
       violations : int list;  (** ids of newly violated constraints *)
     }
@@ -117,9 +129,11 @@ let kind_label = function
   | Run_started _ -> "run_started"
   | Op_submitted _ -> "op_submitted"
   | Op_executed _ -> "op_executed"
+  | Op_completed _ -> "op_completed"
   | Propagation_started _ -> "propagation_started"
   | Propagation_finished _ -> "propagation_finished"
   | Constraint_status_changed _ -> "constraint_status_changed"
   | Notification_pushed _ -> "notification_pushed"
+  | Notification_delivered _ -> "notification_delivered"
   | Designer_decision _ -> "designer_decision"
   | Run_finished _ -> "run_finished"

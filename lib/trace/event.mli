@@ -99,11 +99,29 @@ type t =
       old_status : status;
       new_status : status;
     }
+  | Op_completed of { index : int; at : int }
+      (** Emitted by the discrete-event engine when the operation's
+          virtual duration elapses ([at] is in scheduler ticks); absent
+          from lockstep-loop traces. *)
   | Notification_pushed of {
       recipient : string;
       events : string list;
       violations : int list;
     }
+      (** The NM {e sent} a notification (emitted at operation-execution
+          time). With a nonzero notification latency the recipient sees it
+          only at the matching [Notification_delivered]. *)
+  | Notification_delivered of {
+      recipient : string;
+      op_index : int;
+      sent_at : int;
+      delivered_at : int;  (** [sent_at + latency], scheduler ticks *)
+      events : string list;
+      violations : int list;
+    }
+      (** A routed notification {e arrived} in a teammate's mailbox (the
+          acting designer's own feedback is instant and not re-announced).
+          Emitted only by the discrete-event engine. *)
   | Designer_decision of {
       designer : string;
       heuristic : heuristic;

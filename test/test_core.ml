@@ -435,6 +435,155 @@ let test_notify_resolution_event () =
   | [ { Notify.n_events = [ Notify.Violation_resolved 0 ]; _ } ] -> ()
   | _ -> Alcotest.fail "expected a Violation_resolved event"
 
+(* Direct contract tests of the routing primitive *)
+
+let no_constraints ~old_status = function
+  | (_ : int) -> old_status
+
+let test_routed_widening_silent () =
+  let events =
+    Notify.routed_events
+      ~args_of:(fun _ -> [])
+      ~old_statuses:(no_constraints ~old_status:Constr.Consistent)
+      ~new_statuses:[]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[ ("p", Domain.continuous 0. 5.) ]
+  in
+  Alcotest.(check int) "a widened subspace is not announced" 0
+    (List.length events)
+
+let test_routed_empty_precedence () =
+  let events =
+    Notify.routed_events
+      ~args_of:(fun _ -> [])
+      ~old_statuses:(no_constraints ~old_status:Constr.Consistent)
+      ~new_statuses:[]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[ ("p", Domain.Empty) ]
+  in
+  match events with
+  | [ ([ "p" ], Notify.Feasible_empty "p") ] -> ()
+  | _ ->
+    Alcotest.fail
+      "an emptied domain must yield exactly Feasible_empty (never also a \
+       reduction)"
+
+let test_routed_resolution_requires_violated () =
+  let route ~old_status ~new_status =
+    Notify.routed_events
+      ~args_of:(fun _ -> [ "p" ])
+      ~old_statuses:(no_constraints ~old_status)
+      ~new_statuses:[ (0, new_status) ]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[]
+  in
+  Alcotest.(check int) "Satisfied -> Consistent is silent" 0
+    (List.length
+       (route ~old_status:Constr.Satisfied ~new_status:Constr.Consistent));
+  Alcotest.(check int) "Consistent -> Satisfied is silent" 0
+    (List.length
+       (route ~old_status:Constr.Consistent ~new_status:Constr.Satisfied));
+  (match route ~old_status:Constr.Violated ~new_status:Constr.Consistent with
+  | [ (_, Notify.Violation_resolved 0) ] -> ()
+  | _ -> Alcotest.fail "Violated -> Consistent must resolve");
+  match route ~old_status:Constr.Consistent ~new_status:Constr.Violated with
+  | [ (_, Notify.Violation_detected 0) ] -> ()
+  | _ -> Alcotest.fail "Consistent -> Violated must detect"
+
+let test_notify_multi_recipient_split () =
+  let subs = [ ("alice", [ "xa" ]); ("bob", [ "xb" ]); ("carol", [ "xc" ]) ] in
+  let notifications =
+    Notify.diff ~subscriptions:subs
+      ~args_of:(fun _ -> [ "xa"; "xb" ])
+      ~old_statuses:(fun _ -> Constr.Consistent)
+      ~new_statuses:[ (0, Constr.Violated) ]
+      ~old_feasible:(fun _ -> Domain.continuous 0. 1.)
+      ~new_feasible:[]
+  in
+  let names = List.map (fun n -> n.Notify.n_recipient) notifications in
+  Alcotest.(check (list string))
+    "only subscribers of the touched properties" [ "alice"; "bob" ] names;
+  List.iter
+    (fun n ->
+      match n.Notify.n_events with
+      | [ Notify.Violation_detected 0 ] -> ()
+      | _ -> Alcotest.fail "each recipient sees the one violation")
+    notifications
+
+(* The hash-set routing in [Notify.diff] against the original
+   List.mem-scan formulation, on randomized subscription tables and event
+   batches: same notifications, same order. *)
+let notify_diff_matches_reference =
+  let reference ~subscriptions ~args_of ~old_statuses ~new_statuses
+      ~old_feasible ~new_feasible =
+    let events =
+      Notify.routed_events ~args_of ~old_statuses ~new_statuses ~old_feasible
+        ~new_feasible
+    in
+    List.filter_map
+      (fun (designer, props) ->
+        let relevant =
+          List.filter_map
+            (fun (touched, event) ->
+              if List.exists (fun p -> List.mem p props) touched then
+                Some event
+              else None)
+            events
+        in
+        match relevant with
+        | [] -> None
+        | _ -> Some { Notify.n_recipient = designer; n_events = relevant })
+      subscriptions
+  in
+  QCheck.Test.make ~name:"notify diff matches List.mem reference" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let prop i = Printf.sprintf "p%d" i in
+      let nprops = 1 + Random.State.int st 6 in
+      let random_props () =
+        List.filter (fun _ -> Random.State.bool st)
+          (List.init nprops prop)
+      in
+      let subscriptions =
+        List.map
+          (fun d -> (d, random_props ()))
+          [ "ann"; "bob"; "carol"; "dave" ]
+      in
+      let ncids = Random.State.int st 5 in
+      let args = Array.init ncids (fun _ -> random_props ()) in
+      let args_of cid = args.(cid) in
+      let statuses =
+        [| Constr.Satisfied; Constr.Violated; Constr.Consistent |]
+      in
+      let pick_status () = statuses.(Random.State.int st 3) in
+      let old_status = Array.init ncids (fun _ -> pick_status ()) in
+      let old_statuses cid = old_status.(cid) in
+      let new_statuses =
+        List.filter_map
+          (fun cid ->
+            if Random.State.bool st then Some (cid, pick_status ()) else None)
+          (List.init ncids Fun.id)
+      in
+      let old_feasible _ = Domain.continuous 0. 10. in
+      let new_feasible =
+        List.filter_map
+          (fun i ->
+            if Random.State.bool st then
+              Some
+                ( prop i,
+                  if Random.State.int st 8 = 0 then Domain.Empty
+                  else
+                    Domain.continuous 0.
+                      (float_of_int (1 + Random.State.int st 20)) )
+            else None)
+          (List.init nprops Fun.id)
+      in
+      Notify.diff ~subscriptions ~args_of ~old_statuses ~new_statuses
+        ~old_feasible ~new_feasible
+      = reference ~subscriptions ~args_of ~old_statuses ~new_statuses
+          ~old_feasible ~new_feasible)
+
 (* {2 Browser} *)
 
 let test_browsers_render () =
@@ -480,5 +629,11 @@ let suite =
     ("notification diff and routing", `Quick, test_notify_diff);
     ("notification: empty feasible set", `Quick, test_notify_empty_domain_event);
     ("notification: resolution", `Quick, test_notify_resolution_event);
+    ("routing: widening is silent", `Quick, test_routed_widening_silent);
+    ("routing: empty dominates reduction", `Quick, test_routed_empty_precedence);
+    ("routing: resolution requires Violated", `Quick,
+     test_routed_resolution_requires_violated);
+    ("routing: multi-recipient split", `Quick, test_notify_multi_recipient_split);
+    QCheck_alcotest.to_alcotest notify_diff_matches_reference;
     ("browser renderings", `Quick, test_browsers_render);
   ]

@@ -1,0 +1,206 @@
+(* The discrete-event engine's contracts.
+
+   The load-bearing one: at latency 0 (any duration model), Engine.run is
+   bit-identical — whole summary, per-op profile included — to the
+   preserved lockstep loop, across every scenario, both modes, and a
+   spread of seeds. Then the latency > 0 behaviours: delivery timestamps
+   strictly after the originating operation, determinism, replayability,
+   and the virtual makespan. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+open Adpm_trace
+
+let scenarios =
+  [
+    Simple.scenario;
+    Simple_dddl.scenario;
+    Lna.scenario;
+    Sensor.scenario;
+    Receiver.scenario;
+    Generated.scenario (Generated.default_params ~subsystems:4 ~vars:3);
+  ]
+
+let cfg ?(latency = 0) ?(duration_model = Adpm_sim.Model.unit_duration) mode
+    seed =
+  {
+    (Config.default ~mode ~seed) with
+    Config.max_ops = 500;
+    latency;
+    duration_model;
+  }
+
+(* {2 Latency-0 equivalence} *)
+
+let check_identical label a b =
+  (* compare field by field first so a mismatch names what diverged *)
+  Alcotest.(check bool)
+    (label ^ ": completed")
+    a.Metrics.s_completed b.Metrics.s_completed;
+  Alcotest.(check int) (label ^ ": operations") a.Metrics.s_operations
+    b.Metrics.s_operations;
+  Alcotest.(check int) (label ^ ": evaluations") a.Metrics.s_evaluations
+    b.Metrics.s_evaluations;
+  Alcotest.(check int) (label ^ ": spins") a.Metrics.s_spins b.Metrics.s_spins;
+  Alcotest.(check bool)
+    (label ^ ": full summary incl. profile")
+    true (a = b)
+
+let test_latency0_equivalence () =
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun seed ->
+              let c = cfg mode seed in
+              let des = (Engine.run c scenario).Engine.o_summary in
+              let reference =
+                (Engine.run_lockstep c scenario).Engine.o_summary
+              in
+              check_identical
+                (Printf.sprintf "%s/%s seed %d" scenario.Scenario.sc_name
+                   (Dpm.mode_to_string mode) seed)
+                des reference)
+            [ 1; 2; 3; 4; 5 ])
+        [ Dpm.Adpm; Dpm.Conventional ])
+    scenarios
+
+let test_duration_model_invariant_at_latency0 () =
+  let stretched =
+    Adpm_sim.Model.Per_kind
+      { dm_synthesis = 3; dm_verification = 7; dm_decompose = 2 }
+  in
+  List.iter
+    (fun mode ->
+      let plain = (Engine.run (cfg mode 2) Sensor.scenario).Engine.o_summary in
+      let slow =
+        (Engine.run (cfg ~duration_model:stretched mode 2) Sensor.scenario)
+          .Engine.o_summary
+      in
+      Alcotest.(check bool)
+        (Dpm.mode_to_string mode
+        ^ ": durations stretch the clock, not the outcome")
+        true (plain = slow))
+    [ Dpm.Adpm; Dpm.Conventional ]
+
+let test_makespan_counts_ops_at_unit_duration () =
+  let outcome = Engine.run (cfg Dpm.Adpm 1) Sensor.scenario in
+  Alcotest.(check int) "makespan = operation count (uniform:1, latency 0)"
+    outcome.Engine.o_summary.Metrics.s_operations outcome.Engine.o_makespan;
+  let lockstep = Engine.run_lockstep (cfg Dpm.Adpm 1) Sensor.scenario in
+  Alcotest.(check int) "lockstep reports the same makespan"
+    outcome.Engine.o_makespan lockstep.Engine.o_makespan
+
+let test_engine_validates_config () =
+  let bad = { (cfg Dpm.Adpm 1) with Config.max_ops = 0 } in
+  let raises f =
+    match f () with
+    | (_ : Engine.outcome) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Engine.run bad Simple.scenario);
+  raises (fun () -> Engine.run_lockstep bad Simple.scenario)
+
+(* {2 Latency > 0} *)
+
+let traced_run c scenario =
+  let buffer, sink = Sink.memory ~capacity:100_000 in
+  let tracer = Tracer.create sink in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Tracer.close tracer)
+      (fun () -> Engine.run ~tracer c scenario)
+  in
+  (outcome, Sink.Ring.contents buffer)
+
+let test_latency_delivery_timestamps () =
+  let latency = 3 in
+  let c = cfg ~latency Dpm.Adpm 1 in
+  let _, events = traced_run c Sensor.scenario in
+  let completions = Hashtbl.create 64 in
+  List.iter
+    (fun { Event.event; _ } ->
+      match event with
+      | Event.Op_completed { index; at } -> Hashtbl.replace completions index at
+      | _ -> ())
+    events;
+  Alcotest.(check bool) "trace has completions" true
+    (Hashtbl.length completions > 0);
+  let deliveries =
+    List.filter_map
+      (fun { Event.event; _ } ->
+        match event with
+        | Event.Notification_delivered { op_index; sent_at; delivered_at; _ } ->
+          Some (op_index, sent_at, delivered_at)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "trace has teammate deliveries" true
+    (deliveries <> []);
+  List.iter
+    (fun (op_index, sent_at, delivered_at) ->
+      Alcotest.(check bool) "delivered strictly after the operation" true
+        (delivered_at > sent_at);
+      Alcotest.(check int) "transit time is the configured latency" latency
+        (delivered_at - sent_at);
+      match Hashtbl.find_opt completions op_index with
+      | Some at ->
+        Alcotest.(check int) "sent when the operation completed" at sent_at
+      | None -> Alcotest.fail "delivery references an unknown operation")
+    deliveries;
+  let report = Analyze.analyze events in
+  Alcotest.(check int) "analyzer counts the deliveries"
+    (List.length deliveries) report.Analyze.r_deliveries;
+  Alcotest.(check (float 1e-9)) "analyzer mean transit" (float_of_int latency)
+    report.Analyze.r_delivery_latency_mean;
+  Alcotest.(check bool) "analyzer sees a positive makespan" true
+    (report.Analyze.r_makespan > 0)
+
+let test_latency_deterministic () =
+  let c = cfg ~latency:2 Dpm.Conventional 7 in
+  let o1, t1 = traced_run c Sensor.scenario in
+  let o2, t2 = traced_run c Sensor.scenario in
+  Alcotest.(check bool) "same summary" true
+    (o1.Engine.o_summary = o2.Engine.o_summary);
+  Alcotest.(check bool) "same trace, event for event" true
+    (List.map Codec.to_line t1 = List.map Codec.to_line t2)
+
+let test_latency_trace_replays () =
+  let c = cfg ~latency:2 Dpm.Adpm 3 in
+  let _, events = traced_run c Sensor.scenario in
+  let report = Replay.run ~scenarios events in
+  Alcotest.(check bool) "latency trace replays and converges" true
+    (Replay.converged report)
+
+let test_latency_changes_conventional_run () =
+  (* a sanity check that the knob is live: some scenario/seed must react
+     to a large notification lag *)
+  let differs =
+    List.exists
+      (fun seed ->
+        let at latency =
+          (Engine.run (cfg ~latency Dpm.Conventional seed) Sensor.scenario)
+            .Engine.o_summary
+        in
+        at 0 <> at 8)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "latency 8 alters at least one run" true differs
+
+let suite =
+  [
+    ("latency-0 DES = lockstep (all scenarios)", `Slow,
+     test_latency0_equivalence);
+    ("duration model invariant at latency 0", `Slow,
+     test_duration_model_invariant_at_latency0);
+    ("makespan counts operations", `Quick,
+     test_makespan_counts_ops_at_unit_duration);
+    ("engine validates config", `Quick, test_engine_validates_config);
+    ("delivery timestamps lag completions", `Quick,
+     test_latency_delivery_timestamps);
+    ("latency runs are deterministic", `Quick, test_latency_deterministic);
+    ("latency traces replay", `Quick, test_latency_trace_replays);
+    ("latency knob is live", `Slow, test_latency_changes_conventional_run);
+  ]

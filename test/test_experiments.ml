@@ -109,9 +109,28 @@ let test_ablation () =
   Alcotest.(check bool) "render works" true
     (String.length (Exp_ablation.render r) > 0)
 
+let test_latency_sweep_smoke () =
+  let r = Exp_latency.run ~seeds:3 ~latencies:[ 0; 2 ] () in
+  Alcotest.(check int) "one point per latency" 2 (List.length r.Exp_latency.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "conv cell has the runs" 3
+        p.Exp_latency.p_conv.Adpm_teamsim.Report.a_runs;
+      Alcotest.(check int) "adpm cell has the runs" 3
+        p.Exp_latency.p_adpm.Adpm_teamsim.Report.a_runs)
+    r.Exp_latency.points;
+  let v = Exp_latency.verdicts r in
+  Alcotest.(check int) "a ratio per latency" 2
+    (List.length v.Exp_latency.ops_ratio_by_latency);
+  Alcotest.(check bool) "finite ratio at zero" true
+    (Float.is_finite v.Exp_latency.ratio_at_zero);
+  Alcotest.(check bool) "render works" true
+    (String.length (Exp_latency.render r) > 0)
+
 let suite =
   [
     ("Fig 2-4 walkthrough values", `Quick, test_fig234_walkthrough);
+    ("latency sweep smoke", `Slow, test_latency_sweep_smoke);
     ("Fig 7 profile shape", `Slow, test_fig7_shape);
     ("Fig 8 statistics window", `Quick, test_fig8_series);
     ("Fig 9 headline claims", `Slow, test_fig9_claims);

@@ -8,7 +8,9 @@ let () =
       ("csp", Test_csp.suite);
       ("incremental", Test_incremental.suite);
       ("core", Test_core.suite);
+      ("sim", Test_sim.suite);
       ("teamsim", Test_teamsim.suite);
+      ("des", Test_des.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("export", Test_export.suite);

@@ -104,6 +104,16 @@ let sample_events =
           events = [ "violation-detected:4"; "feasible-reduced:bw" ];
           violations = [ 4 ];
         };
+      Event.Op_completed { index = 7; at = 11 };
+      Event.Notification_delivered
+        {
+          recipient = "bob";
+          op_index = 7;
+          sent_at = 11;
+          delivered_at = 14;
+          events = [ "violation-detected:4" ];
+          violations = [ 4 ];
+        };
       Event.Designer_decision
         {
           designer = "bob";
