@@ -70,7 +70,32 @@ let () =
   if jobs >= 2 && (not fast) && parallel < 1. then
     die "parallel_speedup %g < 1 with %d jobs: the parallel path regressed"
       parallel jobs;
+  (* pool supervision must be measured and essentially free on the healthy
+     path: a missing ratio means the comparison silently stopped running,
+     and > 1.1x means the retry/timeout bookkeeping started costing real
+     time. Fast smoke runs are exempt from the 1.1x bar (their cells are
+     milliseconds long, fork timing noise dominates), not from existing. *)
+  let pool = speedup "pool_retry_overhead" in
+  (match Option.bind (Json.member "pool_retry_agrees" json) Json.to_bool with
+  | Some true -> ()
+  | Some false ->
+    die
+      "pool_retry_agrees is false: supervised and relaxed pool runs \
+       diverged on the healthy path"
+  | None -> die "%s lacks the pool_retry_agrees field" file);
+  if (not fast) && pool > 1.1 then
+    die "pool_retry_overhead %gx > 1.1x: supervision is no longer free" pool;
+  (* the fault sweep must have produced a degradation curve *)
+  (match Json.member "fault_sweep" json with
+  | None -> die "%s lacks the fault_sweep field" file
+  | Some sweep -> (
+    match
+      Option.bind (Json.member "completion_by_drop" sweep) Json.to_list
+    with
+    | None | Some [] ->
+      die "fault_sweep.completion_by_drop is missing or empty"
+    | Some _ -> ()));
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
-     (jobs=%d) des_overhead=%.2fx\n"
-    incremental parallel jobs des_overhead
+     (jobs=%d) des_overhead=%.2fx pool_retry_overhead=%.2fx\n"
+    incremental parallel jobs des_overhead pool

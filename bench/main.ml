@@ -35,7 +35,34 @@ let timed name f =
   timings := (name, Unix.gettimeofday () -. t0) :: !timings;
   v
 
-let results_json ~fig9_seeds ~parallel verdicts incr des =
+let fault_sweep_json (faults : Exp_faults.result) =
+  let v = Exp_faults.verdicts faults in
+  Json.Obj
+    ([
+       ( "completion_by_drop",
+         Json.Arr
+           (List.map
+              (fun (drop, conv, adpm) ->
+                Json.Obj
+                  [
+                    ("drop", Json.Num drop);
+                    ("conv", Json.Num conv);
+                    ("adpm", Json.Num adpm);
+                  ])
+              v.Exp_faults.completion_by_drop) );
+       ( "adpm_degrades_slower",
+         Json.Bool v.Exp_faults.adpm_degrades_slower );
+     ]
+    @
+    match v.Exp_faults.crash_completion with
+    | None -> []
+    | Some (conv, adpm) ->
+      [
+        ( "crash",
+          Json.Obj [ ("conv", Json.Num conv); ("adpm", Json.Num adpm) ] );
+      ])
+
+let results_json ~fig9_seeds ~parallel verdicts incr des pool faults =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   Json.Obj
     [
@@ -44,6 +71,9 @@ let results_json ~fig9_seeds ~parallel verdicts incr des =
       ("incremental_speedup", Json.Num incr.Incremental.speedup);
       ("des_overhead", Json.Num des.Des_overhead.overhead);
       ("des_agrees", Json.Bool des.Des_overhead.agrees);
+      ("pool_retry_overhead", Json.Num pool.Pool_overhead.overhead);
+      ("pool_retry_agrees", Json.Bool pool.Pool_overhead.agrees);
+      ("fault_sweep", fault_sweep_json faults);
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
@@ -186,6 +216,13 @@ let () =
          Exp_latency.render
            (Exp_latency.run ~seeds:(if fast then 3 else 20) ~jobs:njobs ())));
 
+  section "Fault-injection sweep (extension): completion vs notification loss";
+  let faults =
+    timed "faults" (fun () ->
+        Exp_faults.run ~seeds:(if fast then 3 else 20) ~jobs:njobs ())
+  in
+  print_string (Exp_faults.render faults);
+
   section "Discrete-event scheduler: overhead vs the lockstep loop (latency 0)";
   let des =
     timed "des_overhead" (fun () ->
@@ -193,11 +230,19 @@ let () =
   in
   print_string (Des_overhead.render des);
 
+  section "Worker pool: supervision overhead on the healthy path";
+  let pool =
+    timed "pool_overhead" (fun () ->
+        Pool_overhead.run ~seeds:(if fast then 4 else 12) ~jobs:(max 2 njobs) ())
+  in
+  print_string (Pool_overhead.render pool);
+
   section "Micro-benchmarks (bechamel)";
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
   let json =
-    results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr des
+    results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr des pool
+      faults
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

@@ -1,0 +1,63 @@
+(* Supervision-overhead check: the resilient worker pool's healthy path
+   (retry accounting, per-worker progress stamps, timeout-aware select)
+   must cost essentially nothing over the same pool with supervision
+   switched off (retries 0, no job timeout), and both paths must produce
+   identical summaries. Three alternating repetitions per side, minimum
+   wall each, so a one-off scheduling hiccup cannot fake a regression.
+   The ratio lands in BENCH_results.json for check_results to gate on. *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+type result = {
+  jobs : int;
+  seeds : int;
+  relaxed_s : float;  (* best wall, retries 0 / no timeout *)
+  supervised_s : float;  (* best wall, default retries + generous timeout *)
+  overhead : float;  (* supervised wall / relaxed wall *)
+  agrees : bool;  (* identical summaries on every repetition *)
+}
+
+let run ~seeds ~jobs () =
+  let seed_list = List.init seeds (fun i -> i + 1) in
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
+  let relaxed () =
+    Engine.run_many ~jobs ~retries:0 cfg Sensor.scenario ~seeds:seed_list
+  in
+  let supervised () =
+    Engine.run_many ~jobs ~job_timeout:600. cfg Sensor.scenario
+      ~seeds:seed_list
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let reference = relaxed () in
+  let relaxed_s = ref infinity
+  and supervised_s = ref infinity
+  and agrees = ref true in
+  for _ = 1 to 3 do
+    let rv, rdt = time relaxed in
+    let sv, sdt = time supervised in
+    relaxed_s := Float.min !relaxed_s rdt;
+    supervised_s := Float.min !supervised_s sdt;
+    agrees := !agrees && rv = reference && sv = reference
+  done;
+  {
+    jobs;
+    seeds;
+    relaxed_s = !relaxed_s;
+    supervised_s = !supervised_s;
+    overhead =
+      (if !relaxed_s <= 0. then 1. else !supervised_s /. !relaxed_s);
+    agrees = !agrees;
+  }
+
+let render r =
+  Printf.sprintf
+    "sensor x %d seeds at jobs=%d: relaxed %.3fs, supervised %.3fs -> \
+     overhead %.2fx; summaries %s\n"
+    r.seeds r.jobs r.relaxed_s r.supervised_s r.overhead
+    (if r.agrees then "bit-identical" else "DIVERGED")

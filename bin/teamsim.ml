@@ -134,6 +134,84 @@ let duration_arg =
            durations stretch the virtual clock without changing any \
            outcome.")
 
+(* {2 Fault-injection flags} — shared by run and sweep. *)
+
+module Fault = Adpm_fault.Fault
+
+let drop_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "drop" ] ~docv:"RATE"
+        ~doc:
+          "Probability in [0,1] that a teammate notification is lost in \
+           transit (the acting designer's own tool feedback is never \
+           faulted). Seeded: the same seed loses the same notifications.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "dup" ] ~docv:"RATE"
+        ~doc:
+          "Probability in [0,1] that a teammate notification is delivered \
+           twice (each copy with its own jitter).")
+
+let jitter_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jitter" ] ~docv:"TICKS"
+        ~doc:
+          "Extra per-delivery delay drawn uniformly from [0,TICKS] ticks \
+           on top of --latency.")
+
+let crash_plan_arg =
+  let crashes_conv =
+    let parse s =
+      match Fault.crashes_of_string s with
+      | Ok crashes -> Ok crashes
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf crashes =
+      Format.pp_print_string ppf (Fault.crashes_to_string crashes)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt crashes_conv []
+    & info [ "crash-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Scheduled designer crashes, e.g. $(b,alice\\@12+5;bob\\@30+10): \
+           crash NAME at virtual time TIME, restart it RECOVERY ticks \
+           later. A restarted designer has lost its believed-status table \
+           and queued notifications and rebuilds from later deliveries.")
+
+let fault_plan_term =
+  let combine p_drop p_dup p_jitter p_crashes =
+    { Fault.p_drop; p_dup; p_jitter; p_crashes }
+  in
+  Term.(const combine $ drop_arg $ dup_arg $ jitter_arg $ crash_plan_arg)
+
+let job_retries_arg =
+  Arg.(
+    value
+    & opt int Adpm_parallel.Pool.default_retries
+    & info [ "job-retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts the worker pool grants a seed shard whose worker \
+           crashes or times out before giving up on it.")
+
+let job_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "job-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Kill and requeue a worker that goes this long without \
+           delivering a result (wall-clock). Unset means wait forever.")
+
 (* Reject a bad combination of numeric settings before the engine raises. *)
 let validated cfg =
   match Config.validate cfg with
@@ -192,8 +270,8 @@ let trace_arg =
            $(b,replay).")
 
 let run_cmd =
-  let action scenario_name mode engine seed latency duration_model verbose csv
-      json trace =
+  let action scenario_name mode engine seed latency duration_model faults
+      verbose csv json trace =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -206,6 +284,7 @@ let run_cmd =
             Config.engine;
             latency;
             duration_model;
+            faults;
           }
       in
       let on_op r =
@@ -226,9 +305,17 @@ let run_cmd =
             exit 1)
       in
       let outcome =
-        Fun.protect
-          ~finally:(fun () -> Tracer.close tracer)
-          (fun () -> Engine.run ~on_op ~tracer cfg scenario)
+        match
+          Fun.protect
+            ~finally:(fun () -> Tracer.close tracer)
+            (fun () -> Engine.run ~on_op ~tracer cfg scenario)
+        with
+        | outcome -> outcome
+        | exception Invalid_argument msg ->
+          (* a crash plan naming an unknown designer is only detectable
+             once the scenario is built *)
+          prerr_endline msg;
+          exit 1
       in
       (match trace with
       | Some path ->
@@ -249,8 +336,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ mode_arg $ engine_arg $ seed_arg
-      $ latency_arg $ duration_arg $ verbose_arg $ csv_arg $ json_arg
-      $ trace_arg)
+      $ latency_arg $ duration_arg $ fault_plan_term $ verbose_arg $ csv_arg
+      $ json_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
 
@@ -313,7 +400,7 @@ let analyze_cmd =
     term
 
 let sweep_cmd =
-  let action scenario_name seeds jobs latency csv =
+  let action scenario_name seeds jobs latency faults retries job_timeout csv =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -322,14 +409,21 @@ let sweep_cmd =
       let jobs = effective_jobs jobs in
       let seed_list = List.init seeds (fun i -> i + 1) in
       let cfg mode =
-        validated { (Config.default ~mode ~seed:0) with Config.latency }
+        validated
+          { (Config.default ~mode ~seed:0) with Config.latency; faults }
       in
-      let conv_runs =
-        Engine.run_many ~jobs (cfg Dpm.Conventional) scenario ~seeds:seed_list
+      let on_retry (e : Adpm_parallel.Pool.supervision_event) =
+        Printf.eprintf
+          "pool: item %d attempt %d failed (%s); %d item(s) requeued\n%!"
+          e.Adpm_parallel.Pool.sv_index e.Adpm_parallel.Pool.sv_attempt
+          e.Adpm_parallel.Pool.sv_reason e.Adpm_parallel.Pool.sv_requeued
       in
-      let adpm_runs =
-        Engine.run_many ~jobs (cfg Dpm.Adpm) scenario ~seeds:seed_list
+      let run_mode mode =
+        Engine.run_many ~jobs ~retries ?job_timeout ~on_retry (cfg mode)
+          scenario ~seeds:seed_list
       in
+      let conv_runs = run_mode Dpm.Conventional in
+      let adpm_runs = run_mode Dpm.Adpm in
       print_string
         (Report.comparison_table
            ~title:(Printf.sprintf "scenario %s, %d seeds" scenario_name seeds)
@@ -343,7 +437,7 @@ let sweep_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ seeds_arg $ jobs_arg $ latency_arg
-      $ csv_arg)
+      $ fault_plan_term $ job_retries_arg $ job_timeout_arg $ csv_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")

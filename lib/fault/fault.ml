@@ -1,0 +1,114 @@
+open Adpm_util
+
+type crash = { cr_designer : string; cr_at : int; cr_recover : int }
+
+type plan = {
+  p_drop : float;
+  p_dup : float;
+  p_jitter : int;
+  p_crashes : crash list;
+}
+
+let none = { p_drop = 0.; p_dup = 0.; p_jitter = 0; p_crashes = [] }
+
+let is_none p = p = none
+
+let validate p =
+  (* the comparisons also reject nan *)
+  let prob name v =
+    if v >= 0. && v <= 1. then Ok ()
+    else Error (Printf.sprintf "%s must be a probability in [0,1] (got %g)" name v)
+  in
+  let rec crashes = function
+    | [] -> Ok ()
+    | c :: rest ->
+      if c.cr_designer = "" then Error "crash plan has an empty designer name"
+      else if c.cr_at < 0 then
+        Error
+          (Printf.sprintf "crash time for %s must be non-negative (got %d)"
+             c.cr_designer c.cr_at)
+      else if c.cr_recover <= 0 then
+        Error
+          (Printf.sprintf "crash recovery for %s must be positive (got %d)"
+             c.cr_designer c.cr_recover)
+      else crashes rest
+  in
+  match prob "drop rate" p.p_drop with
+  | Error _ as e -> e
+  | Ok () -> (
+    match prob "duplication rate" p.p_dup with
+    | Error _ as e -> e
+    | Ok () ->
+      if p.p_jitter < 0 then
+        Error (Printf.sprintf "jitter must be non-negative (got %d)" p.p_jitter)
+      else crashes p.p_crashes)
+
+(* {2 Crash-plan syntax: NAME@TIME+RECOVERY;NAME@TIME+RECOVERY;...} *)
+
+let crash_to_string c =
+  Printf.sprintf "%s@%d+%d" c.cr_designer c.cr_at c.cr_recover
+
+let crashes_to_string cs = String.concat ";" (List.map crash_to_string cs)
+
+let crash_of_string entry =
+  let bad () =
+    Error
+      (Printf.sprintf "bad crash entry %S (expected NAME@TIME+RECOVERY)" entry)
+  in
+  match String.index_opt entry '@' with
+  | None -> bad ()
+  | Some at -> (
+    let name = String.sub entry 0 at in
+    let rest = String.sub entry (at + 1) (String.length entry - at - 1) in
+    match String.index_opt rest '+' with
+    | None -> bad ()
+    | Some plus -> (
+      let time = String.sub rest 0 plus in
+      let recover = String.sub rest (plus + 1) (String.length rest - plus - 1) in
+      match (int_of_string_opt time, int_of_string_opt recover) with
+      | Some cr_at, Some cr_recover when name <> "" ->
+        Ok { cr_designer = name; cr_at; cr_recover }
+      | _ -> bad ()))
+
+let crashes_of_string s =
+  let entries =
+    List.filter
+      (fun e -> String.trim e <> "")
+      (String.split_on_char ';' s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      match crash_of_string (String.trim e) with
+      | Ok c -> go (c :: acc) rest
+      | Error _ as err -> err)
+  in
+  go [] entries
+
+(* {2 Runtime injector} *)
+
+type t = { rng : Rng.t; i_plan : plan }
+
+let create ~rng plan = { rng; i_plan = plan }
+
+let plan t = t.i_plan
+
+type fate =
+  | Deliver of { extra : int }
+  | Drop
+  | Duplicate of { extra : int; dup_extra : int }
+
+let jitter t =
+  if t.i_plan.p_jitter <= 0 then 0 else Rng.int t.rng (t.i_plan.p_jitter + 1)
+
+(* Fixed draw order (drop, duplicate, jitter per scheduled copy): the
+   decision sequence is a pure function of the injector's stream, so a
+   rerun with the same seed makes the same choices at the same events. *)
+let delivery_fate t =
+  if t.i_plan.p_drop > 0. && Rng.float t.rng 1.0 < t.i_plan.p_drop then Drop
+  else if t.i_plan.p_dup > 0. && Rng.float t.rng 1.0 < t.i_plan.p_dup then begin
+    let extra = jitter t in
+    let dup_extra = jitter t in
+    Duplicate { extra; dup_extra }
+  end
+  else Deliver { extra = jitter t }

@@ -1,0 +1,76 @@
+(** Deterministic fault model for the discrete-event engine.
+
+    Real collaborative infrastructure does not merely {e delay}
+    notifications (PR 4's latency axis): it loses them, duplicates them,
+    and loses participants outright. This module describes those failure
+    modes as data — a {!plan} — and turns a plan plus a split {!Rng.t}
+    stream into a runtime {!t} the engine consults at every
+    notification-delivery boundary. Because every stochastic fault
+    decision flows through the injector's own SplitMix64 stream (split
+    once from the run's root generator), a faulty run replays
+    bit-identically from its seed, and a {!none} plan consumes no
+    randomness at all — zero-fault configurations stay bit-identical to
+    the fault-free engine. *)
+
+open Adpm_util
+
+type crash = {
+  cr_designer : string;  (** designer to take down *)
+  cr_at : int;  (** virtual crash time (ticks) *)
+  cr_recover : int;
+      (** ticks until restart; the restarted designer has lost its
+          believed-status table and every queued delivery, and rebuilds
+          its picture only from post-restart deliveries *)
+}
+
+type plan = {
+  p_drop : float;  (** P(teammate delivery is lost), in [0, 1] *)
+  p_dup : float;  (** P(teammate delivery is duplicated), in [0, 1] *)
+  p_jitter : int;
+      (** extra delivery delay drawn uniformly from [0, p_jitter] ticks *)
+  p_crashes : crash list;  (** scheduled designer crash/restart windows *)
+}
+
+val none : plan
+(** No faults: zero rates, zero jitter, no crashes. *)
+
+val is_none : plan -> bool
+(** Whether the plan is exactly {!none}. The engine uses this to skip the
+    fault path (and its Rng split) entirely, preserving bit-identity. *)
+
+val validate : plan -> (unit, string) result
+(** Probabilities must lie in [0, 1], jitter must be non-negative, crash
+    times non-negative and recovery strictly positive. *)
+
+val crashes_of_string : string -> (crash list, string) result
+(** Parse a crash plan like ["alice@12+5;bob@30+10"]: each entry is
+    [NAME@TIME+RECOVERY] — crash [NAME] at virtual time [TIME], restart
+    it [RECOVERY] ticks later. The empty string is the empty plan. *)
+
+val crashes_to_string : crash list -> string
+(** Inverse of {!crashes_of_string}. *)
+
+(** {2 Runtime injector} *)
+
+type t
+(** A seeded injector: the plan plus a private random stream. *)
+
+val create : rng:Rng.t -> plan -> t
+(** The caller passes a dedicated (split) generator; the injector owns
+    it from then on. *)
+
+val plan : t -> plan
+
+type fate =
+  | Deliver of { extra : int }
+      (** deliver once, [extra] ticks of jitter on top of the base
+          latency *)
+  | Drop  (** the notification is lost *)
+  | Duplicate of { extra : int; dup_extra : int }
+      (** deliver twice, each copy with its own jitter *)
+
+val delivery_fate : t -> fate
+(** Decide what happens to one teammate delivery. Draws from the
+    injector's stream in a fixed order (drop, duplicate, jitter), so the
+    decision sequence — and therefore the whole run — is a pure function
+    of the seed. *)

@@ -1,4 +1,4 @@
-(* Fork-based worker pool.
+(* Fork-based worker pool with supervision.
 
    Wire protocol (child -> parent, one pipe per worker): a sequence of
    frames, each a header line "ok <index> <length>\n" or
@@ -6,9 +6,28 @@
    (the serialized result, or the exception text). Length framing makes
    the protocol safe for arbitrary payload bytes — including newlines —
    and lets the parent detect truncation: a worker that dies mid-write
-   leaves a recognizably incomplete tail, never a plausible result. *)
+   leaves a recognizably incomplete tail, never a plausible result.
+
+   The parent parses frames incrementally as bytes arrive, so at any
+   moment it knows exactly which items a worker still owes (its pending
+   list, in send order). When a worker dies, garbles its stream, or
+   stalls past the per-job timeout, the in-flight item — the head of
+   that pending list — is charged one attempt, and the undelivered tail
+   is requeued to a freshly forked child. Items whose budget is
+   exhausted become per-item failures instead of poisoning the batch;
+   "err" frames (the item function itself raised) are deterministic and
+   terminal, never retried. *)
 
 exception Worker_error of { index : int; message : string }
+
+type supervision_event = {
+  sv_index : int;
+  sv_attempt : int;
+  sv_reason : string;
+  sv_requeued : int;
+}
+
+let default_retries = 2
 
 let available () = Sys.os_type = "Unix"
 
@@ -27,23 +46,24 @@ let cpu_count () =
     max 1 n
   | exception Sys_error _ -> 1
 
-(* {2 In-process fallback} *)
+(* {2 In-process execution (fallback, and fork-exhaustion recovery)} *)
 
-let map_inline ~f items =
-  List.mapi
-    (fun index item ->
-      try f item
-      with e ->
-        raise (Worker_error { index; message = Printexc.to_string e }))
-    items
+let attempt_inline ~f item =
+  match f item with
+  | payload -> Ok payload
+  | exception e -> Error ("worker raised: " ^ Printexc.to_string e)
 
 (* {2 Child side} *)
 
+(* A signal landing mid-write must not kill the worker between frames:
+   retry the interrupted (or transiently unwritable) syscall instead. *)
 let write_all fd s =
   let n = String.length s in
   let off = ref 0 in
   while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
+    match Unix.write_substring fd s !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
   done
 
 let frame tag index payload =
@@ -51,8 +71,12 @@ let frame tag index payload =
 
 (* Runs in the forked child: compute this worker's shard in item order,
    streaming one frame per item, then exit without running the parent's
-   at_exit handlers (we share its heap image). *)
+   at_exit handlers (we share its heap image). SIGPIPE is ignored so a
+   dead parent turns writes into EPIPE — a clean status-2 exit — rather
+   than a signal death. *)
 let child_main wfd ~f shard =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let status =
     match
       List.iter
@@ -71,62 +95,40 @@ let child_main wfd ~f shard =
   (try Unix.close wfd with Unix.Unix_error _ -> ());
   Unix._exit status
 
-(* {2 Parent side: frame parsing} *)
+(* {2 Parent side: incremental frame parsing} *)
 
-type parsed = {
-  ok : (int * string) list;
-  errs : (int * string) list;
-  malformed : bool; (* trailing bytes that do not form a complete frame *)
-}
+type frame_item = F_ok of int * string | F_err of int * string
 
-let parse_frames s =
+(* Parse every complete frame at the front of [s]. Returns the frames,
+   the offset where the unconsumed tail starts, and whether that tail is
+   definitely garbage (malformed header) as opposed to merely incomplete
+   (more bytes still in flight). A legitimate header is a few dozen
+   bytes, so a long newline-less prefix is garbage, not patience. *)
+let parse_available s =
   let len = String.length s in
-  let rec go pos ok errs =
-    if pos >= len then { ok; errs; malformed = false }
+  let rec go pos acc =
+    if pos >= len then (List.rev acc, pos, false)
     else
       match String.index_from_opt s pos '\n' with
-      | None -> { ok; errs; malformed = true }
+      | None -> (List.rev acc, pos, len - pos > 256)
       | Some nl -> (
         let header = String.sub s pos (nl - pos) in
         match String.split_on_char ' ' header with
         | [ tag; index; length ] -> (
           match (int_of_string_opt index, int_of_string_opt length) with
-          | Some index, Some length
-            when length >= 0 && nl + 1 + length <= len -> (
-            let payload = String.sub s (nl + 1) length in
-            let next = nl + 1 + length in
-            match tag with
-            | "ok" -> go next ((index, payload) :: ok) errs
-            | "err" -> go next ok ((index, payload) :: errs)
-            | _ -> { ok; errs; malformed = true })
-          | _ -> { ok; errs; malformed = true })
-        | _ -> { ok; errs; malformed = true })
+          | Some index, Some length when length >= 0 ->
+            if nl + 1 + length > len then (List.rev acc, pos, false)
+            else (
+              let payload = String.sub s (nl + 1) length in
+              let next = nl + 1 + length in
+              match tag with
+              | "ok" -> go next (F_ok (index, payload) :: acc)
+              | "err" -> go next (F_err (index, payload) :: acc)
+              | _ -> (List.rev acc, pos, true))
+          | _ -> (List.rev acc, pos, true))
+        | _ -> (List.rev acc, pos, true))
   in
-  go 0 [] []
-
-(* Drain every worker pipe concurrently (a worker can outpace the pipe
-   buffer, so reading sequentially could deadlock) until all report EOF. *)
-let drain readers =
-  let buffers = List.map (fun (w, fd) -> (fd, (w, Buffer.create 4096))) readers in
-  let chunk = Bytes.create 65536 in
-  let open_fds = ref (List.map snd readers) in
-  while !open_fds <> [] do
-    let ready, _, _ =
-      try Unix.select !open_fds [] [] (-1.)
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    List.iter
-      (fun fd ->
-        let _, buf = List.assoc fd buffers in
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 ->
-          Unix.close fd;
-          open_fds := List.filter (fun fd' -> fd' <> fd) !open_fds
-        | n -> Buffer.add_subbytes buf chunk 0 n
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-      ready
-  done;
-  List.map (fun (_, (w, buf)) -> (w, Buffer.contents buf)) buffers
+  go 0 []
 
 let status_to_string = function
   | Unix.WEXITED 0 -> "exited cleanly"
@@ -134,10 +136,23 @@ let status_to_string = function
   | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
 
-(* {2 Parent side: orchestration} *)
+(* {2 Parent side: supervised orchestration} *)
 
-let map_forked ~jobs ~f items =
+type 'a worker = {
+  w_pid : int;
+  w_fd : Unix.file_descr;
+  w_buf : Buffer.t; (* bytes received but not yet forming a frame *)
+  mutable w_pending : (int * 'a) list; (* undelivered items, send order *)
+  mutable w_progress : float; (* last observable activity, for timeouts *)
+}
+
+(* Runs the whole supervised batch and fills [results] — a plain array
+   keyed by item index, so every bookkeeping step (record a result,
+   charge an attempt, find survivors) is O(1) per item rather than the
+   assoc-list scans the unsupervised pool used. *)
+let run_supervised ~retries ~job_timeout ~on_retry ~jobs ~f items results =
   let n = Array.length items in
+  let attempts = Array.make n 0 in
   let shard w =
     let rec go i acc =
       if i >= n then List.rev acc
@@ -145,99 +160,272 @@ let map_forked ~jobs ~f items =
     in
     go 0 []
   in
-  (* Flush before forking so buffered output is not duplicated in children. *)
+  let now () = Unix.gettimeofday () in
+  let reap pid =
+    let rec wait () =
+      match Unix.waitpid [] pid with
+      | _, status -> status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    wait ()
+  in
+  let active = ref [] in
+  let respawns = ref [] in
+  (* (ready_at, pending items), unordered *)
+  let spawn pending =
+    match Unix.pipe ~cloexec:false () with
+    | exception Unix.Unix_error _ -> None
+    | rfd, wfd -> (
+      match Unix.fork () with
+      | exception Unix.Unix_error _ ->
+        (try Unix.close rfd with Unix.Unix_error _ -> ());
+        (try Unix.close wfd with Unix.Unix_error _ -> ());
+        None
+      | 0 ->
+        (* Child: drop every parent-side fd we know about, keep only our
+           own write end (sibling read ends would otherwise keep sibling
+           pipes open past their writers' death). *)
+        Unix.close rfd;
+        List.iter
+          (fun w -> try Unix.close w.w_fd with Unix.Unix_error _ -> ())
+          !active;
+        child_main wfd ~f pending
+      | pid ->
+        Unix.close wfd;
+        Some
+          {
+            w_pid = pid;
+            w_fd = rfd;
+            w_buf = Buffer.create 4096;
+            w_pending = pending;
+            w_progress = now ();
+          })
+  in
+  let run_inline pending =
+    List.iter
+      (fun (index, item) -> results.(index) <- Some (attempt_inline ~f item))
+      pending
+  in
+  (* A worker failed with undelivered items: the in-flight head item is
+     charged one attempt (dropped entirely once its budget is spent),
+     and whatever the worker still owes is requeued to a fresh child —
+     immediately on a first failure, after exponentially growing pauses
+     when the same item keeps killing its workers. *)
+  let handle_failure w reason =
+    match w.w_pending with
+    | [] -> ()
+    | (head, _) :: tail ->
+      attempts.(head) <- attempts.(head) + 1;
+      let attempt = attempts.(head) in
+      let exhausted = attempt > retries in
+      if exhausted then
+        results.(head) <- Some (Error (reason ^ " before delivering a result"));
+      let requeue = if exhausted then tail else w.w_pending in
+      (match on_retry with
+      | Some fn ->
+        fn
+          {
+            sv_index = head;
+            sv_attempt = attempt;
+            sv_reason = reason;
+            sv_requeued = List.length requeue;
+          }
+      | None -> ());
+      if requeue <> [] then begin
+        let delay =
+          if exhausted || attempt <= 1 then 0.
+          else min 1.0 (0.05 *. (2. ** float_of_int (attempt - 2)))
+        in
+        respawns := (now () +. delay, requeue) :: !respawns
+      end
+  in
+  let retire w =
+    (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+    active := List.filter (fun w' -> w' != w) !active
+  in
+  let kill_worker w reason =
+    (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (reap w.w_pid);
+    retire w;
+    handle_failure w reason
+  in
+  let handle_eof w =
+    let status = reap w.w_pid in
+    retire w;
+    if w.w_pending <> [] then begin
+      let detail =
+        if Buffer.length w.w_buf > 0 then " (incomplete result frame)" else ""
+      in
+      handle_failure w ("worker " ^ status_to_string status ^ detail)
+    end
+  in
+  (* Consume every complete frame buffered for [w], resolving the
+     matching pending items. Frames arrive in send order, so the match
+     is almost always the pending head. *)
+  let consume_frames w =
+    let contents = Buffer.contents w.w_buf in
+    let frames, tail, malformed = parse_available contents in
+    Buffer.clear w.w_buf;
+    Buffer.add_substring w.w_buf contents tail (String.length contents - tail);
+    List.iter
+      (fun fr ->
+        let record index outcome =
+          if List.mem_assoc index w.w_pending then begin
+            results.(index) <- Some outcome;
+            w.w_pending <- List.remove_assoc index w.w_pending
+          end
+        in
+        match fr with
+        | F_ok (index, payload) -> record index (Ok payload)
+        | F_err (index, message) ->
+          record index (Error ("worker raised: " ^ message)))
+      frames;
+    if malformed then `Malformed else `Ok
+  in
+  (* Flush before forking so buffered output is not duplicated in
+     children. *)
   flush stdout;
   flush stderr;
-  let workers = ref [] in
-  (* (worker, pid, read_fd), newest first *)
+  (* Initial spawn: one worker per round-robin shard. If fork capacity
+     runs out before the pool exists, tear down and compute in-process
+     rather than failing on a resource error. *)
+  let initial_ok = ref true in
   (try
      for w = 0 to jobs - 1 do
-       let rfd, wfd = Unix.pipe ~cloexec:false () in
-       match Unix.fork () with
-       | 0 ->
-         (* Child: drop every parent-side fd we know about, keep only our
-            own write end (sibling read ends would otherwise keep sibling
-            pipes open past their writers' death). *)
-         Unix.close rfd;
-         List.iter
-           (fun (_, _, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
-           !workers;
-         child_main wfd ~f (shard w)
-       | pid ->
-         Unix.close wfd;
-         workers := (w, pid, rfd) :: !workers
+       match shard w with
+       | [] -> ()
+       | pending -> (
+         match spawn pending with
+         | Some worker -> active := worker :: !active
+         | None -> raise Exit)
      done
-   with e ->
-     (* Fork or pipe creation failed partway: reap what exists, then give
-        the caller the in-process result rather than a capacity error. *)
-     List.iter
-       (fun (_, pid, fd) ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
-         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-       !workers;
-     workers := [];
-     ignore e);
-  match !workers with
-  | [] -> map_inline ~f (Array.to_list items)
-  | workers ->
-    let payloads = drain (List.map (fun (w, _, fd) -> (w, fd)) workers) in
-    let statuses =
-      List.map
-        (fun (w, pid, _) ->
-          let rec wait () =
-            match Unix.waitpid [] pid with
-            | _, status -> status
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-          in
-          (w, wait ()))
-        workers
-    in
-    let results = Array.make n None in
-    let failures = ref [] in
-    let fail index message = failures := (index, message) :: !failures in
+   with Exit -> initial_ok := false);
+  if not !initial_ok then begin
     List.iter
-      (fun (w, raw) ->
-        let parsed = parse_frames raw in
+      (fun w ->
+        (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+        (try Unix.kill w.w_pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (reap w.w_pid) with Unix.Unix_error _ -> ())
+      !active;
+    active := [];
+    respawns := [];
+    run_inline
+      (Array.to_list (Array.mapi (fun index item -> (index, item)) items))
+  end;
+  let chunk = Bytes.create 65536 in
+  while !active <> [] || !respawns <> [] do
+    (* Launch every respawn whose backoff has elapsed. A failed respawn
+       fork means the machine lost fork capacity mid-batch: finish those
+       items in-process instead of spinning. *)
+    let t = now () in
+    let due, later = List.partition (fun (ready, _) -> ready <= t) !respawns in
+    respawns := later;
+    List.iter
+      (fun (_, pending) ->
+        match spawn pending with
+        | Some worker -> active := worker :: !active
+        | None -> run_inline pending)
+      due;
+    if !active <> [] || !respawns <> [] then begin
+      (* Never block past the nearest supervision deadline: a stalled
+         worker's kill time, or a pending respawn's ready time. With
+         neither armed, block until pipe activity as before. *)
+      let deadline =
+        let worker_deadline =
+          match job_timeout with
+          | None -> None
+          | Some limit ->
+            List.fold_left
+              (fun acc w ->
+                if w.w_pending = [] then acc
+                else
+                  let d = w.w_progress +. limit in
+                  match acc with
+                  | None -> Some d
+                  | Some d' -> Some (min d d'))
+              None !active
+        in
+        List.fold_left
+          (fun acc (ready, _) ->
+            match acc with
+            | None -> Some ready
+            | Some d -> Some (min d ready))
+          worker_deadline !respawns
+      in
+      let timeout =
+        match deadline with
+        | None -> -1.
+        | Some d -> max 0. (d -. now ()) +. 0.001
+      in
+      let fds = List.map (fun w -> w.w_fd) !active in
+      let ready, _, _ =
+        try Unix.select fds [] [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun w -> w.w_fd = fd) !active with
+          | None -> () (* worker already retired this round *)
+          | Some w -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> handle_eof w
+            | nread -> (
+              w.w_progress <- now ();
+              Buffer.add_subbytes w.w_buf chunk 0 nread;
+              match consume_frames w with
+              | `Ok -> ()
+              | `Malformed -> kill_worker w "worker garbled its result stream")
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        ready;
+      match job_timeout with
+      | None -> ()
+      | Some limit ->
+        let t = now () in
+        let expired =
+          List.filter
+            (fun w -> w.w_pending <> [] && t -. w.w_progress > limit)
+            !active
+        in
         List.iter
-          (fun (index, payload) ->
-            if index >= 0 && index < n && index mod jobs = w then
-              results.(index) <- Some payload)
-          parsed.ok;
-        List.iter
-          (fun (index, message) ->
-            let index = if index >= 0 && index < n then index else w in
-            fail index ("worker raised: " ^ message))
-          parsed.errs;
-        let status = List.assoc w statuses in
-        let died = status <> Unix.WEXITED 0 in
-        if parsed.malformed || died then
-          (* Name every shard item the worker never delivered. *)
-          List.iter
-            (fun (index, _) ->
-              if results.(index) = None && not (List.mem_assoc index !failures)
-              then
-                fail index
-                  (Printf.sprintf "worker %d %s%s before delivering a result"
-                     w
-                     (status_to_string status)
-                     (if parsed.malformed then " (malformed result frame)"
-                      else "")))
-            (shard w))
-      payloads;
-    (* Belt and braces: any still-missing result is a failure too. *)
-    Array.iteri
-      (fun index r ->
-        if r = None && not (List.mem_assoc index !failures) then
-          fail index "worker delivered no result")
-      results;
-    (match List.sort compare !failures with
-    | (index, message) :: _ -> raise (Worker_error { index; message })
-    | [] -> ());
-    Array.to_list (Array.map Option.get results)
+          (fun w ->
+            kill_worker w
+              (Printf.sprintf "worker timed out after %.3gs" limit))
+          expired
+    end
+  done
 
-let map_serialized ~jobs ~f items =
-  let n = List.length items in
+let map_results ~retries ~job_timeout ~on_retry ~jobs ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
   let jobs = min jobs n in
-  if jobs <= 1 || not (available ()) then map_inline ~f items
-  else map_forked ~jobs ~f (Array.of_list items)
+  let results = Array.make n None in
+  if jobs <= 1 || not (available ()) then
+    Array.iteri
+      (fun index item -> results.(index) <- Some (attempt_inline ~f item))
+      items
+  else run_supervised ~retries ~job_timeout ~on_retry ~jobs ~f items results;
+  (* Belt and braces: a result slot nothing ever filled is a failure. *)
+  Array.map
+    (function Some r -> r | None -> Error "worker delivered no result")
+    results
+
+let map_partial ?(retries = default_retries) ?job_timeout ?on_retry ~jobs ~f
+    items =
+  Array.to_list (map_results ~retries ~job_timeout ~on_retry ~jobs ~f items)
+
+let map_serialized ?(retries = default_retries) ?job_timeout ?on_retry ~jobs ~f
+    items =
+  let results = map_results ~retries ~job_timeout ~on_retry ~jobs ~f items in
+  let failure = ref None in
+  Array.iteri
+    (fun index r ->
+      match r with
+      | Error message when !failure = None -> failure := Some (index, message)
+      | _ -> ())
+    results;
+  (match !failure with
+  | Some (index, message) -> raise (Worker_error { index; message })
+  | None -> ());
+  Array.to_list
+    (Array.map (function Ok payload -> payload | Error _ -> assert false)
+       results)

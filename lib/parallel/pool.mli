@@ -1,4 +1,5 @@
-(** Fork-based worker pool for embarrassingly parallel batch work.
+(** Fork-based worker pool for embarrassingly parallel batch work, with
+    supervision.
 
     [map_serialized] shards a list of work items across [jobs] worker
     processes ([Unix.fork] + pipes — no OCaml 5 domain dependency), runs
@@ -10,31 +11,80 @@
     is deterministic per item — parallelism never changes a result, only
     wall time.
 
-    Failure contract: a worker that raises, dies, or writes a malformed
-    frame never degrades into a silent partial result. The parent raises
-    {!Worker_error} carrying the index of the (lowest-indexed) failing
-    item, so callers can name the exact work item (e.g. the random seed)
-    in their error message. *)
+    The parent {b supervises} its workers: a worker that crashes or hangs
+    loses only its in-flight item's attempt, not the batch. The dead
+    worker's undelivered shard is requeued to a fresh child (with
+    exponential backoff between respawns of a repeatedly-crashing item),
+    and only an item whose own retry budget is exhausted becomes a
+    failure. An item function that {e raises} is deterministic and is not
+    retried — the exception is the result.
+
+    Failure contract: a failed item never degrades into a silent partial
+    result. Under {!map_serialized} the parent raises {!Worker_error}
+    carrying the index of the (lowest-indexed) failing item, so callers
+    can name the exact work item (e.g. the random seed) in their error
+    message. Under {!map_partial} every item instead reports
+    individually, [Ok payload] or [Error message], so survivors of a
+    partially-failed batch remain usable. *)
 
 exception Worker_error of { index : int; message : string }
 (** Raised by {!map_serialized} when any item fails: [index] is the
     0-based position of the failing item in the input list ([message]
     explains how it failed — an exception in the item function, a worker
-    process death, or an undecodable result frame). When several items
-    fail, the lowest index is reported, deterministically. *)
+    process death that outlasted the retry budget, a per-job timeout, or
+    an undecodable result frame). When several items fail, the lowest
+    index is reported, deterministically. *)
+
+type supervision_event = {
+  sv_index : int;  (** item charged with the failed attempt *)
+  sv_attempt : int;  (** 1-based attempt number that just failed *)
+  sv_reason : string;  (** how the worker failed *)
+  sv_requeued : int;  (** undelivered items handed to the fresh worker *)
+}
+(** One worker failure as seen by the supervisor, reported through
+    [?on_retry] so callers can trace or log requeues. *)
+
+val default_retries : int
+(** Extra attempts granted to each item beyond its first ([2]). *)
 
 val available : unit -> bool
-(** Whether [Unix.fork] is usable on this platform. When [false],
-    {!map_serialized} silently runs in-process (equivalent results). *)
+(** Whether [Unix.fork] is usable on this platform. When [false], the
+    maps silently run in-process (equivalent results). *)
 
 val cpu_count : unit -> int
 (** Number of online CPUs (from [/proc/cpuinfo]); [1] when undetectable.
     A sensible default for [jobs]. *)
 
-val map_serialized : jobs:int -> f:('a -> string) -> 'a list -> string list
+val map_serialized :
+  ?retries:int ->
+  ?job_timeout:float ->
+  ?on_retry:(supervision_event -> unit) ->
+  jobs:int ->
+  f:('a -> string) ->
+  'a list ->
+  string list
 (** [map_serialized ~jobs ~f items] is [List.map f items], computed by up
-    to [jobs] forked workers (item [i] goes to worker [i mod jobs]).
+    to [jobs] forked workers (item [i] starts on worker [i mod jobs]).
     Results come back in item order. With [jobs <= 1], a single-item
     list, or fork unavailable, runs in-process with no forking at all.
 
+    [?retries] (default {!default_retries}) bounds how many {e extra}
+    attempts a crashing or hung item gets before it is declared failed;
+    [?job_timeout] (seconds, default none) SIGKILLs and requeues a worker
+    that makes no observable progress for that long, so a hung child can
+    never wedge the batch; [?on_retry] observes each supervised failure.
+
     @raise Worker_error as per the failure contract above. *)
+
+val map_partial :
+  ?retries:int ->
+  ?job_timeout:float ->
+  ?on_retry:(supervision_event -> unit) ->
+  jobs:int ->
+  f:('a -> string) ->
+  'a list ->
+  (string, string) result list
+(** Like {!map_serialized} but never raises {!Worker_error}: each
+    position of the returned list is [Ok payload] or [Error message] for
+    the item at the same position of the input, so a batch with a few
+    poisoned items still yields every survivor. *)

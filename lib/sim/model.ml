@@ -56,7 +56,8 @@ let duration_of_string s =
     | _ ->
       Error (Printf.sprintf "bad duration model %S (uniform:N | per-kind:S,V,D)" s))
 
-let delivery_delay ~latency ~own = if own then 0 else latency
+let delivery_delay ?(extra = 0) ~latency ~own () =
+  if own then 0 else latency + extra
 
 let validate_latency latency =
   if latency < 0 then Error "latency must be non-negative" else Ok ()

@@ -32,9 +32,11 @@ val duration_to_string : duration -> string
 
 val duration_of_string : string -> (duration, string) result
 
-val delivery_delay : latency:int -> own:bool -> int
+val delivery_delay : ?extra:int -> latency:int -> own:bool -> unit -> int
 (** Ticks between an operation's completion and the delivery of its
-    outcome to a given designer: [0] for the acting designer, [latency]
-    for teammates. *)
+    outcome to a given designer: [0] for the acting designer,
+    [latency + extra] for teammates. [extra] (default [0]) carries the
+    fault injector's per-delivery jitter; the acting designer's own
+    feedback is the local tool report and is never jittered. *)
 
 val validate_latency : int -> (unit, string) result

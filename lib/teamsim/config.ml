@@ -1,5 +1,6 @@
 open Adpm_core
 module Model = Adpm_sim.Model
+module Fault = Adpm_fault.Fault
 
 type forward_ordering = Smallest_subspace | Most_constrained | Random_target
 
@@ -11,6 +12,7 @@ type t = {
   max_revisions : int;
   latency : int;
   duration_model : Model.duration;
+  faults : Fault.plan;
   delta_divisor : float;
   adaptive_delta : bool;
   forward_ordering : forward_ordering;
@@ -29,6 +31,7 @@ let default ~mode ~seed =
     max_revisions = 10_000;
     latency = 0;
     duration_model = Model.unit_duration;
+    faults = Fault.none;
     delta_divisor = 100.;
     adaptive_delta = true;
     forward_ordering = Smallest_subspace;
@@ -52,13 +55,16 @@ let validate t =
     | Ok () -> (
       match Model.validate_duration t.duration_model with
       | Error e -> Error e
-      | Ok () ->
-        (* the comparison also rejects nan *)
-        if not (t.delta_divisor > 0.) then
-          Error
-            (Printf.sprintf "delta_divisor must be positive (got %g)"
-               t.delta_divisor)
-        else Ok ())
+      | Ok () -> (
+        match Fault.validate t.faults with
+        | Error e -> Error e
+        | Ok () ->
+          (* the comparison also rejects nan *)
+          if not (t.delta_divisor > 0.) then
+            Error
+              (Printf.sprintf "delta_divisor must be positive (got %g)"
+                 t.delta_divisor)
+          else Ok ()))
 
 let validate_exn t =
   match validate t with

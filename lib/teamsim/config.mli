@@ -35,6 +35,12 @@ type t = {
       (** virtual ticks each operation takes (default
           {!Adpm_sim.Model.unit_duration}); durations never change run
           outcomes at [latency = 0], only the virtual makespan *)
+  faults : Adpm_fault.Fault.plan;
+      (** deterministic fault injection: notification drop/duplication
+          probabilities, delivery jitter, and scheduled designer
+          crash/restart windows (default {!Adpm_fault.Fault.none}, which
+          keeps runs bit-identical to the fault-free engine and is the
+          only plan the lockstep engine accepts) *)
   delta_divisor : float;
       (** repair step = |E_i| / delta_divisor (paper: about 100) *)
   adaptive_delta : bool;
@@ -62,7 +68,9 @@ val with_seed : t -> int -> t
 val validate : t -> (unit, string) result
 (** Reject configurations the engine cannot honour: non-positive
     [max_ops] or [max_revisions], a negative [latency], a negative
-    duration, or a non-positive (or nan) [delta_divisor]. *)
+    duration, an invalid fault plan (out-of-range probabilities,
+    negative jitter, non-positive recovery), or a non-positive (or nan)
+    [delta_divisor]. *)
 
 val validate_exn : t -> unit
 (** @raise Invalid_argument with {!validate}'s message. *)

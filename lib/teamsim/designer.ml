@@ -54,17 +54,37 @@ let create cfg ~rng ~models name =
 
 let name d = d.d_name
 
-(* With latency 0 the engine delivers every outcome before the next turn,
-   so the DPM's live view and the believed table never disagree; using
-   the live view on that path keeps it bit-identical to the lockstep
-   engine. *)
-let delayed_view d = d.cfg.Config.latency > 0
+(* With latency 0 and no fault plan the engine delivers every outcome
+   before the next turn, so the DPM's live view and the believed table
+   never disagree; using the live view on that path keeps it
+   bit-identical to the lockstep engine. Any latency or active fault
+   plan makes the two diverge (deliveries lag, vanish, or die with their
+   recipient), so decisions must come from the believed table. *)
+let delayed_view d =
+  d.cfg.Config.latency > 0
+  || not (Adpm_fault.Fault.is_none d.cfg.Config.faults)
 
 let believed_status d cid =
   try Hashtbl.find d.believed cid with Not_found -> Constr.Consistent
 
 let learn_statuses d statuses =
   List.iter (fun (cid, s) -> Hashtbl.replace d.believed cid s) statuses
+
+let believed_snapshot d =
+  Hashtbl.fold (fun cid s acc -> (cid, s) :: acc) d.believed []
+  |> List.sort compare
+
+(* A crashed designer comes back with its working memory gone: believed
+   statuses, queued deliveries, repair adaptation, re-verification
+   bookkeeping. Only the tabu set survives — the design history lives in
+   the shared database (Section 3.1.1), not in the designer's head. *)
+let restart d =
+  Hashtbl.reset d.believed;
+  Hashtbl.reset d.repair_memory;
+  Hashtbl.reset d.pending_reverify;
+  Hashtbl.reset d.failed_repairs;
+  d.last_synthesis <- None;
+  ignore (Mailbox.drain d.inbox : delivery list)
 
 let tabu_key prop value = Printf.sprintf "%s@%.9g" prop value
 

@@ -50,6 +50,18 @@ val learn_statuses : t -> (int * Adpm_csp.Constr.status) list -> unit
     everyone leaves setup with the same picture of the network). Unknown
     constraints default to [Consistent], matching the DPM's own default. *)
 
+val believed_snapshot : t -> (int * Adpm_csp.Constr.status) list
+(** The believed-status table, sorted by constraint id — what this
+    designer currently thinks the network looks like. Test and
+    inspection hook for the fault model. *)
+
+val restart : t -> unit
+(** Model a crash/restart: the believed-status table, queued mailbox
+    deliveries, repair adaptation and re-verification bookkeeping are
+    lost; the designer rebuilds its picture only from subsequent
+    deliveries. The tabu set survives — design history lives in the
+    shared database, not in the designer's head. *)
+
 val choose_operation : t -> Dpm.t -> Operator.t option
 (** One turn: select the next operation, or [None] to idle (everything
     solved / nothing addressable). *)

@@ -5,6 +5,7 @@ open Adpm_trace
 module Pool = Adpm_parallel.Pool
 module Model = Adpm_sim.Model
 module Scheduler = Adpm_sim.Scheduler
+module Fault = Adpm_fault.Fault
 
 type outcome = {
   o_summary : Metrics.run_summary;
@@ -72,7 +73,7 @@ let prepare ~tracer cfg scenario ~record =
   List.iter (fun d -> Designer.learn_statuses d statuses) designers;
   (dpm, rng, designers, setup_evals)
 
-let finish ~tracer cfg scenario dpm ~setup_evals ~profile ~makespan =
+let finish ~tracer cfg scenario dpm ~setup_evals ~profile ~makespan ~faults =
   let completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm in
   if Tracer.active tracer then
     Tracer.emit tracer
@@ -94,6 +95,7 @@ let finish ~tracer cfg scenario dpm ~setup_evals ~profile ~makespan =
       s_operations = Dpm.op_count dpm;
       s_evaluations = Dpm.eval_count dpm + setup_evals;
       s_spins = Dpm.spin_count dpm;
+      s_faults = faults;
       s_profile = List.rev !profile;
     }
   in
@@ -108,6 +110,9 @@ let finish ~tracer cfg scenario dpm ~setup_evals ~profile ~makespan =
 
 let run_lockstep ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   Config.validate_exn cfg;
+  if not (Fault.is_none cfg.Config.faults) then
+    invalid_arg
+      "Engine.run_lockstep: fault injection needs the discrete-event engine";
   let profile = ref [] in
   let record r =
     profile := r :: !profile;
@@ -160,7 +165,7 @@ let run_lockstep ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
     if not !acted then finished := true
   done;
   finish ~tracer cfg scenario dpm ~setup_evals ~profile
-    ~makespan:(Dpm.op_count dpm)
+    ~makespan:(Dpm.op_count dpm) ~faults:Metrics.no_faults
 
 (* {2 The discrete-event driver} *)
 
@@ -180,6 +185,9 @@ type des_event =
       sent_at : int;
       op_index : int;
     }  (** a routed outcome reaches a mailbox *)
+  | Crash of Designer.t  (** scheduled fault: the designer goes down *)
+  | Restart of Designer.t
+      (** the crashed designer comes back, working memory wiped *)
 
 let op_class op =
   match op.Operator.op_kind with
@@ -208,7 +216,25 @@ let op_class op =
    - With latency > 0 a teammate's outcome arrives [latency] ticks after
      the operation completes; until then the recipient's believed
      constraint statuses — and hence its repair decisions — lag the DPM's
-     live state. The designer's own feedback is always instant. *)
+     live state. The designer's own feedback is always instant.
+
+   Fault semantics on top of the above:
+
+   - The injector owns a dedicated Rng stream, split from the run's root
+     generator only when the plan is non-none — a zero-fault run draws
+     exactly the fault-free engine's random sequence and stays
+     bit-identical to it.
+   - Delivery fates are drawn at send time ([Op_done]), one draw sequence
+     per teammate in designer order, so a rerun with the same seed drops,
+     duplicates and jitters the very same deliveries. Own feedback is the
+     local tool report and is never faulted.
+   - A crashed designer skips its turns (without counting as activity),
+     loses every delivery that arrives while it is down, and restarts
+     with its working memory wiped ([Designer.restart]). While someone is
+     down, an otherwise-idle round advances the clock one tick instead of
+     halting, so the team waits for the restart rather than declaring the
+     project stuck. In-flight operations still execute — the tool was
+     already running when its operator crashed. *)
 let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   Config.validate_exn cfg;
   let profile = ref [] in
@@ -217,6 +243,13 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
     on_op r
   in
   let dpm, rng, designers, setup_evals = prepare ~tracer cfg scenario ~record in
+  let injector =
+    if Fault.is_none cfg.Config.faults then None
+    else Some (Fault.create ~rng:(Rng.split rng) cfg.Config.faults)
+  in
+  let dropped = ref 0 and duplicated = ref 0 and crashes_fired = ref 0 in
+  let dead : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let is_dead d = Hashtbl.mem dead (Designer.name d) in
   let sch : des_event Scheduler.t = Scheduler.create () in
   let finished = ref false in
   let continue_run () =
@@ -237,27 +270,35 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
       match !order with
       | [] ->
         if !acted then Scheduler.schedule sch ~delay:0 Round_start
+        else if Hashtbl.length dead > 0 then
+          (* everyone alive is idle but a teammate is down: wait a tick
+             for the restart instead of declaring the project stuck *)
+          Scheduler.schedule sch ~delay:1 Round_start
         else Scheduler.halt sch
       | designer :: rest ->
         order := rest;
         if continue_run () then begin
-          ignore (Designer.drain designer dpm : int);
-          let evals_before = Dpm.eval_count dpm in
-          match Designer.choose_operation designer dpm with
-          | None -> Scheduler.schedule sch ~delay:0 Next_turn
-          | Some op ->
-            acted := true;
-            if Tracer.active tracer then
-              Tracer.emit tracer
-                (Event.Op_submitted
-                   {
-                     op = Operator.to_trace_spec op;
-                     choose_evaluations = Dpm.eval_count dpm - evals_before;
-                   });
-            let delay =
-              Model.duration_for cfg.Config.duration_model (op_class op)
-            in
-            Scheduler.schedule sch ~delay (Op_done { designer; op; evals_before })
+          if is_dead designer then Scheduler.schedule sch ~delay:0 Next_turn
+          else begin
+            ignore (Designer.drain designer dpm : int);
+            let evals_before = Dpm.eval_count dpm in
+            match Designer.choose_operation designer dpm with
+            | None -> Scheduler.schedule sch ~delay:0 Next_turn
+            | Some op ->
+              acted := true;
+              if Tracer.active tracer then
+                Tracer.emit tracer
+                  (Event.Op_submitted
+                     {
+                       op = Operator.to_trace_spec op;
+                       choose_evaluations = Dpm.eval_count dpm - evals_before;
+                     });
+              let delay =
+                Model.duration_for cfg.Config.duration_model (op_class op)
+              in
+              Scheduler.schedule sch ~delay
+                (Op_done { designer; op; evals_before })
+          end
         end
         else Scheduler.halt sch)
     | Op_done { designer; op; evals_before } ->
@@ -267,20 +308,37 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
           (Event.Op_completed
              { index = result.Dpm.r_index; at = Scheduler.now sch });
       let sent_at = Scheduler.now sch in
+      let op_index = result.Dpm.r_index in
       List.iter
         (fun peer ->
           let own = peer == designer in
-          Scheduler.schedule sch
-            ~delay:(Model.delivery_delay ~latency:cfg.Config.latency ~own)
-            (Deliver
-               {
-                 recipient = peer;
-                 own;
-                 op;
-                 result;
-                 sent_at;
-                 op_index = result.Dpm.r_index;
-               }))
+          let deliver extra =
+            Scheduler.schedule sch
+              ~delay:
+                (Model.delivery_delay ~extra ~latency:cfg.Config.latency ~own
+                   ())
+              (Deliver { recipient = peer; own; op; result; sent_at; op_index })
+          in
+          match injector with
+          | Some inj when not own -> (
+            let recipient = Designer.name peer in
+            match Fault.delivery_fate inj with
+            | Fault.Drop ->
+              incr dropped;
+              if Tracer.active tracer then
+                Tracer.emit tracer
+                  (Event.Notification_dropped
+                     { recipient; op_index; at = sent_at })
+            | Fault.Deliver { extra } -> deliver extra
+            | Fault.Duplicate { extra; dup_extra } ->
+              incr duplicated;
+              if Tracer.active tracer then
+                Tracer.emit tracer
+                  (Event.Notification_duplicated
+                     { recipient; op_index; at = sent_at });
+              deliver extra;
+              deliver dup_extra)
+          | Some _ | None -> deliver 0)
         designers;
       record
         {
@@ -297,6 +355,23 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         Scheduler.halt sch
       end
       else Scheduler.schedule sch ~delay:0 Next_turn
+    | Crash designer ->
+      Hashtbl.replace dead (Designer.name designer) ();
+      incr crashes_fired;
+      if Tracer.active tracer then
+        Tracer.emit tracer
+          (Event.Designer_crashed
+             { designer = Designer.name designer; at = Scheduler.now sch })
+    | Restart designer ->
+      Hashtbl.remove dead (Designer.name designer);
+      Designer.restart designer;
+      if Tracer.active tracer then
+        Tracer.emit tracer
+          (Event.Designer_restarted
+             { designer = Designer.name designer; at = Scheduler.now sch })
+    | Deliver { recipient; _ } when is_dead recipient ->
+      (* deliveries to a crashed designer are lost with it *)
+      ()
     | Deliver { recipient; own; op; result; sent_at; op_index } ->
       Designer.deliver recipient ~own op result;
       if (not own) && Tracer.active tracer then (
@@ -322,6 +397,24 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
                  violations = Notify.detected_violations n;
                }))
   in
+  (* crash windows are scheduled before the first round so a time-0 crash
+     fires before any turn at the same tick; an unknown name is a caller
+     error, not a silently ignored fault *)
+  List.iter
+    (fun { Fault.cr_designer; cr_at; cr_recover } ->
+      match
+        List.find_opt
+          (fun d -> String.equal (Designer.name d) cr_designer)
+          designers
+      with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Engine.run: crash plan names unknown designer %S"
+             cr_designer)
+      | Some d ->
+        Scheduler.schedule sch ~delay:cr_at (Crash d);
+        Scheduler.schedule sch ~delay:(cr_at + cr_recover) (Restart d))
+    cfg.Config.faults.Fault.p_crashes;
   Scheduler.schedule sch ~delay:0 Round_start;
   Scheduler.run sch handle;
   (* pending mailbox deliveries at halt are discarded: the project is over
@@ -329,20 +422,37 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
      appear in the trace *)
   finish ~tracer cfg scenario dpm ~setup_evals ~profile
     ~makespan:(Scheduler.now sch)
+    ~faults:
+      {
+        Metrics.f_dropped = !dropped;
+        f_duplicated = !duplicated;
+        f_crashes = !crashes_fired;
+      }
 
 (* Parallelism never changes a number: each seed's run draws from its own
    Rng stream regardless of which process executes it, and the summary
    round-trips exactly through Metrics_codec (ints, bools, strings only).
    So the only contract the pool must keep is order and loudness: results
    come back in seed order, and any worker failure names its seed. *)
-let run_many ?(jobs = 1) cfg scenario ~seeds =
+let decode_summary ~seed payload =
+  match Metrics_codec.of_string payload with
+  | Error msg ->
+    Error (Printf.sprintf "undecodable worker result for seed %d: %s" seed msg)
+  | Ok summary ->
+    if summary.Metrics.s_seed <> seed then
+      Error
+        (Printf.sprintf "worker result out of order: expected seed %d, got %d"
+           seed summary.Metrics.s_seed)
+    else Ok summary
+
+let run_many ?(jobs = 1) ?retries ?job_timeout ?on_retry cfg scenario ~seeds =
   let run_seed seed = (run (Config.with_seed cfg seed) scenario).o_summary in
   if jobs <= 1 || List.length seeds <= 1 || not (Pool.available ()) then
     List.map run_seed seeds
   else begin
     let payloads =
       try
-        Pool.map_serialized ~jobs
+        Pool.map_serialized ?retries ?job_timeout ?on_retry ~jobs
           ~f:(fun seed -> Metrics_codec.to_string (run_seed seed))
           seeds
       with Pool.Worker_error { index; message } ->
@@ -352,19 +462,32 @@ let run_many ?(jobs = 1) cfg scenario ~seeds =
     in
     List.map2
       (fun seed payload ->
-        match Metrics_codec.of_string payload with
-        | Error msg ->
-          failwith
-            (Printf.sprintf
-               "Engine.run_many: undecodable worker result for seed %d: %s"
-               seed msg)
-        | Ok summary ->
-          if summary.Metrics.s_seed <> seed then
-            failwith
-              (Printf.sprintf
-                 "Engine.run_many: worker result out of order: expected seed \
-                  %d, got %d"
-                 seed summary.Metrics.s_seed);
-          summary)
+        match decode_summary ~seed payload with
+        | Ok summary -> summary
+        | Error msg -> failwith ("Engine.run_many: " ^ msg))
       seeds payloads
   end
+
+(* The `Partial policy: a poisoned seed costs one Error slot, never the
+   batch. The inline path mirrors the pool's contract (an exception in
+   the run becomes that seed's Error) so callers see one shape. *)
+let run_many_partial ?(jobs = 1) ?retries ?job_timeout ?on_retry cfg scenario
+    ~seeds =
+  let run_seed seed = (run (Config.with_seed cfg seed) scenario).o_summary in
+  if jobs <= 1 || List.length seeds <= 1 || not (Pool.available ()) then
+    List.map
+      (fun seed ->
+        match run_seed seed with
+        | summary -> Ok summary
+        | exception e -> Error ("worker raised: " ^ Printexc.to_string e))
+      seeds
+  else
+    List.map2
+      (fun seed result ->
+        match result with
+        | Error _ as e -> e
+        | Ok payload -> decode_summary ~seed payload)
+      seeds
+      (Pool.map_partial ?retries ?job_timeout ?on_retry ~jobs
+         ~f:(fun seed -> Metrics_codec.to_string (run_seed seed))
+         seeds)

@@ -68,6 +68,9 @@ val run_lockstep :
 
 val run_many :
   ?jobs:int ->
+  ?retries:int ->
+  ?job_timeout:float ->
+  ?on_retry:(Adpm_parallel.Pool.supervision_event -> unit) ->
   Config.t ->
   Scenario.t ->
   seeds:int list ->
@@ -81,5 +84,29 @@ val run_many :
     exactly through {!Metrics_codec}. With [jobs <= 1], a single seed, or
     fork unavailable, no process is forked.
 
-    @raise Failure naming the failing seed if a worker crashes or returns
-    an undecodable result (no silent partial aggregates). *)
+    [retries], [job_timeout] and [on_retry] configure the pool's
+    supervision (crashed or hung workers are respawned and their
+    undelivered seeds re-run, up to [retries] extra attempts per seed);
+    they pass through to {!Adpm_parallel.Pool.map_serialized}. Supervision
+    does not affect results, only availability: a retried seed re-runs
+    from scratch and is deterministic in its seed.
+
+    @raise Failure naming the failing seed if a worker exhausts its retry
+    budget or returns an undecodable result (no silent partial
+    aggregates). *)
+
+val run_many_partial :
+  ?jobs:int ->
+  ?retries:int ->
+  ?job_timeout:float ->
+  ?on_retry:(Adpm_parallel.Pool.supervision_event -> unit) ->
+  Config.t ->
+  Scenario.t ->
+  seeds:int list ->
+  (Metrics.run_summary, string) result list
+(** {!run_many} under the [`Partial] delivery policy
+    ({!Adpm_parallel.Pool.map_partial}): one [result] per seed, in seed
+    order. A seed whose worker exhausts its retry budget (or whose run
+    raises, on the inline path) yields [Error message] in its slot instead
+    of poisoning the whole batch; every other seed's summary is still
+    bit-identical to the sequential path. *)

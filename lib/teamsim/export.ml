@@ -23,12 +23,14 @@ let summary_json summary =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"scenario":"%s","mode":"%s","seed":%d,"completed":%b,"operations":%d,"evaluations":%d,"spins":%d,"profile":[|}
+       {|{"scenario":"%s","mode":"%s","seed":%d,"completed":%b,"operations":%d,"evaluations":%d,"spins":%d,"dropped":%d,"duplicated":%d,"crashes":%d,"profile":[|}
        (json_escape summary.Metrics.s_scenario)
        (json_escape (Dpm.mode_to_string summary.Metrics.s_mode))
        summary.Metrics.s_seed summary.Metrics.s_completed
        summary.Metrics.s_operations summary.Metrics.s_evaluations
-       summary.Metrics.s_spins);
+       summary.Metrics.s_spins summary.Metrics.s_faults.Metrics.f_dropped
+       summary.Metrics.s_faults.Metrics.f_duplicated
+       summary.Metrics.s_faults.Metrics.f_crashes);
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
@@ -47,15 +49,17 @@ let summary_json summary =
 let runs_csv summaries =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "scenario,mode,seed,completed,operations,evaluations,spins,violations\n";
+    "scenario,mode,seed,completed,operations,evaluations,spins,violations,dropped,duplicated,crashes\n";
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%d,%b,%d,%d,%d,%d\n"
+        (Printf.sprintf "%s,%s,%d,%b,%d,%d,%d,%d,%d,%d,%d\n"
            (csv_escape s.Metrics.s_scenario)
            (csv_escape (Dpm.mode_to_string s.Metrics.s_mode))
            s.Metrics.s_seed s.Metrics.s_completed s.Metrics.s_operations
            s.Metrics.s_evaluations s.Metrics.s_spins
-           (Metrics.violations_found s)))
+           (Metrics.violations_found s) s.Metrics.s_faults.Metrics.f_dropped
+           s.Metrics.s_faults.Metrics.f_duplicated
+           s.Metrics.s_faults.Metrics.f_crashes))
     summaries;
   Buffer.contents buf

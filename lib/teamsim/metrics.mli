@@ -18,6 +18,16 @@ type op_record = {
   m_spin : bool;
 }
 
+type fault_counts = {
+  f_dropped : int;  (** teammate notifications lost by the fault injector *)
+  f_duplicated : int;  (** teammate notifications delivered twice *)
+  f_crashes : int;  (** scheduled designer crashes that fired *)
+}
+(** What the fault injector actually did during one run. All zero —
+    {!no_faults} — for fault-free runs. *)
+
+val no_faults : fault_counts
+
 type run_summary = {
   s_scenario : string;
   s_mode : Dpm.mode;
@@ -26,6 +36,7 @@ type run_summary = {
   s_operations : int;  (** N_O: executed design operations *)
   s_evaluations : int;  (** N_T: total constraint evaluations (incl. setup) *)
   s_spins : int;
+  s_faults : fault_counts;
   s_profile : op_record list;  (** chronological *)
 }
 

@@ -10,6 +10,16 @@ let field name conv j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
 
+(* Fault counters arrived after the first release of this format; decode
+   them as 0 when absent so pre-fault summaries still round-trip. *)
+let int_field_default name default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "mistyped field %S" name))
+
 let record_of_json j =
   let* m_index = field "op" Json.to_int j in
   let* m_designer = field "designer" Json.to_str j in
@@ -49,6 +59,9 @@ let of_json j =
   let* s_operations = field "operations" Json.to_int j in
   let* s_evaluations = field "evaluations" Json.to_int j in
   let* s_spins = field "spins" Json.to_int j in
+  let* f_dropped = int_field_default "dropped" 0 j in
+  let* f_duplicated = int_field_default "duplicated" 0 j in
+  let* f_crashes = int_field_default "crashes" 0 j in
   let* profile = field "profile" Json.to_list j in
   let* s_profile = records_of_json profile in
   Ok
@@ -60,6 +73,7 @@ let of_json j =
       s_operations;
       s_evaluations;
       s_spins;
+      s_faults = { Metrics.f_dropped; f_duplicated; f_crashes };
       s_profile;
     }
 

@@ -32,6 +32,11 @@ type report = {
   r_makespan : int;
       (** latest virtual [Op_completed] timestamp; [0] for lockstep
           traces, which carry no virtual time *)
+  r_dropped : int;  (** notifications lost by the fault injector *)
+  r_duplicated : int;  (** notifications duplicated by the fault injector *)
+  r_crashes : int;  (** scheduled designer crashes that fired *)
+  r_restarts : int;  (** designer restarts that fired *)
+  r_pool_retries : int;  (** supervised worker-pool retry events *)
 }
 
 let analyze events =
@@ -44,6 +49,9 @@ let analyze events =
   let deliveries = ref 0 in
   let delivery_ticks = ref 0 in
   let makespan = ref 0 in
+  let dropped = ref 0 and duplicated = ref 0 in
+  let crashes = ref 0 and restarts = ref 0 in
+  let pool_retries = ref 0 in
   (* pending notification clocks per designer, oldest first *)
   let pending : (string, int list) Hashtbl.t = Hashtbl.create 8 in
   let latencies : (string, int list) Hashtbl.t = Hashtbl.create 8 in
@@ -97,6 +105,11 @@ let analyze events =
           Hashtbl.remove open_since cid;
           record_span cid opened clock
         | Some _, Violated | None, (Satisfied | Consistent) -> ())
+      | Notification_dropped _ -> incr dropped
+      | Notification_duplicated _ -> incr duplicated
+      | Designer_crashed _ -> incr crashes
+      | Designer_restarted _ -> incr restarts
+      | Pool_retry _ -> incr pool_retries
       | Op_executed _ | Propagation_started _ | Designer_decision _ -> ())
     events;
   (* close still-open violations at the final clock *)
@@ -149,6 +162,11 @@ let analyze events =
       (if !deliveries = 0 then Float.nan
        else float_of_int !delivery_ticks /. float_of_int !deliveries);
     r_makespan = !makespan;
+    r_dropped = !dropped;
+    r_duplicated = !duplicated;
+    r_crashes = !crashes;
+    r_restarts = !restarts;
+    r_pool_retries = !pool_retries;
   }
 
 let render r =
@@ -165,6 +183,11 @@ let render r =
       "virtual makespan %d ticks; %d teammate deliveries, mean transit %.2f \
        ticks\n"
       r.r_makespan r.r_deliveries r.r_delivery_latency_mean;
+  if r.r_dropped + r.r_duplicated + r.r_crashes + r.r_pool_retries > 0 then
+    add
+      "faults: %d notifications dropped, %d duplicated; %d designer crashes \
+       (%d restarts); %d pool retries\n"
+      r.r_dropped r.r_duplicated r.r_crashes r.r_restarts r.r_pool_retries;
   add "HC4 revisions: %d incremental (over %d dirty-seeded runs), %d full\n\n"
     r.r_revisions_incremental r.r_propagations_incremental r.r_revisions_full;
   (if r.r_latencies <> [] then begin
@@ -232,6 +255,11 @@ let to_json r =
         if Float.is_nan r.r_delivery_latency_mean then Json.Null
         else Json.Num r.r_delivery_latency_mean );
       ("makespan", jint r.r_makespan);
+      ("dropped", jint r.r_dropped);
+      ("duplicated", jint r.r_duplicated);
+      ("crashes", jint r.r_crashes);
+      ("restarts", jint r.r_restarts);
+      ("pool_retries", jint r.r_pool_retries);
       ("wave_sizes", Json.Arr (List.map jint r.r_wave_sizes));
       ( "notification_latency",
         Json.Arr

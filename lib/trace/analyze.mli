@@ -45,6 +45,13 @@ type report = {
   r_makespan : int;
       (** latest virtual operation-completion time; [0] for traces without
           [Op_completed] events *)
+  r_dropped : int;
+      (** [Notification_dropped] events — teammate notifications the fault
+          injector lost *)
+  r_duplicated : int;  (** [Notification_duplicated] events *)
+  r_crashes : int;  (** [Designer_crashed] events *)
+  r_restarts : int;  (** [Designer_restarted] events *)
+  r_pool_retries : int;  (** [Pool_retry] supervision events *)
 }
 
 val analyze : Event.stamped list -> report

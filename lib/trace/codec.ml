@@ -114,6 +114,22 @@ let fields_of_event = function
       ("alpha", jint alpha);
       ("beta", jint beta);
     ]
+  | Notification_dropped { recipient; op_index; at }
+  | Notification_duplicated { recipient; op_index; at } ->
+    [
+      ("recipient", Json.Str recipient);
+      ("op_index", jint op_index);
+      ("at", jint at);
+    ]
+  | Designer_crashed { designer; at } | Designer_restarted { designer; at } ->
+    [ ("designer", Json.Str designer); ("at", jint at) ]
+  | Pool_retry { index; attempt; reason; requeued } ->
+    [
+      ("index", jint index);
+      ("attempt", jint attempt);
+      ("reason", Json.Str reason);
+      ("requeued", jint requeued);
+    ]
   | Run_finished
       { completed; operations; evaluations; setup_evaluations; spins; violations }
     ->
@@ -327,6 +343,32 @@ let event_of_json j =
         target = get_str_opt j "target";
         alpha = get_int j "alpha";
         beta = get_int j "beta";
+      }
+  | "notification_dropped" ->
+    Notification_dropped
+      {
+        recipient = get_str j "recipient";
+        op_index = get_int j "op_index";
+        at = get_int j "at";
+      }
+  | "notification_duplicated" ->
+    Notification_duplicated
+      {
+        recipient = get_str j "recipient";
+        op_index = get_int j "op_index";
+        at = get_int j "at";
+      }
+  | "designer_crashed" ->
+    Designer_crashed { designer = get_str j "designer"; at = get_int j "at" }
+  | "designer_restarted" ->
+    Designer_restarted { designer = get_str j "designer"; at = get_int j "at" }
+  | "pool_retry" ->
+    Pool_retry
+      {
+        index = get_int j "index";
+        attempt = get_int j "attempt";
+        reason = get_str j "reason";
+        requeued = get_int j "requeued";
       }
   | "run_finished" ->
     Run_finished

@@ -114,6 +114,30 @@ type t =
       alpha : int;  (** violated constraints on the target (eq. 3) *)
       beta : int;  (** total constraints on the target *)
     }
+  | Notification_dropped of {
+      recipient : string;
+      op_index : int;  (** the operation whose notification was lost *)
+      at : int;  (** virtual send time (scheduler ticks) *)
+    }
+  | Notification_duplicated of {
+      recipient : string;
+      op_index : int;
+      at : int;  (** virtual send time (scheduler ticks) *)
+    }
+  | Designer_crashed of {
+      designer : string;
+      at : int;  (** virtual crash time (scheduler ticks) *)
+    }
+  | Designer_restarted of {
+      designer : string;
+      at : int;  (** virtual restart time (scheduler ticks) *)
+    }
+  | Pool_retry of {
+      index : int;  (** work item charged with the failed attempt *)
+      attempt : int;  (** 1-based attempt number that failed *)
+      reason : string;  (** how the worker failed *)
+      requeued : int;  (** items handed to the replacement worker *)
+    }
   | Run_finished of {
       completed : bool;
       operations : int;  (** N_O *)
@@ -136,4 +160,9 @@ let kind_label = function
   | Notification_pushed _ -> "notification_pushed"
   | Notification_delivered _ -> "notification_delivered"
   | Designer_decision _ -> "designer_decision"
+  | Notification_dropped _ -> "notification_dropped"
+  | Notification_duplicated _ -> "notification_duplicated"
+  | Designer_crashed _ -> "designer_crashed"
+  | Designer_restarted _ -> "designer_restarted"
+  | Pool_retry _ -> "pool_retry"
   | Run_finished _ -> "run_finished"

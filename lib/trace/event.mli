@@ -129,6 +129,33 @@ type t =
       alpha : int;
       beta : int;
     }
+  | Notification_dropped of { recipient : string; op_index : int; at : int }
+      (** The fault injector lost this teammate's copy of the
+          notification for operation [op_index] — the matching
+          [Notification_delivered] never happens. Emitted only by the
+          discrete-event engine under a fault plan. *)
+  | Notification_duplicated of { recipient : string; op_index : int; at : int }
+      (** The fault injector duplicated the notification: two
+          [Notification_delivered] events follow for the same
+          [op_index]. *)
+  | Designer_crashed of { designer : string; at : int }
+      (** A scheduled fault took [designer] down at virtual time [at]:
+          the designer stops acting, queued and in-flight deliveries to
+          it are lost, and its believed-status table is gone. *)
+  | Designer_restarted of { designer : string; at : int }
+      (** The crashed designer came back with an {e empty}
+          believed-status table, rebuilt only from subsequent
+          deliveries. *)
+  | Pool_retry of {
+      index : int;
+      attempt : int;
+      reason : string;
+      requeued : int;
+    }
+      (** A pool worker crashed, hung, or garbled its stream; the
+          supervisor charged work item [index] with failed [attempt]
+          number and requeued [requeued] items to a fresh worker. Host
+          wall-clock, not virtual time. *)
   | Run_finished of {
       completed : bool;
       operations : int;

@@ -233,6 +233,7 @@ let test_export_csv_escaping () =
               s_operations = 1;
               s_evaluations = 1;
               s_spins = 0;
+              s_faults = Metrics.no_faults;
               s_profile = [];
             };
           ])

@@ -12,6 +12,7 @@ let () =
       ("teamsim", Test_teamsim.suite);
       ("des", Test_des.suite);
       ("parallel", Test_parallel.suite);
+      ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
       ("export", Test_export.suite);
       ("dddl", Test_dddl.suite);

@@ -130,9 +130,13 @@ let test_model_durations () =
   Alcotest.(check int) "uniform" 3
     (Model.duration_for (Model.Uniform 3) Model.Verification);
   Alcotest.(check int) "own delivery instant" 0
-    (Model.delivery_delay ~latency:9 ~own:true);
+    (Model.delivery_delay ~latency:9 ~own:true ());
   Alcotest.(check int) "teammate delivery lags" 9
-    (Model.delivery_delay ~latency:9 ~own:false)
+    (Model.delivery_delay ~latency:9 ~own:false ());
+  Alcotest.(check int) "jitter stretches teammate delivery" 12
+    (Model.delivery_delay ~extra:3 ~latency:9 ~own:false ());
+  Alcotest.(check int) "jitter never delays own feedback" 0
+    (Model.delivery_delay ~extra:3 ~latency:9 ~own:true ())
 
 (* {2 Config validation} *)
 

@@ -115,6 +115,7 @@ let test_metrics_derivations () =
       s_operations = 10;
       s_evaluations = 50;
       s_spins = 2;
+      s_faults = Metrics.no_faults;
       s_profile =
         [
           { Metrics.m_index = 1; m_designer = "d"; m_kind = "synthesis";
@@ -181,6 +182,7 @@ let test_mean_profile_survivor_mean () =
       s_operations = List.length records;
       s_evaluations = 0;
       s_spins = 0;
+      s_faults = Metrics.no_faults;
       s_profile =
         List.map
           (fun (i, viol, evals) ->
