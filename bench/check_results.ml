@@ -85,6 +85,18 @@ let () =
   | None -> die "%s lacks the pool_retry_agrees field" file);
   if (not fast) && pool > 1.1 then
     die "pool_retry_overhead %gx > 1.1x: supervision is no longer free" pool;
+  (* the schedule fuzzer must have run at a finite positive throughput and
+     found no property violation: fuzz_clean=false means a random schedule
+     broke the temporal-property suite — a scheduling or bookkeeping bug,
+     never acceptable noise *)
+  let fuzz = speedup "fuzz_throughput" in
+  (match Option.bind (Json.member "fuzz_clean" json) Json.to_bool with
+  | Some true -> ()
+  | Some false ->
+    die
+      "fuzz_clean is false: a fuzzed schedule violated the temporal-property \
+       suite"
+  | None -> die "%s lacks the fuzz_clean field" file);
   (* the fault sweep must have produced a degradation curve *)
   (match Json.member "fault_sweep" json with
   | None -> die "%s lacks the fault_sweep field" file
@@ -97,5 +109,6 @@ let () =
     | Some _ -> ()));
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
-     (jobs=%d) des_overhead=%.2fx pool_retry_overhead=%.2fx\n"
-    incremental parallel jobs des_overhead pool
+     (jobs=%d) des_overhead=%.2fx pool_retry_overhead=%.2fx \
+     fuzz_throughput=%.1f/s\n"
+    incremental parallel jobs des_overhead pool fuzz

@@ -1,0 +1,40 @@
+(* Schedule-fuzzing throughput: how many random (seed, latency, duration,
+   fault-plan) schedules per second the fuzzer can run and check on the
+   sensor scenario. The run doubles as a soundness gate — every schedule
+   must satisfy the whole temporal-property suite. *)
+
+module Fuzz = Adpm_check.Fuzz
+module Dpm = Adpm_core.Dpm
+
+type result = {
+  schedules : int;  (** schedules run across both modes *)
+  throughput : float;  (** schedules per second *)
+  clean : bool;  (** no property violated, no truncated verdict *)
+}
+
+let run ~count () =
+  let scenario = Adpm_scenarios.Sensor.scenario in
+  let t0 = Unix.gettimeofday () in
+  let reports =
+    List.map
+      (fun mode -> Fuzz.fuzz ~max_ops:400 ~mode ~seed:11 ~count scenario)
+      [ Dpm.Conventional; Dpm.Adpm ]
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let schedules =
+    List.fold_left (fun acc r -> acc + r.Fuzz.fz_schedules) 0 reports
+  in
+  let clean =
+    List.for_all (fun r -> r.Fuzz.fz_violation = None) reports
+  in
+  {
+    schedules;
+    throughput = (if dt > 0. then float_of_int schedules /. dt else 0.);
+    clean;
+  }
+
+let render r =
+  Printf.sprintf
+    "sensor, both modes: %d schedules checked, %.1f schedules/s, %s\n"
+    r.schedules r.throughput
+    (if r.clean then "all properties hold" else "PROPERTY VIOLATED")

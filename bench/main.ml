@@ -62,7 +62,7 @@ let fault_sweep_json (faults : Exp_faults.result) =
           Json.Obj [ ("conv", Json.Num conv); ("adpm", Json.Num adpm) ] );
       ])
 
-let results_json ~fig9_seeds ~parallel verdicts incr des pool faults =
+let results_json ~fig9_seeds ~parallel verdicts incr des pool faults fuzz =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   Json.Obj
     [
@@ -74,6 +74,9 @@ let results_json ~fig9_seeds ~parallel verdicts incr des pool faults =
       ("pool_retry_overhead", Json.Num pool.Pool_overhead.overhead);
       ("pool_retry_agrees", Json.Bool pool.Pool_overhead.agrees);
       ("fault_sweep", fault_sweep_json faults);
+      ("fuzz_throughput", Json.Num fuzz.Fuzz_bench.throughput);
+      ("fuzz_schedules", Json.Num (float_of_int fuzz.Fuzz_bench.schedules));
+      ("fuzz_clean", Json.Bool fuzz.Fuzz_bench.clean);
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
@@ -237,12 +240,18 @@ let () =
   in
   print_string (Pool_overhead.render pool);
 
+  section "Schedule fuzzer: temporal-property suite over random schedules";
+  let fuzz =
+    timed "fuzz" (fun () -> Fuzz_bench.run ~count:(if fast then 10 else 50) ())
+  in
+  print_string (Fuzz_bench.render fuzz);
+
   section "Micro-benchmarks (bechamel)";
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
   let json =
     results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr des pool
-      faults
+      faults fuzz
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

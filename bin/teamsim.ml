@@ -443,6 +443,159 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")
     term
 
+(* {2 Temporal-property checking and schedule fuzzing} *)
+
+module Prop = Adpm_check.Prop
+module Props = Adpm_check.Props
+module Fuzz = Adpm_check.Fuzz
+
+(* Without an explicit horizon, bound the delivery window by the largest
+   transit time the trace itself exhibits — tight for clean runs, and a
+   flag away from exact when the caller knows latency + jitter. *)
+let observed_horizon events =
+  List.fold_left
+    (fun acc (ev : Event.stamped) ->
+      match ev.Event.event with
+      | Event.Notification_delivered { sent_at; delivered_at; _ } ->
+        max acc (delivered_at - sent_at)
+      | _ -> acc)
+    0 events
+
+let check_cmd =
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"TICKS"
+          ~doc:
+            "Worst-case delivery transit (latency + jitter) used to decide \
+             whether an undelivered notification was still in flight when \
+             the run halted. Default: the largest transit observed in the \
+             trace.")
+  in
+  let action path horizon crashes =
+    let events = read_trace path in
+    let horizon =
+      match horizon with Some h -> h | None -> observed_horizon events
+    in
+    let results = Prop.check (Props.suite ~horizon ~crashes ()) events in
+    print_string (Prop.render results);
+    let worst =
+      List.fold_left
+        (fun acc r ->
+          match (acc, r.Prop.c_verdict) with
+          | _, Prop.Fail _ -> 1
+          | 0, Prop.Truncated _ -> 2
+          | _ -> acc)
+        0 results
+    in
+    if worst <> 0 then exit worst
+  in
+  let term = Term.(const action $ trace_file_arg $ horizon_arg $ crash_plan_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check the temporal-property suite over a recorded trace: every \
+          pushed violation delivered or resolved, no designer starves, \
+          crashed designers rejoin, dropped notifications stay dropped. \
+          Exit 1 on a violated property, 2 on a truncated (ring-buffer) \
+          trace — truncation is refused, never a vacuous pass.")
+    term
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"Random schedules to run before declaring the suite clean.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:
+            "Where to write the minimized counterexample \
+             ($(b,PREFIX.trace.jsonl) + $(b,PREFIX.json)) when a property \
+             fails.")
+  in
+  let max_ops_arg =
+    Arg.(
+      value
+      & opt int 400
+      & info [ "max-ops" ] ~docv:"N"
+          ~doc:"Operation budget per fuzzed run (smaller = faster fuzzing).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-schedule progress.")
+  in
+  let action scenario_name mode seed count max_ops faults out quiet =
+    match find_scenario scenario_name with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok scenario ->
+      (match Fault.validate faults with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "invalid fault plan: %s\n" msg;
+        exit 1);
+      (* explicit fault flags pin the plan; otherwise each schedule draws
+         its own *)
+      let faults = if Fault.is_none faults then None else Some faults in
+      let progress i =
+        if (not quiet) && i mod 10 = 0 then Printf.printf "  %d schedules ok\n%!" i
+      in
+      let report =
+        match
+          Fuzz.fuzz ?faults ~max_ops ~progress ~mode ~seed ~count scenario
+        with
+        | report -> report
+        | exception Invalid_argument msg ->
+          prerr_endline msg;
+          exit 1
+      in
+      (match report.Fuzz.fz_violation with
+      | None ->
+        Printf.printf
+          "%d schedules on %s/%s: all temporal properties hold\n"
+          report.Fuzz.fz_schedules scenario_name (Dpm.mode_to_string mode)
+      | Some v ->
+        Printf.printf "property %s FAILED after %d schedule(s)\n" v.Fuzz.v_prop
+          report.Fuzz.fz_schedules;
+        Printf.printf "  %s [seq %d..%d]\n" v.Fuzz.v_reason v.Fuzz.v_from_seq
+          v.Fuzz.v_to_seq;
+        Printf.printf "  schedule:  %s\n"
+          (Fuzz.schedule_to_string v.Fuzz.v_original);
+        Printf.printf "  minimized: %s (%d shrink steps, %d events)\n"
+          (Fuzz.schedule_to_string v.Fuzz.v_schedule)
+          v.Fuzz.v_shrink_steps
+          (List.length v.Fuzz.v_events);
+        (match out with
+        | Some prefix ->
+          let paths =
+            Fuzz.write_artifact ~prefix ~scenario:scenario_name ~mode v
+          in
+          List.iter (Printf.printf "wrote %s\n") paths
+        | None -> ());
+        exit 1)
+  in
+  let term =
+    Term.(
+      const action $ scenario_arg $ mode_arg $ seed_arg $ count_arg
+      $ max_ops_arg $ fault_plan_term $ out_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the discrete-event schedule: run many random \
+          (seed, latency, duration, fault-plan) combinations, check the \
+          temporal-property suite over each complete trace, and on a \
+          violation shrink the schedule to a minimal replayable \
+          counterexample (nonzero exit).")
+    term
+
 let interactive_cmd =
   let designer_arg =
     Arg.(
@@ -504,5 +657,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "teamsim" ~doc)
-          [ run_cmd; sweep_cmd; replay_cmd; analyze_cmd; interactive_cmd;
-            list_cmd ]))
+          [ run_cmd; sweep_cmd; replay_cmd; analyze_cmd; check_cmd; fuzz_cmd;
+            interactive_cmd; list_cmd ]))

@@ -562,7 +562,7 @@ let apply t op =
              else None)
            (Network.prop_names t.net))
   in
-  Notify.trace_pushed t.d_tracer notifications;
+  Notify.trace_pushed t.d_tracer ~op_index:idx notifications;
   let known_now = known_violations t in
   t.hist <-
     {

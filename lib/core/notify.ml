@@ -81,7 +81,7 @@ let detected_violations n =
     (function Violation_detected cid -> Some cid | _ -> None)
     n.n_events
 
-let trace_pushed tracer notifications =
+let trace_pushed tracer ~op_index notifications =
   let open Adpm_trace in
   if Tracer.active tracer then
     List.iter
@@ -90,6 +90,7 @@ let trace_pushed tracer notifications =
           (Event.Notification_pushed
              {
                recipient = n.n_recipient;
+               op_index;
                events = List.map event_label n.n_events;
                violations = detected_violations n;
              }))

@@ -61,9 +61,12 @@ val event_label : event -> string
 val detected_violations : notification -> int list
 (** Ids of the constraints a notification reports newly violated. *)
 
-val trace_pushed : Adpm_trace.Tracer.t -> notification list -> unit
+val trace_pushed :
+  Adpm_trace.Tracer.t -> op_index:int -> notification list -> unit
 (** Emit one [Notification_pushed] trace event per notification (no-op on
-    an inactive tracer) — the NM's side of the observability contract. *)
+    an inactive tracer) — the NM's side of the observability contract.
+    [op_index] is the history index of the operation that raised them,
+    pairing each push with its later delivery / drop fate. *)
 
 val event_to_string : (int -> string) -> event -> string
 (** Render an event; the function maps constraint ids to names. *)

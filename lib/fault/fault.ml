@@ -85,6 +85,28 @@ let crashes_of_string s =
   in
   go [] entries
 
+(* Candidate single-step simplifications, most aggressive first: drop one
+   crash entry, silence a whole fault dimension, then halve it. Each
+   candidate is strictly "smaller" (fewer crashes, or a lower rate /
+   jitter), so greedy descent over this list terminates. *)
+let shrink_plan p =
+  let without_crash i =
+    { p with p_crashes = List.filteri (fun j _ -> j <> i) p.p_crashes }
+  in
+  let crash_removals = List.mapi (fun i _ -> without_crash i) p.p_crashes in
+  let dims =
+    [
+      (p.p_drop > 0., fun () -> { p with p_drop = 0. });
+      (p.p_dup > 0., fun () -> { p with p_dup = 0. });
+      (p.p_jitter > 0, fun () -> { p with p_jitter = 0 });
+      (p.p_jitter > 1, fun () -> { p with p_jitter = p.p_jitter / 2 });
+      (p.p_drop > 0.01, fun () -> { p with p_drop = p.p_drop /. 2. });
+      (p.p_dup > 0.01, fun () -> { p with p_dup = p.p_dup /. 2. });
+    ]
+  in
+  crash_removals
+  @ List.filter_map (fun (applies, mk) -> if applies then Some (mk ()) else None) dims
+
 (* {2 Runtime injector} *)
 
 type t = { rng : Rng.t; i_plan : plan }

@@ -50,6 +50,13 @@ val crashes_of_string : string -> (crash list, string) result
 val crashes_to_string : crash list -> string
 (** Inverse of {!crashes_of_string}. *)
 
+val shrink_plan : plan -> plan list
+(** Candidate one-step simplifications of a plan, most aggressive first:
+    each crash entry removed, each fault dimension zeroed, then halved.
+    Every candidate is strictly smaller, so a greedy "keep the first
+    candidate that still reproduces a failure" descent terminates. Empty
+    for {!none}. *)
+
 (** {2 Runtime injector} *)
 
 type t

@@ -59,5 +59,7 @@ let duration_of_string s =
 let delivery_delay ?(extra = 0) ~latency ~own () =
   if own then 0 else latency + extra
 
+let max_delivery_delay ~latency ~jitter = latency + max 0 jitter
+
 let validate_latency latency =
   if latency < 0 then Error "latency must be non-negative" else Ok ()

@@ -39,4 +39,10 @@ val delivery_delay : ?extra:int -> latency:int -> own:bool -> unit -> int
     fault injector's per-delivery jitter; the acting designer's own
     feedback is the local tool report and is never jittered. *)
 
+val max_delivery_delay : latency:int -> jitter:int -> int
+(** Worst-case teammate transit time under a fault plan with the given
+    jitter ceiling — the horizon after which the temporal-property checker
+    may treat a still-undelivered notification as a violation rather than
+    merely in flight. *)
+
 val validate_latency : int -> (unit, string) result

@@ -280,6 +280,10 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         if continue_run () then begin
           if is_dead designer then Scheduler.schedule sch ~delay:0 Next_turn
           else begin
+            if Tracer.active tracer then
+              Tracer.emit tracer
+                (Event.Turn_started
+                   { designer = Designer.name designer; at = Scheduler.now sch });
             ignore (Designer.drain designer dpm : int);
             let evals_before = Dpm.eval_count dpm in
             match Designer.choose_operation designer dpm with

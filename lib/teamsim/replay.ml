@@ -165,7 +165,8 @@ let run ~scenarios events =
           cids
       | Event.Run_started _ | Event.Propagation_started _
       | Event.Propagation_finished _ | Event.Notification_pushed _
-      | Event.Op_completed _ | Event.Notification_delivered _
+      | Event.Turn_started _ | Event.Op_completed _
+      | Event.Notification_delivered _
       | Event.Notification_dropped _ | Event.Notification_duplicated _
       | Event.Designer_crashed _ | Event.Designer_restarted _
       | Event.Pool_retry _ | Event.Designer_decision _ ->

@@ -25,6 +25,7 @@ type report = {
   r_latencies : latency list;  (** per designer, name order *)
   r_spans : span list;  (** per constraint, id order *)
   r_notifications : int;
+  r_turns : int;  (** [Turn_started] events — designer turns (DES runs) *)
   r_deliveries : int;  (** [Notification_delivered] events (DES runs) *)
   r_delivery_latency_mean : float;
       (** mean [delivered_at - sent_at] over deliveries, in virtual ticks
@@ -46,6 +47,7 @@ let analyze events =
   let revisions_full = ref 0 and revisions_incremental = ref 0 in
   let wave_sizes = ref [] in
   let notifications = ref 0 in
+  let turns = ref 0 in
   let deliveries = ref 0 in
   let delivery_ticks = ref 0 in
   let makespan = ref 0 in
@@ -87,6 +89,9 @@ let analyze events =
         let waiting = try Hashtbl.find pending recipient with Not_found -> [] in
         Hashtbl.replace pending recipient (waiting @ [ clock ])
       | Op_completed { at; _ } -> makespan := max !makespan at
+      | Turn_started { at; _ } ->
+        incr turns;
+        makespan := max !makespan at
       | Notification_delivered { sent_at; delivered_at; _ } ->
         incr deliveries;
         delivery_ticks := !delivery_ticks + (delivered_at - sent_at)
@@ -157,8 +162,11 @@ let analyze events =
     r_latencies = latency_list;
     r_spans = span_list;
     r_notifications = !notifications;
+    r_turns = !turns;
     r_deliveries = !deliveries;
     r_delivery_latency_mean =
+      (* nan (rendered as JSON null), never 0/0: a trace with no
+         deliveries has no transit statistic at all *)
       (if !deliveries = 0 then Float.nan
        else float_of_int !delivery_ticks /. float_of_int !deliveries);
     r_makespan = !makespan;
@@ -183,6 +191,7 @@ let render r =
       "virtual makespan %d ticks; %d teammate deliveries, mean transit %.2f \
        ticks\n"
       r.r_makespan r.r_deliveries r.r_delivery_latency_mean;
+  if r.r_turns > 0 then add "designer turns taken: %d\n" r.r_turns;
   if r.r_dropped + r.r_duplicated + r.r_crashes + r.r_pool_retries > 0 then
     add
       "faults: %d notifications dropped, %d duplicated; %d designer crashes \
@@ -250,10 +259,13 @@ let to_json r =
       ("revisions_full", jint r.r_revisions_full);
       ("revisions_incremental", jint r.r_revisions_incremental);
       ("notifications", jint r.r_notifications);
+      ("turns", jint r.r_turns);
       ("deliveries", jint r.r_deliveries);
       ( "delivery_latency_mean",
-        if Float.is_nan r.r_delivery_latency_mean then Json.Null
-        else Json.Num r.r_delivery_latency_mean );
+        (* the comparison is written to also catch nan *)
+        if Float.is_finite r.r_delivery_latency_mean then
+          Json.Num r.r_delivery_latency_mean
+        else Json.Null );
       ("makespan", jint r.r_makespan);
       ("dropped", jint r.r_dropped);
       ("duplicated", jint r.r_duplicated);

@@ -36,6 +36,9 @@ type report = {
   r_latencies : latency list;
   r_spans : span list;
   r_notifications : int;
+  r_turns : int;
+      (** [Turn_started] events — live-designer turns the discrete-event
+          engine granted (0 for lockstep traces) *)
   r_deliveries : int;
       (** [Notification_delivered] events — teammate deliveries recorded
           by the discrete-event engine *)

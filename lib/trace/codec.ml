@@ -90,9 +90,12 @@ let fields_of_event = function
       ("new", Json.Str (status_to_string new_status));
     ]
   | Op_completed { index; at } -> [ ("index", jint index); ("at", jint at) ]
-  | Notification_pushed { recipient; events; violations } ->
+  | Turn_started { designer; at } ->
+    [ ("designer", Json.Str designer); ("at", jint at) ]
+  | Notification_pushed { recipient; op_index; events; violations } ->
     [
       ("recipient", Json.Str recipient);
+      ("op_index", jint op_index);
       ("events", json_of_strings events);
       ("violations", json_of_ints violations);
     ]
@@ -314,10 +317,15 @@ let event_of_json j =
       }
   | "op_completed" ->
     Op_completed { index = get_int j "index"; at = get_int j "at" }
+  | "turn_started" ->
+    Turn_started { designer = get_str j "designer"; at = get_int j "at" }
   | "notification_pushed" ->
     Notification_pushed
       {
         recipient = get_str j "recipient";
+        (* traces recorded before the checker subsystem lack the pairing
+           index; -1 marks "unknown operation" *)
+        op_index = get_int_default j "op_index" (-1);
         events = get_strings j "events";
         violations = get_ints j "violations";
       }

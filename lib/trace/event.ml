@@ -94,8 +94,13 @@ type t =
       index : int;  (** operation index, matching [Op_executed] *)
       at : int;  (** virtual completion time (scheduler ticks) *)
     }
+  | Turn_started of {
+      designer : string;
+      at : int;  (** virtual turn time (scheduler ticks) *)
+    }
   | Notification_pushed of {
       recipient : string;
+      op_index : int;  (** the operation whose outcome is being announced *)
       events : string list;  (** rendered event descriptions *)
       violations : int list;  (** ids of newly violated constraints *)
     }
@@ -154,6 +159,7 @@ let kind_label = function
   | Op_submitted _ -> "op_submitted"
   | Op_executed _ -> "op_executed"
   | Op_completed _ -> "op_completed"
+  | Turn_started _ -> "turn_started"
   | Propagation_started _ -> "propagation_started"
   | Propagation_finished _ -> "propagation_finished"
   | Constraint_status_changed _ -> "constraint_status_changed"

@@ -103,8 +103,17 @@ type t =
       (** Emitted by the discrete-event engine when the operation's
           virtual duration elapses ([at] is in scheduler ticks); absent
           from lockstep-loop traces. *)
+  | Turn_started of { designer : string; at : int }
+      (** A live designer's turn began at virtual time [at]: it drains its
+          mailbox and considers acting (possibly choosing nothing). Crashed
+          designers are skipped without a turn. Emitted only by the
+          discrete-event engine; the temporal-property checker reads these
+          to bound turn gaps (starvation / rejoin-after-restart). *)
   | Notification_pushed of {
       recipient : string;
+      op_index : int;
+          (** index of the operation whose outcome is announced; pairs the
+              push with its [Notification_delivered] / [_dropped] fate *)
       events : string list;
       violations : int list;
     }

@@ -48,6 +48,24 @@ let memory ~capacity =
   let buf = Ring.create ~capacity in
   (buf, Ring.sink buf)
 
+module Collect = struct
+  type buffer = { mutable events : Event.stamped list; mutable count : int }
+
+  let create () = { events = []; count = 0 }
+
+  let write buf ev =
+    buf.events <- ev :: buf.events;
+    buf.count <- buf.count + 1
+
+  let sink buf = { write = write buf; close = (fun () -> ()) }
+  let length buf = buf.count
+  let contents buf = List.rev buf.events
+end
+
+let collector () =
+  let buf = Collect.create () in
+  (buf, Collect.sink buf)
+
 let jsonl oc =
   {
     write =

@@ -32,6 +32,24 @@ end
 val memory : capacity:int -> Ring.buffer * t
 (** Convenience: a fresh ring buffer and its sink. *)
 
+(** Unbounded in-memory collector: keeps {e every} event, so a consumer
+    that must see a complete stream (the temporal-property checker refuses
+    truncated traces) never races a capacity guess. *)
+module Collect : sig
+  type buffer
+
+  val create : unit -> buffer
+  val sink : buffer -> t
+
+  val contents : buffer -> Event.stamped list
+  (** In write order. *)
+
+  val length : buffer -> int
+end
+
+val collector : unit -> Collect.buffer * t
+(** Convenience: a fresh collect buffer and its sink. *)
+
 val jsonl : out_channel -> t
 (** One JSONL line per event on the given channel; [close] flushes but
     does not close the channel (the caller owns it). *)

@@ -13,6 +13,7 @@ let () =
       ("des", Test_des.suite);
       ("parallel", Test_parallel.suite);
       ("fault", Test_fault.suite);
+      ("check", Test_check.suite);
       ("trace", Test_trace.suite);
       ("export", Test_export.suite);
       ("dddl", Test_dddl.suite);

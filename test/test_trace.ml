@@ -101,10 +101,12 @@ let sample_events =
       Event.Notification_pushed
         {
           recipient = "bob";
+          op_index = 7;
           events = [ "violation-detected:4"; "feasible-reduced:bw" ];
           violations = [ 4 ];
         };
       Event.Op_completed { index = 7; at = 11 };
+      Event.Turn_started { designer = "bob"; at = 12 };
       Event.Notification_delivered
         {
           recipient = "bob";
