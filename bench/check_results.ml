@@ -1,15 +1,17 @@
 (* Bench-smoke gate: fail loudly (nonzero exit) if BENCH_results.json is
-   missing, unparseable, or lacks a finite positive incremental_speedup or
-   parallel_speedup — so a refactor that silently stops producing the
-   incremental-vs-full comparison or the parallel-vs-sequential comparison
-   breaks @check instead of shipping an empty benchmark.
+   missing, unparseable, or lacks a finite positive incremental_speedup,
+   parallel_speedup or domains_speedup — so a refactor that silently stops
+   producing the incremental-vs-full, fork-vs-sequential or
+   domains-vs-sequential comparison breaks @check instead of shipping an
+   empty benchmark.
 
-   The parallel gate: the field must always be a finite positive ratio,
-   and on a real measurement (parallel_jobs >= 2, non-fast run) it must be
-   >= 1 — a multi-worker pass of the Fig. 9 cells that fails to beat the
-   sequential pass is a regression. Fast smoke runs are exempt from the
-   >= 1 bar because their cells are milliseconds long, where fork overhead
-   and timer noise dominate. *)
+   The parallel (fork) and domains gates: each field must always be a
+   finite positive ratio and its _agrees flag true, and on a real
+   measurement (jobs >= 2 — plus >= 2 actual cores, for domains — in a
+   non-fast run) the ratio must be >= 1: a multi-worker pass of the Fig. 9
+   cells that fails to beat the sequential pass is a regression. Fast
+   smoke runs are exempt from the >= 1 bar because their cells are
+   milliseconds long, where spawn overhead and timer noise dominate. *)
 
 module Json = Adpm_trace.Json
 
@@ -70,6 +72,34 @@ let () =
   if jobs >= 2 && (not fast) && parallel < 1. then
     die "parallel_speedup %g < 1 with %d jobs: the parallel path regressed"
       parallel jobs;
+  (* The domain runner always executes (its jobs are forced to >= 2), so a
+     missing domains_speedup or a false domains_agrees means the
+     shared-memory backend silently stopped running or diverged from the
+     sequential reference — both hard failures. The > 1 bar additionally
+     needs real cores to overlap on and a non-fast run. *)
+  let domains = speedup "domains_speedup" in
+  (match Option.bind (Json.member "domains_agrees" json) Json.to_bool with
+  | Some true -> ()
+  | Some false ->
+    die
+      "domains_agrees is false: the domain-backend Fig. 9 cells diverged \
+       from the sequential pass"
+  | None -> die "%s lacks the domains_agrees field" file);
+  let domains_jobs =
+    match Option.bind (Json.member "domains_jobs" json) Json.to_int with
+    | Some n -> n
+    | None -> die "%s lacks the domains_jobs field" file
+  in
+  let cores =
+    match Option.bind (Json.member "cores" json) Json.to_int with
+    | Some n -> n
+    | None -> die "%s lacks the cores field" file
+  in
+  if cores >= 2 && domains_jobs >= 2 && (not fast) && domains < 1. then
+    die
+      "domains_speedup %g < 1 with %d jobs on %d cores: the domain backend \
+       regressed"
+      domains domains_jobs cores;
   (* pool supervision must be measured and essentially free on the healthy
      path: a missing ratio means the comparison silently stopped running,
      and > 1.1x means the retry/timeout bookkeeping started costing real
@@ -109,6 +139,6 @@ let () =
     | Some _ -> ()));
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
-     (jobs=%d) des_overhead=%.2fx pool_retry_overhead=%.2fx \
-     fuzz_throughput=%.1f/s\n"
-    incremental parallel jobs des_overhead pool fuzz
+     (jobs=%d) domains_speedup=%.2fx (jobs=%d, cores=%d) des_overhead=%.2fx \
+     pool_retry_overhead=%.2fx fuzz_throughput=%.1f/s\n"
+    incremental parallel jobs domains domains_jobs cores des_overhead pool fuzz

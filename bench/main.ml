@@ -17,6 +17,7 @@
 open Adpm_experiments
 module Json = Adpm_trace.Json
 module Pool = Adpm_parallel.Pool
+module Engine = Adpm_teamsim.Engine
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -62,11 +63,14 @@ let fault_sweep_json (faults : Exp_faults.result) =
           Json.Obj [ ("conv", Json.Num conv); ("adpm", Json.Num adpm) ] );
       ])
 
-let results_json ~fig9_seeds ~parallel verdicts incr des pool faults fuzz =
+let results_json ~fig9_seeds ~parallel ~domains verdicts incr des pool faults
+    fuzz =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
+  let domains_jobs, domains_speedup, domains_agrees = domains in
   Json.Obj
     [
       ("fast", Json.Bool fast);
+      ("cores", Json.Num (float_of_int (Pool.cpu_count ())));
       ("fig9_seeds", Json.Num (float_of_int fig9_seeds));
       ("incremental_speedup", Json.Num incr.Incremental.speedup);
       ("des_overhead", Json.Num des.Des_overhead.overhead);
@@ -80,6 +84,9 @@ let results_json ~fig9_seeds ~parallel verdicts incr des pool faults fuzz =
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
+      ("domains_jobs", Json.Num (float_of_int domains_jobs));
+      ("domains_speedup", Json.Num domains_speedup);
+      ("domains_agrees", Json.Bool domains_agrees);
       ( "incremental",
         Json.Obj
           [
@@ -122,10 +129,16 @@ let () =
   section "Figures 2-4: Section 2.4 walkthrough";
   print_string (timed "fig234" (fun () -> Exp_fig234.render (Exp_fig234.run ())));
 
+  (* Fork before domains, always: the first Domain.spawn permanently
+     disables Unix.fork in this process, so every fork-pool measurement
+     (Fig. 7's fork pass, the parallel runner, the supervision-overhead
+     bench) runs before the domain runner and everything downstream of
+     it. *)
   section "Figure 7: per-operation profiles (simplified case)";
   print_string
     (timed "fig7" (fun () ->
-         Exp_fig7.render (Exp_fig7.run ~seeds:fig7_seeds ~jobs:njobs ())));
+         Exp_fig7.render
+           (Exp_fig7.run ~seeds:fig7_seeds ~backend:Engine.Fork ~jobs:njobs ())));
 
   section "Figure 8: design process statistics window";
   print_string (timed "fig8" (fun () -> Exp_fig8.render (Exp_fig8.run ())));
@@ -134,50 +147,52 @@ let () =
   let fig9 = timed "fig9" (fun () -> Exp_fig9.run ~seeds:fig9_seeds ()) in
   print_string (Exp_fig9.render fig9);
 
-  (* Parallel runner: redo the Fig. 9 cells with the worker pool and
-     compare wall time against the sequential pass above. On a single-CPU
-     host there is nothing to overlap, so the ratio is definitionally 1
-     and the fork path is left to the test suite's equivalence checks. *)
+  let wall name = List.assoc name !timings in
+  (* Per-run sample lists, not whole aggregates: Stats_acc carries an
+     internal sort cache whose state is irrelevant to equality. *)
+  let fingerprint (c : Adpm_teamsim.Report.aggregate) =
+    let samples = Adpm_util.Stats_acc.to_list in
+    ( c.Adpm_teamsim.Report.a_scenario,
+      c.Adpm_teamsim.Report.a_mode,
+      c.Adpm_teamsim.Report.a_runs,
+      c.Adpm_teamsim.Report.a_completed,
+      List.map samples
+        [
+          c.Adpm_teamsim.Report.a_ops;
+          c.Adpm_teamsim.Report.a_evals;
+          c.Adpm_teamsim.Report.a_evals_per_op;
+          c.Adpm_teamsim.Report.a_spins;
+          c.Adpm_teamsim.Report.a_violations;
+        ] )
+  in
+  let cells r =
+    [
+      r.Exp_fig9.sensor_conv; r.Exp_fig9.sensor_adpm;
+      r.Exp_fig9.receiver_conv; r.Exp_fig9.receiver_adpm;
+    ]
+  in
+  let agrees_with_fig9 r =
+    List.for_all2 (fun a b -> fingerprint a = fingerprint b) (cells r)
+      (cells fig9)
+  in
+
+  (* Parallel runner (fork): redo the Fig. 9 cells with the worker pool
+     and compare wall time against the sequential pass above. On a
+     single-CPU host there is nothing to overlap, so the ratio is
+     definitionally 1 and the fork path is left to the test suite's
+     equivalence checks. *)
   let parallel =
     if njobs < 2 then (1, 1.0, true)
     else begin
       section
-        (Printf.sprintf "Parallel runner: Fig. 9 cells at jobs=%d vs jobs=1"
-           njobs);
+        (Printf.sprintf
+           "Parallel runner (fork): Fig. 9 cells at jobs=%d vs jobs=1" njobs);
       let fig9_par =
         timed "fig9_parallel" (fun () ->
-            Exp_fig9.run ~seeds:fig9_seeds ~jobs:njobs ())
+            Exp_fig9.run ~seeds:fig9_seeds ~backend:Engine.Fork ~jobs:njobs ())
       in
-      let wall name = List.assoc name !timings in
       let speedup = wall "fig9" /. wall "fig9_parallel" in
-      (* Per-run sample lists, not whole aggregates: Stats_acc carries an
-         internal sort cache whose state is irrelevant to equality. *)
-      let fingerprint (c : Adpm_teamsim.Report.aggregate) =
-        let samples = Adpm_util.Stats_acc.to_list in
-        ( c.Adpm_teamsim.Report.a_scenario,
-          c.Adpm_teamsim.Report.a_mode,
-          c.Adpm_teamsim.Report.a_runs,
-          c.Adpm_teamsim.Report.a_completed,
-          List.map samples
-            [
-              c.Adpm_teamsim.Report.a_ops;
-              c.Adpm_teamsim.Report.a_evals;
-              c.Adpm_teamsim.Report.a_evals_per_op;
-              c.Adpm_teamsim.Report.a_spins;
-              c.Adpm_teamsim.Report.a_violations;
-            ] )
-      in
-      let cells r =
-        [
-          r.Exp_fig9.sensor_conv; r.Exp_fig9.sensor_adpm;
-          r.Exp_fig9.receiver_conv; r.Exp_fig9.receiver_adpm;
-        ]
-      in
-      let agrees =
-        List.for_all2
-          (fun a b -> fingerprint a = fingerprint b)
-          (cells fig9_par) (cells fig9)
-      in
+      let agrees = agrees_with_fig9 fig9_par in
       Printf.printf
         "jobs=%d: sequential %.2fs, parallel %.2fs -> speedup %.2fx; results %s\n"
         njobs (wall "fig9")
@@ -187,6 +202,13 @@ let () =
       (njobs, speedup, agrees)
     end
   in
+
+  section "Worker pool: supervision overhead on the healthy path";
+  let pool =
+    timed "pool_overhead" (fun () ->
+        Pool_overhead.run ~seeds:(if fast then 4 else 12) ~jobs:(max 2 njobs) ())
+  in
+  print_string (Pool_overhead.render pool);
 
   section "Figure 10: specification-tightness sweep";
   print_string
@@ -233,12 +255,37 @@ let () =
   in
   print_string (Des_overhead.render des);
 
-  section "Worker pool: supervision overhead on the healthy path";
-  let pool =
-    timed "pool_overhead" (fun () ->
-        Pool_overhead.run ~seeds:(if fast then 4 else 12) ~jobs:(max 2 njobs) ())
+  (* Domain runner: the Fig. 9 cells again on the shared-memory backend.
+     Unlike the fork section this always runs (jobs forced to >= 2) so
+     every bench run exercises the domain pool's bit-identity; a real
+     speedup is only expected — and only gated by check_results — when
+     the host actually has >= 2 cores. It runs LAST among the timed
+     experiment sections on purpose: spawning domains permanently grows
+     the runtime's multi-domain GC state, which measurably slows the
+     sequential sections that follow, so every section whose wall time is
+     tracked against a baseline must run before the first domain spawn
+     (just as the fork sections must — see the note above fig7). *)
+  let domains =
+    let djobs = max 2 njobs in
+    section
+      (Printf.sprintf
+         "Domain runner: Fig. 9 cells at jobs=%d (shared memory) vs jobs=1"
+         djobs);
+    let fig9_dom =
+      timed "fig9_domains" (fun () ->
+          Exp_fig9.run ~seeds:fig9_seeds ~backend:Engine.Domains ~jobs:djobs ())
+    in
+    let speedup = wall "fig9" /. wall "fig9_domains" in
+    let agrees = agrees_with_fig9 fig9_dom in
+    Printf.printf
+      "jobs=%d (%d core(s)): sequential %.2fs, domains %.2fs -> speedup \
+       %.2fx; results %s\n"
+      djobs (Pool.cpu_count ()) (wall "fig9")
+      (wall "fig9_domains")
+      speedup
+      (if agrees then "bit-identical" else "DIVERGED");
+    (djobs, speedup, agrees)
   in
-  print_string (Pool_overhead.render pool);
 
   section "Schedule fuzzer: temporal-property suite over random schedules";
   let fuzz =
@@ -250,8 +297,8 @@ let () =
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
   let json =
-    results_json ~fig9_seeds ~parallel (Exp_fig9.verdicts fig9) incr des pool
-      faults fuzz
+    results_json ~fig9_seeds ~parallel ~domains (Exp_fig9.verdicts fig9) incr
+      des pool faults fuzz
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

@@ -23,11 +23,12 @@ let run ~seeds ~jobs () =
   let seed_list = List.init seeds (fun i -> i + 1) in
   let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
   let relaxed () =
-    Engine.run_many ~jobs ~retries:0 cfg Sensor.scenario ~seeds:seed_list
+    Engine.run_many ~backend:Engine.Fork ~jobs ~retries:0 cfg Sensor.scenario
+      ~seeds:seed_list
   in
   let supervised () =
-    Engine.run_many ~jobs ~job_timeout:600. cfg Sensor.scenario
-      ~seeds:seed_list
+    Engine.run_many ~backend:Engine.Fork ~jobs ~job_timeout:600. cfg
+      Sensor.scenario ~seeds:seed_list
   in
   let time f =
     let t0 = Unix.gettimeofday () in

@@ -239,6 +239,27 @@ let jobs_arg =
 let effective_jobs jobs =
   if jobs = 0 then Adpm_parallel.Pool.cpu_count () else max 1 jobs
 
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Engine.backend_of_string s with
+          | Ok b -> Ok b
+          | Error e -> Error (`Msg e)),
+        fun ppf b -> Format.pp_print_string ppf (Engine.backend_to_string b) )
+  in
+  Arg.(
+    value
+    & opt backend_conv Engine.Domains
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Parallel backend for multi-seed runs: $(b,domains) (shared-memory \
+           domain pool, the throughput default), $(b,fork) (process pool \
+           with crash/hang supervision — use with $(b,--retries) / \
+           $(b,--job-timeout) or fault injection), or $(b,inline) \
+           (sequential reference). Results are bit-identical across \
+           backends.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every operation.")
 
@@ -400,7 +421,8 @@ let analyze_cmd =
     term
 
 let sweep_cmd =
-  let action scenario_name seeds jobs latency faults retries job_timeout csv =
+  let action scenario_name seeds backend jobs latency faults retries job_timeout
+      csv =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -419,8 +441,8 @@ let sweep_cmd =
           e.Adpm_parallel.Pool.sv_reason e.Adpm_parallel.Pool.sv_requeued
       in
       let run_mode mode =
-        Engine.run_many ~jobs ~retries ?job_timeout ~on_retry (cfg mode)
-          scenario ~seeds:seed_list
+        Engine.run_many ~backend ~jobs ~retries ?job_timeout ~on_retry
+          (cfg mode) scenario ~seeds:seed_list
       in
       let conv_runs = run_mode Dpm.Conventional in
       let adpm_runs = run_mode Dpm.Adpm in
@@ -436,8 +458,9 @@ let sweep_cmd =
   in
   let term =
     Term.(
-      const action $ scenario_arg $ seeds_arg $ jobs_arg $ latency_arg
-      $ fault_plan_term $ job_retries_arg $ job_timeout_arg $ csv_arg)
+      const action $ scenario_arg $ seeds_arg $ backend_arg $ jobs_arg
+      $ latency_arg $ fault_plan_term $ job_retries_arg $ job_timeout_arg
+      $ csv_arg)
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Compare modes over many seeds (Fig. 9 data).")

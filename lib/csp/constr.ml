@@ -5,18 +5,29 @@ type rel = Le | Ge | Eq
 
 type status = Satisfied | Violated | Consistent
 
-type t = { id : int; name : string; lhs : Expr.t; rel : rel; rhs : Expr.t }
+type t = {
+  id : int;
+  name : string;
+  lhs : Expr.t;
+  rel : rel;
+  rhs : Expr.t;
+  c_args : string list;
+  c_diff : Expr.t;
+}
 
-let make ~id ~name lhs rel rhs = { id; name; lhs; rel; rhs }
+(* [Expr.vars] on [lhs - rhs] is exactly the historical
+   [lhs_vars @ (rhs_vars not already in lhs_vars)]: a single deduplicated
+   first-occurrence walk of the left side then the right. Computed once at
+   construction — [args] used to re-walk both expressions (with a
+   quadratic [List.mem] dedup) on every call, including from [arity] and
+   every [Network.add_constraint]. *)
+let make ~id ~name lhs rel rhs =
+  let diff = Expr.Sub (lhs, rhs) in
+  { id; name; lhs; rel; rhs; c_args = Expr.vars diff; c_diff = diff }
 
-let args c =
-  let lhs_vars = Expr.vars c.lhs in
-  let rhs_vars = Expr.vars c.rhs in
-  lhs_vars @ List.filter (fun v -> not (List.mem v lhs_vars)) rhs_vars
-
-let arity c = List.length (args c)
-
-let diff c = Expr.Sub (c.lhs, c.rhs)
+let args c = c.c_args
+let arity c = List.length c.c_args
+let diff c = c.c_diff
 
 let default_eps = 1e-9
 

@@ -14,23 +14,27 @@ type rel = Le | Ge | Eq
 
 type status = Satisfied | Violated | Consistent
 
-type t = {
+type t = private {
   id : int;  (** unique within a network *)
   name : string;
   lhs : Expr.t;
   rel : rel;
   rhs : Expr.t;
+  c_args : string list;  (** memoised {!args}; use the accessor *)
+  c_diff : Expr.t;  (** memoised {!diff}; use the accessor *)
 }
 
 val make : id:int -> name:string -> Expr.t -> rel -> Expr.t -> t
 
 val args : t -> string list
-(** Distinct properties mentioned, left-to-right. *)
+(** Distinct properties mentioned, left-to-right. Memoised at
+    construction; the list is shared, never rebuilt. *)
 
 val arity : t -> int
 
 val diff : t -> Expr.t
-(** [lhs - rhs]: the normalised form used for propagation. *)
+(** [lhs - rhs]: the normalised form used for propagation. Memoised at
+    construction so hot loops don't re-allocate the [Sub] node. *)
 
 val target : ?eps:float -> t -> Interval.t
 (** Interval that [diff] must lie in for the constraint to hold.

@@ -3,6 +3,7 @@ open Adpm_expr
 
 type prop = {
   p_name : string;
+  p_id : int;
   p_initial : Domain.t;
   mutable p_assigned : Value.t option;
   mutable p_feasible : Domain.t;
@@ -10,21 +11,36 @@ type prop = {
 }
 
 type pstate = {
-  ps_boxes : (string, Interval.t) Hashtbl.t;
+  ps_lo : float array;
+  ps_hi : float array;
+  ps_mask : bool array;
   ps_empties : (int, unit) Hashtbl.t;
 }
 
 type t = {
   props : (string, prop) Hashtbl.t;
   mutable prop_order : string list; (* reversed insertion order *)
+  mutable by_id : prop array; (* dense, index = p_id *)
   constrs : (int, Constr.t) Hashtbl.t;
   mutable constr_order : int list; (* reversed *)
-  adjacency : (string, int list) Hashtbl.t;
+  adjacency : (string, int list) Hashtbl.t; (* reversed per prop *)
   statuses : (int, Constr.status) Hashtbl.t;
   declared_mono : (string, Monotone.direction) Hashtbl.t;
   (* key: "<cid>/<prop>" *)
   mutable next_cid : int;
   mutable n_rev : int;
+  mutable n_struct : int;
+  (* Structural revision: bumped only by add_prop/add_constraint. The
+     derived views below are keyed on it rather than on [n_rev], which
+     also moves on every assignment and status update. *)
+  mutable c_list_cache : (int * Constr.t list) option;
+  mutable c_arr_cache : (int * Constr.t array) option;
+  mutable adj_cache : (int * int array array) option;
+  kernels : (int, Hc4.kernel) Hashtbl.t;
+  (* Compiled HC4 kernels per constraint id, built lazily. Kernels carry
+     mutable scratch, so a network (and its copies, which share compiled
+     kernels) must stay within one domain — which holds: every simulation
+     run builds its own network. *)
   dirty : (string, unit) Hashtbl.t;
   mutable n_pstate : pstate option;
 }
@@ -33,6 +49,7 @@ let create () =
   {
     props = Hashtbl.create 64;
     prop_order = [];
+    by_id = [||];
     constrs = Hashtbl.create 64;
     constr_order = [];
     adjacency = Hashtbl.create 64;
@@ -40,11 +57,21 @@ let create () =
     declared_mono = Hashtbl.create 16;
     next_cid = 0;
     n_rev = 0;
+    n_struct = 0;
+    c_list_cache = None;
+    c_arr_cache = None;
+    adj_cache = None;
+    kernels = Hashtbl.create 64;
     dirty = Hashtbl.create 16;
     n_pstate = None;
   }
 
 let bump t = t.n_rev <- t.n_rev + 1
+
+let bump_struct t =
+  t.n_struct <- t.n_struct + 1;
+  bump t
+
 let revision t = t.n_rev
 let mark_dirty t name = Hashtbl.replace t.dirty name ()
 let dirty_props t = Hashtbl.fold (fun name () acc -> name :: acc) t.dirty []
@@ -58,7 +85,12 @@ let store_prop_state t ps =
 let invalidate_prop_state t = t.n_pstate <- None
 
 let copy_pstate ps =
-  { ps_boxes = Hashtbl.copy ps.ps_boxes; ps_empties = Hashtbl.copy ps.ps_empties }
+  {
+    ps_lo = Array.copy ps.ps_lo;
+    ps_hi = Array.copy ps.ps_hi;
+    ps_mask = Array.copy ps.ps_mask;
+    ps_empties = Hashtbl.copy ps.ps_empties;
+  }
 
 let copy t =
   let fresh = create () in
@@ -66,6 +98,8 @@ let copy t =
     (fun name p -> Hashtbl.replace fresh.props name { p with p_name = p.p_name })
     t.props;
   fresh.prop_order <- t.prop_order;
+  fresh.by_id <-
+    Array.map (fun p -> Hashtbl.find fresh.props p.p_name) t.by_id;
   Hashtbl.iter (fun id c -> Hashtbl.replace fresh.constrs id c) t.constrs;
   fresh.constr_order <- t.constr_order;
   Hashtbl.iter (fun name ids -> Hashtbl.replace fresh.adjacency name ids) t.adjacency;
@@ -73,6 +107,10 @@ let copy t =
   Hashtbl.iter (fun k d -> Hashtbl.replace fresh.declared_mono k d) t.declared_mono;
   fresh.next_cid <- t.next_cid;
   fresh.n_rev <- t.n_rev;
+  fresh.n_struct <- t.n_struct;
+  (* compiled kernels are immutable programs + scratch: safe to share
+     between sequentially-used copies, so only the table is copied *)
+  Hashtbl.iter (fun id k -> Hashtbl.replace fresh.kernels id k) t.kernels;
   Hashtbl.iter (fun name () -> Hashtbl.replace fresh.dirty name ()) t.dirty;
   fresh.n_pstate <- Option.map copy_pstate t.n_pstate;
   fresh
@@ -82,17 +120,29 @@ let add_prop t ?(meta = []) name domain =
     invalid_arg (Printf.sprintf "Network.add_prop: duplicate property %s" name);
   if Domain.is_empty domain then
     invalid_arg (Printf.sprintf "Network.add_prop: empty initial domain for %s" name);
-  Hashtbl.replace t.props name
-    { p_name = name; p_initial = domain; p_assigned = None; p_feasible = domain;
-      p_meta = meta };
+  let p =
+    { p_name = name; p_id = Array.length t.by_id; p_initial = domain;
+      p_assigned = None; p_feasible = domain; p_meta = meta }
+  in
+  Hashtbl.replace t.props name p;
   t.prop_order <- name :: t.prop_order;
+  t.by_id <- Array.append t.by_id [| p |];
   (* structural change: any persisted propagation state is stale *)
   invalidate_prop_state t;
-  bump t
+  bump_struct t
 
 let prop_names t = List.rev t.prop_order
-let find_prop t name = Hashtbl.find t.props name
+
+let find_prop t name =
+  match Hashtbl.find_opt t.props name with
+  | Some p -> p
+  | None ->
+    invalid_arg (Printf.sprintf "Network.find_prop: unknown property '%s'" name)
+
 let mem_prop t name = Hashtbl.mem t.props name
+let prop_count t = Array.length t.by_id
+let prop_by_id t id = t.by_id.(id)
+let prop_id t name = (find_prop t name).p_id
 let initial_domain t name = (find_prop t name).p_initial
 let feasible t name = (find_prop t name).p_feasible
 let set_feasible t name d =
@@ -149,7 +199,9 @@ let box t name =
   | None -> Domain.hull p.p_initial
 
 let env_box t name =
-  match box t name with Some iv -> iv | None -> raise Not_found
+  match box t name with
+  | Some iv -> iv
+  | None -> raise (Expr.Unbound_variable name)
 
 let env_point t name =
   match assigned_num t name with
@@ -169,29 +221,90 @@ let add_constraint t ~name lhs rel rhs =
           invalid_arg
             (Printf.sprintf
                "Network.add_constraint: symbolic property %s in %s" arg name));
-      let prev = try Hashtbl.find t.adjacency arg with Not_found -> [] in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt t.adjacency arg) in
       Hashtbl.replace t.adjacency arg (c.Constr.id :: prev))
     (Constr.args c);
   Hashtbl.replace t.constrs c.Constr.id c;
   t.constr_order <- c.Constr.id :: t.constr_order;
   t.next_cid <- t.next_cid + 1;
   invalidate_prop_state t;
-  bump t;
+  bump_struct t;
   c
 
-let constraints t =
-  List.rev_map (fun id -> Hashtbl.find t.constrs id) t.constr_order
+let find_constraint t id =
+  match Hashtbl.find_opt t.constrs id with
+  | Some c -> c
+  | None ->
+    invalid_arg (Printf.sprintf "Network.find_constraint: unknown constraint id %d" id)
 
-let find_constraint t id = Hashtbl.find t.constrs id
+let constraints t =
+  match t.c_list_cache with
+  | Some (r, cs) when r = t.n_struct -> cs
+  | _ ->
+    let cs = List.rev_map (fun id -> find_constraint t id) t.constr_order in
+    t.c_list_cache <- Some (t.n_struct, cs);
+    cs
+
+let constraint_array t =
+  match t.c_arr_cache with
+  | Some (r, arr) when r = t.n_struct -> arr
+  | _ ->
+    (* constraint ids are dense (allocated 0,1,2,.. and never removed), so
+       the array is indexed directly by id *)
+    let arr = Array.of_list (constraints t) in
+    Array.iteri
+      (fun i c -> assert (c.Constr.id = i))
+      arr;
+    t.c_arr_cache <- Some (t.n_struct, arr);
+    arr
+
 let constraint_count t = Hashtbl.length t.constrs
 
 let constraints_of_prop t name =
   match Hashtbl.find_opt t.adjacency name with
-  | None -> []
-  | Some ids -> List.rev_map (fun id -> Hashtbl.find t.constrs id) ids
+  | None ->
+    if not (Hashtbl.mem t.props name) then
+      invalid_arg
+        (Printf.sprintf "Network.constraints_of_prop: unknown property '%s'" name);
+    []
+  | Some ids -> List.rev_map (fun id -> find_constraint t id) ids
+
+let adjacency_by_id t =
+  match t.adj_cache with
+  | Some (r, arr) when r = t.n_struct -> arr
+  | _ ->
+    let arr =
+      Array.map
+        (fun p ->
+          match Hashtbl.find_opt t.adjacency p.p_name with
+          | None -> [||]
+          | Some ids ->
+            (* stored reversed; emit insertion order *)
+            let a = Array.of_list ids in
+            let n = Array.length a in
+            Array.init n (fun i -> a.(n - 1 - i)))
+        t.by_id
+    in
+    t.adj_cache <- Some (t.n_struct, arr);
+    arr
+
+let kernel t c =
+  let id = c.Constr.id in
+  match Hashtbl.find_opt t.kernels id with
+  | Some k -> k
+  | None ->
+    let k =
+      Hc4.compile
+        ~var_id:(fun x -> (find_prop t x).p_id)
+        (Constr.diff c) ~target:(Constr.target c)
+    in
+    Hashtbl.replace t.kernels id k;
+    k
 
 let status t id =
-  try Hashtbl.find t.statuses id with Not_found -> Constr.Consistent
+  match Hashtbl.find_opt t.statuses id with
+  | Some s -> s
+  | None -> Constr.Consistent
 
 let set_status t id s =
   Hashtbl.replace t.statuses id s;

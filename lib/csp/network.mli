@@ -14,6 +14,7 @@ open Adpm_expr
 
 type prop = private {
   p_name : string;
+  p_id : int;  (** dense index (insertion order), keys the flat stores *)
   p_initial : Domain.t;
   mutable p_assigned : Value.t option;
   mutable p_feasible : Domain.t;
@@ -21,14 +22,17 @@ type prop = private {
 }
 
 type pstate = {
-  ps_boxes : (string, Interval.t) Hashtbl.t;
-      (** contracted interval store of the last propagation fixpoint *)
+  ps_lo : float array;  (** lower bounds, indexed by dense prop id *)
+  ps_hi : float array;  (** upper bounds, indexed by dense prop id *)
+  ps_mask : bool array;
+      (** [true] where the property has a box (numeric, not symbolic) *)
   ps_empties : (int, unit) Hashtbl.t;
       (** constraints proven unsatisfiable during that fixpoint *)
 }
 (** Persistent propagation state: the contracted box store kept across
     design operations so the incremental engine can restart from the
-    previous fixpoint instead of the initial ranges. *)
+    previous fixpoint instead of the initial ranges. Struct-of-arrays
+    float layout so HC4 kernels revise it without allocating. *)
 
 type t
 
@@ -69,9 +73,18 @@ val prop_names : t -> string list
 (** Insertion order. *)
 
 val find_prop : t -> string -> prop
-(** @raise Not_found for unknown names. *)
+(** @raise Invalid_argument for unknown names, naming the property. *)
 
 val mem_prop : t -> string -> bool
+
+val prop_count : t -> int
+(** Number of properties; dense prop ids range over [0 .. prop_count-1]. *)
+
+val prop_by_id : t -> int -> prop
+
+val prop_id : t -> string -> int
+(** @raise Invalid_argument for unknown names. *)
+
 val initial_domain : t -> string -> Domain.t
 val feasible : t -> string -> Domain.t
 val set_feasible : t -> string -> Domain.t -> unit
@@ -96,8 +109,9 @@ val box : t -> string -> Interval.t option
     the hull of the initial range. [None] for symbolic properties. *)
 
 val env_box : t -> string -> Interval.t
-(** As {!box} but raising [Not_found] for symbolic/unknown properties:
-    usable directly as an HC4 environment. *)
+(** As {!box} but usable directly as an HC4 environment.
+    @raise Expr.Unbound_variable for symbolic properties.
+    @raise Invalid_argument for unknown properties. *)
 
 val env_point : t -> string -> float
 (** Assigned numeric value.
@@ -111,11 +125,37 @@ val add_constraint : t -> name:string -> Expr.t -> Constr.rel -> Expr.t -> Const
     symbolic. *)
 
 val constraints : t -> Constr.t list
-(** Insertion order. *)
+(** Insertion order. Cached on the structural revision (the counter bumped
+    only by {!add_prop}/{!add_constraint}): repeated calls return the same
+    list physically until a constraint or property is added. *)
 
 val find_constraint : t -> int -> Constr.t
+(** @raise Invalid_argument for unknown ids, naming the id. *)
+
 val constraint_count : t -> int
+
 val constraints_of_prop : t -> string -> Constr.t list
+(** Constraints mentioning the property, insertion order.
+    @raise Invalid_argument for unknown properties. *)
+
+(** {1 Flat propagation views}
+
+    Derived dense-id views used by the propagation hot path; all cached on
+    the structural revision and rebuilt only after {!add_prop} /
+    {!add_constraint}. *)
+
+val constraint_array : t -> Constr.t array
+(** All constraints, indexed by their (dense) constraint id. *)
+
+val adjacency_by_id : t -> int array array
+(** For each dense prop id, the ids of the constraints mentioning it, in
+    constraint insertion order. *)
+
+val kernel : t -> Constr.t -> Adpm_expr.Hc4.kernel
+(** The compiled HC4 kernel of a constraint ([diff] against the default
+    [target]), built on first use and cached. Kernels hold mutable
+    scratch: they are shared with {!copy}s and must only be used from one
+    domain at a time. *)
 
 val status : t -> int -> Constr.status
 (** Last recorded status; [Consistent] before any evaluation. *)

@@ -10,56 +10,83 @@ type outcome = {
   fixpoint : bool;
 }
 
+(* The working box store of a propagation run: struct-of-arrays float
+   layout indexed by dense prop id, so the HC4 kernels revise it without
+   boxing intervals. [mask] is true where the property has a box (numeric
+   and not symbolically assigned); it never changes during a run. *)
+type store = { lo : float array; hi : float array; mask : bool array }
+
+let store_box st pid = Interval.make st.lo.(pid) st.hi.(pid)
+
 (* [narrowed] is always a sub-interval of [old_iv] (HC4 intersects with the
    input box); requeue only when the shrink is significant. When both widths
    are infinite their difference says nothing ([inf < inf] is false even
    when a bound genuinely moved, e.g. [-inf,+inf] -> [0,+inf]), so compare
    the bounds directly. *)
-let significantly_narrower ~eps old_iv narrowed =
-  let old_w = Interval.width old_iv and new_w = Interval.width narrowed in
+let significantly_narrower_f ~eps ~olo ~ohi ~nlo ~nhi =
+  let old_w = ohi -. olo and new_w = nhi -. nlo in
   if Float.is_finite old_w then
     new_w < old_w && old_w -. new_w > eps *. Float.max 1. old_w
   else if Float.is_finite new_w then true
-  else
-    Interval.lo narrowed > Interval.lo old_iv
-    || Interval.hi narrowed < Interval.hi old_iv
+  else nlo > olo || nhi < ohi
 
 let numeric_props net =
   List.filter
     (fun name -> Domain.is_numeric (Network.initial_domain net name))
     (Network.prop_names net)
 
-let initial_boxes net =
-  let boxes : (string, Interval.t) Hashtbl.t = Hashtbl.create 64 in
+let initial_store net =
+  let n = Network.prop_count net in
+  let st =
+    { lo = Array.make n 0.; hi = Array.make n 0.; mask = Array.make n false }
+  in
   List.iter
     (fun name ->
       match Network.box net name with
-      | Some iv -> Hashtbl.replace boxes name iv
+      | Some iv ->
+        let pid = Network.prop_id net name in
+        st.lo.(pid) <- Interval.lo iv;
+        st.hi.(pid) <- Interval.hi iv;
+        st.mask.(pid) <- true
       | None -> ())
     (numeric_props net);
-  boxes
+  st
+
+let copy_store st =
+  { lo = Array.copy st.lo; hi = Array.copy st.hi; mask = Array.copy st.mask }
 
 (* The HC4 fixpoint core, shared by hull propagation and shaving probes.
-   Mutates [boxes]; returns the evaluation count, whether some constraint
+   Mutates the store; returns the evaluation count, whether some constraint
    became certainly unsatisfiable on the box, and whether the revision
    budget was exhausted. Constraints found Empty are recorded in
    [empty_marks] when provided. When [waves] is given, it receives the
    revision count of each propagation wave in order: wave 0 is the initial
    queue — [seed] when given (the incremental engine's dirty-seeded
    worklist), every constraint otherwise — and wave n+1 the constraints
-   requeued while processing wave n. *)
-let fixpoint ?(eps = 0.) ~max_revisions ?empty_marks ?waves ?seed net boxes =
-  let env name = Hashtbl.find boxes name in
+   requeued while processing wave n.
+
+   The loop runs entirely on dense ids: constraints come from the cached
+   id-indexed array, membership flags are plain bool arrays, and a revision
+   is one [Hc4.revise_kernel] call against the float store followed by an
+   in-place gate over the kernel's accumulator slots. *)
+let fixpoint ?(eps = 0.) ~max_revisions ?empty_marks ?waves ?seed net st =
+  let carr = Network.constraint_array net in
+  let adj = Network.adjacency_by_id net in
+  let n_con = Array.length carr in
   let queue = Queue.create () in
-  let queued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let enqueue c =
-    if not (Hashtbl.mem queued c.Constr.id) then begin
-      Hashtbl.replace queued c.Constr.id ();
-      Queue.add c queue
+  let queued = Array.make (max 1 n_con) false in
+  let enqueue cid =
+    if not queued.(cid) then begin
+      queued.(cid) <- true;
+      Queue.add cid queue
     end
   in
-  List.iter enqueue
-    (match seed with Some cs -> cs | None -> Network.constraints net);
+  (match seed with
+  | Some cs -> List.iter (fun c -> enqueue c.Constr.id) cs
+  | None ->
+    for cid = 0 to n_con - 1 do
+      enqueue cid
+    done);
   let evaluations = ref 0 in
   let budget_hit = ref false in
   let any_empty = ref false in
@@ -80,42 +107,51 @@ let fixpoint ?(eps = 0.) ~max_revisions ?empty_marks ?waves ?seed net boxes =
       this_wave := 0;
       wave_boundary := Queue.length queue
     end;
-    let c = Queue.pop queue in
-    Hashtbl.remove queued c.Constr.id;
+    let cid = Queue.pop queue in
+    queued.(cid) <- false;
     decr wave_boundary;
     incr this_wave;
     incr evaluations;
-    match Hc4.revise ~env (Constr.diff c) (Constr.target c) with
-    | Hc4.Empty ->
+    let k = Network.kernel net carr.(cid) in
+    if not (Hc4.revise_kernel k ~lo:st.lo ~hi:st.hi) then begin
       any_empty := true;
-      (match empty_marks with
-      | Some marks -> Hashtbl.replace marks c.Constr.id ()
-      | None -> ())
-    | Hc4.Narrowed bindings ->
-      List.iter
-        (fun (x, iv) ->
-          let old_iv = Hashtbl.find boxes x in
-          (* Sub-eps narrowings are discarded, not just left unqueued:
-             applying them would make the final box depend on the revision
-             trajectory, and the incremental engine restarts from the
-             stored fixpoint along a different trajectory than a
-             from-scratch run. Discarding keeps the stored boxes an exact
-             fixpoint of this gated contraction, so both engines converge
-             to bit-identical results. *)
-          if
-            (not (Interval.equal old_iv iv))
-            && significantly_narrower ~eps old_iv iv
-          then begin
-            Hashtbl.replace boxes x iv;
-            (* The revised constraint requeues itself too: HC4-revise is
-               not idempotent, and fair scheduling (iterate until no
-               revise can change anything) is what makes the final boxes
-               a true fixpoint — and therefore independent of revision
-               order, which the incremental engine's bit-identical
-               equivalence with from-scratch runs rests on. *)
-            List.iter enqueue (Network.constraints_of_prop net x)
-          end)
-        bindings
+      match empty_marks with
+      | Some marks -> Hashtbl.replace marks cid ()
+      | None -> ()
+    end
+    else begin
+      let kv = k.Hc4.k_vars in
+      let acc_lo = k.Hc4.k_acc_lo and acc_hi = k.Hc4.k_acc_hi in
+      for j = 0 to Array.length kv - 1 do
+        let pid = kv.(j) in
+        let olo = st.lo.(pid) and ohi = st.hi.(pid) in
+        let nlo = acc_lo.(j) and nhi = acc_hi.(j) in
+        (* Sub-eps narrowings are discarded, not just left unqueued:
+           applying them would make the final box depend on the revision
+           trajectory, and the incremental engine restarts from the
+           stored fixpoint along a different trajectory than a
+           from-scratch run. Discarding keeps the stored boxes an exact
+           fixpoint of this gated contraction, so both engines converge
+           to bit-identical results. *)
+        if
+          (not (olo = nlo && ohi = nhi))
+          && significantly_narrower_f ~eps ~olo ~ohi ~nlo ~nhi
+        then begin
+          st.lo.(pid) <- nlo;
+          st.hi.(pid) <- nhi;
+          (* The revised constraint requeues itself too: HC4-revise is
+             not idempotent, and fair scheduling (iterate until no
+             revise can change anything) is what makes the final boxes
+             a true fixpoint — and therefore independent of revision
+             order, which the incremental engine's bit-identical
+             equivalence with from-scratch runs rests on. *)
+          let near = adj.(pid) in
+          for i = 0 to Array.length near - 1 do
+            enqueue near.(i)
+          done
+        end
+      done
+    end
   done;
   if !this_wave > 0 then wave_sizes := !this_wave :: !wave_sizes;
   (match waves with
@@ -127,20 +163,21 @@ let fixpoint ?(eps = 0.) ~max_revisions ?empty_marks ?waves ?seed net boxes =
    variable's box infeasible by running the fixpoint on a copy; on success
    the bound moves inward. Each probe's revisions are charged to the
    caller's counter. *)
-let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
-  let probe x slice =
-    let copy = Hashtbl.copy boxes in
-    Hashtbl.replace copy x slice;
+let shave_bounds ~eps ~max_revisions ~slices net st evaluations =
+  let probe pid slice =
+    let cp = copy_store st in
+    cp.lo.(pid) <- Interval.lo slice;
+    cp.hi.(pid) <- Interval.hi slice;
     let evals, infeasible, _ =
-      fixpoint ~eps ~max_revisions:(max_revisions / 4) net copy
+      fixpoint ~eps ~max_revisions:(max_revisions / 4) net cp
     in
     evaluations := !evaluations + evals;
     infeasible
   in
-  let shave_prop x =
+  let shave_prop pid =
     let changed = ref false in
     let attempt side =
-      let iv = Hashtbl.find boxes x in
+      let iv = store_box st pid in
       let w = Interval.width iv in
       if Float.is_finite w && w > eps then begin
         let step = w /. float_of_int slices in
@@ -150,8 +187,9 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
           | `Low -> (Interval.make lo (lo +. step), Interval.make (lo +. step) hi)
           | `High -> (Interval.make (hi -. step) hi, Interval.make lo (hi -. step))
         in
-        if probe x slice then begin
-          Hashtbl.replace boxes x rest;
+        if probe pid slice then begin
+          st.lo.(pid) <- Interval.lo rest;
+          st.hi.(pid) <- Interval.hi rest;
           changed := true
         end
       end
@@ -161,7 +199,10 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
     !changed
   in
   let unbound =
-    List.filter (fun x -> not (Network.is_bound net x)) (numeric_props net)
+    List.filter_map
+      (fun x ->
+        if Network.is_bound net x then None else Some (Network.prop_id net x))
+      (numeric_props net)
   in
   (* one shaving sweep per variable, repeated while it makes progress and
      the budget allows; bounded to avoid slow convergence *)
@@ -170,14 +211,14 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
     else begin
       let progress =
         List.fold_left
-          (fun acc x ->
+          (fun acc pid ->
             if !evaluations >= max_revisions then acc
-            else shave_prop x || acc)
+            else shave_prop pid || acc)
           false unbound
       in
       if progress then begin
         (* re-contract with plain propagation after successful shaves *)
-        let evals, _, _ = fixpoint ~eps ~max_revisions net boxes in
+        let evals, _, _ = fixpoint ~eps ~max_revisions net st in
         evaluations := !evaluations + evals;
         sweeps (remaining - 1)
       end
@@ -188,8 +229,11 @@ let shave_bounds ~eps ~max_revisions ~slices net boxes evaluations =
 (* The final classification sweep shared by both engines: status of every
    constraint on the contracted box (one evaluation each) plus the feasible
    subspace of every numeric property. *)
-let classify net boxes empty_marks revisions =
-  let env name = Hashtbl.find boxes name in
+let classify net st empty_marks revisions =
+  let env name =
+    let pid = Network.prop_id net name in
+    if st.mask.(pid) then store_box st pid else raise (Expr.Unbound_variable name)
+  in
   let evaluations = ref revisions in
   let statuses =
     List.map
@@ -206,10 +250,10 @@ let classify net boxes empty_marks revisions =
     List.map
       (fun name ->
         let initial = Network.initial_domain net name in
+        let pid = Network.prop_id net name in
         let d =
-          match Hashtbl.find_opt boxes name with
-          | Some iv -> Domain.refine initial iv
-          | None -> initial
+          if st.mask.(pid) then Domain.refine initial (store_box st pid)
+          else initial
         in
         (name, d))
       (numeric_props net)
@@ -219,8 +263,8 @@ let classify net boxes empty_marks revisions =
 (* [base_revisions] charges work done before this run to its counters: a
    full restart that replaces an aborted incremental attempt inherits the
    attempt's revisions, so reported costs reflect all HC4 work performed. *)
-let run_core ~eps ~max_revisions ~consistency ~tracer ~engine ~boxes
-    ~empty_marks ~seed ?(base_revisions = 0) net =
+let run_core ~eps ~max_revisions ~consistency ~tracer ~engine ~st ~empty_marks
+    ~seed ?(base_revisions = 0) net =
   if Tracer.active tracer then
     Tracer.emit tracer
       (Event.Propagation_started { constraints = Network.constraint_count net });
@@ -231,15 +275,15 @@ let run_core ~eps ~max_revisions ~consistency ~tracer ~engine ~boxes
   in
   let waves = ref [] in
   let evals, _, budget_hit =
-    fixpoint ~eps ~max_revisions ~empty_marks ~waves ?seed net boxes
+    fixpoint ~eps ~max_revisions ~empty_marks ~waves ?seed net st
   in
   let revisions = ref (base_revisions + evals) in
   (match consistency with
   | `Hull -> ()
   | `Shave slices ->
     if slices < 2 then invalid_arg "Propagate.run: shaving needs >= 2 slices";
-    shave_bounds ~eps ~max_revisions ~slices net boxes revisions);
-  let statuses, feasible, evaluations = classify net boxes empty_marks !revisions in
+    shave_bounds ~eps ~max_revisions ~slices net st revisions);
+  let statuses, feasible, evaluations = classify net st empty_marks !revisions in
   if Tracer.active tracer then
     Tracer.emit tracer
       (Event.Propagation_finished
@@ -257,7 +301,7 @@ let run_core ~eps ~max_revisions ~consistency ~tracer ~engine ~boxes
 let run ?(eps = 0.) ?(max_revisions = 10_000) ?(consistency = `Hull)
     ?(tracer = Tracer.null) net =
   run_core ~eps ~max_revisions ~consistency ~tracer ~engine:"full"
-    ~boxes:(initial_boxes net)
+    ~st:(initial_store net)
     ~empty_marks:(Hashtbl.create 8)
     ~seed:None net
 
@@ -284,21 +328,29 @@ let dirty_seed net dirty =
 
 let run_incremental ?(eps = 0.) ?(max_revisions = 10_000)
     ?(tracer = Tracer.null) net =
-  let persist boxes empty_marks outcome =
+  let persist st empty_marks outcome =
     Network.store_prop_state net
-      { Network.ps_boxes = boxes; ps_empties = empty_marks };
+      {
+        Network.ps_lo = st.lo;
+        ps_hi = st.hi;
+        ps_mask = st.mask;
+        ps_empties = empty_marks;
+      };
     Network.clear_dirty net;
     outcome
   in
   let full_restart ?(base_revisions = 0) () =
-    let boxes = initial_boxes net in
+    let st = initial_store net in
     let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-    persist boxes empty_marks
+    persist st empty_marks
       (run_core ~eps ~max_revisions ~consistency:`Hull ~tracer ~engine:"full"
-         ~boxes ~empty_marks ~seed:None ~base_revisions net)
+         ~st ~empty_marks ~seed:None ~base_revisions net)
   in
   match Network.prop_state net with
   | None -> full_restart ()
+  | Some ps when Array.length ps.Network.ps_lo <> Network.prop_count net ->
+    (* stale shape (shouldn't happen: structural edits invalidate) *)
+    full_restart ()
   | Some ps ->
     let dirty = Network.dirty_props net in
     (* Restarting from the previous fixpoint is sound only when every dirty
@@ -313,10 +365,11 @@ let run_incremental ?(eps = 0.) ?(max_revisions = 10_000)
         (fun name ->
           match Network.box net name with
           | None -> true (* symbolic: propagation never sees it *)
-          | Some fresh -> (
-            match Hashtbl.find_opt ps.Network.ps_boxes name with
-            | Some stored -> Interval.subset fresh stored
-            | None -> false))
+          | Some fresh ->
+            let pid = Network.prop_id net name in
+            ps.Network.ps_mask.(pid)
+            && ps.Network.ps_lo.(pid) <= Interval.lo fresh
+            && Interval.hi fresh <= ps.Network.ps_hi.(pid))
         dirty
     in
     (* Empty constraints break the order-independence argument: a revise
@@ -336,17 +389,26 @@ let run_incremental ?(eps = 0.) ?(max_revisions = 10_000)
     if (not narrowing_only) || Hashtbl.length ps.Network.ps_empties > 0 then
       full_restart ()
     else begin
-      let boxes = Hashtbl.copy ps.Network.ps_boxes in
+      let st =
+        {
+          lo = Array.copy ps.Network.ps_lo;
+          hi = Array.copy ps.Network.ps_hi;
+          mask = Array.copy ps.Network.ps_mask;
+        }
+      in
       List.iter
         (fun name ->
           match Network.box net name with
-          | Some fresh -> Hashtbl.replace boxes name fresh
+          | Some fresh ->
+            let pid = Network.prop_id net name in
+            st.lo.(pid) <- Interval.lo fresh;
+            st.hi.(pid) <- Interval.hi fresh
           | None -> ())
         dirty;
       let empty_marks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
       let outcome =
         run_core ~eps ~max_revisions ~consistency:`Hull ~tracer
-          ~engine:"incremental" ~boxes ~empty_marks
+          ~engine:"incremental" ~st ~empty_marks
           ~seed:(Some (dirty_seed net dirty))
           net
       in
@@ -355,7 +417,7 @@ let run_incremental ?(eps = 0.) ?(max_revisions = 10_000)
            is trajectory-dependent, so rerun from scratch, charging the
            aborted attempt's work to the restart. *)
         full_restart ~base_revisions:outcome.revisions ()
-      else persist boxes empty_marks outcome
+      else persist st empty_marks outcome
     end
 
 let apply net outcome =

@@ -40,7 +40,19 @@ let rec fold_vars f acc = function
     fold_vars f (fold_vars f acc a) b
 
 let vars e =
-  List.rev (fold_vars (fun acc x -> if List.mem x acc then acc else x :: acc) [] e)
+  (* First-occurrence order, deduplicated with a hash set rather than a
+     [List.mem] scan: [vars] sits under every constraint compilation and
+     was quadratic in the number of occurrences. *)
+  let seen = Hashtbl.create 8 in
+  List.rev
+    (fold_vars
+       (fun acc x ->
+         if Hashtbl.mem seen x then acc
+         else begin
+           Hashtbl.add seen x ();
+           x :: acc
+         end)
+       [] e)
 
 let mentions e x = fold_vars (fun acc y -> acc || String.equal x y) false e
 

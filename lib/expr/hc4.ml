@@ -166,3 +166,456 @@ let revise ~env e target =
     in
     Narrowed out
   | exception Empty_projection -> Empty
+
+(* {2 Compiled flat kernel}
+
+   [revise] above allocates an annotated tree, a narrowings hash table and
+   a binding list on every call — and it is called millions of times per
+   simulation sweep. The kernel below compiles an expression once into a
+   postorder opcode array plus preallocated scratch, so a revision is two
+   array sweeps over floats with no per-call allocation on the common
+   (+,-,neg,min,max,var,const) operators.
+
+   Bit-identity with [revise] is load-bearing: the incremental engine's
+   equivalence argument and the parallel-agreement fingerprints both assume
+   the fixpoint is a function of the constraint system only. Every float
+   formula below therefore mirrors the corresponding [Interval] operation
+   literally (including the [prod] 0*inf convention and the branch
+   structure of [div] and [pow_int]), the backward pass recurses in the
+   same a-then-b order, and [intersect]/[widen] are applied with the same
+   operand order. A QCheck suite pins [revise_kernel] against [revise]. *)
+
+(* All-float record: fields are stored flat, so mutating it does not
+   allocate. Used as a two-float out-parameter for [div]/[mul]/[pow]. *)
+type fpair = { mutable rlo : float; mutable rhi : float }
+
+type kernel = {
+  k_op : int array;  (** opcode per node, postorder (root last) *)
+  k_a : int array;  (** child index / var slot / constant slot *)
+  k_b : int array;  (** second child index / integer exponent *)
+  k_cval : float array;  (** constant pool *)
+  k_vars : int array;
+      (** distinct variable ids ([var_id] image), {!Expr.vars} order *)
+  k_flo : float array;  (** forward-pass scratch, per node *)
+  k_fhi : float array;
+  k_blo : float array;  (** backward-pass target scratch, per node *)
+  k_bhi : float array;
+  k_acc_lo : float array;  (** per-variable narrowing accumulator, per slot *)
+  k_acc_hi : float array;
+  k_tmp : fpair;
+  k_tlo : float;  (** constraint target *)
+  k_thi : float;
+}
+
+let op_const = 0
+let op_var = 1
+let op_neg = 2
+let op_add = 3
+let op_sub = 4
+let op_mul = 5
+let op_div = 6
+let op_pow = 7
+let op_sqrt = 8
+let op_exp = 9
+let op_ln = 10
+let op_abs = 11
+let op_min = 12
+let op_max = 13
+
+let compile ~var_id e ~target =
+  let n = Expr.size e in
+  let op = Array.make n 0 and pa = Array.make n 0 and pb = Array.make n 0 in
+  let consts = ref [] and n_consts = ref 0 in
+  let names = Expr.vars e in
+  let n_slots = List.length names in
+  let slot_of : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri (fun i x -> Hashtbl.replace slot_of x i) names;
+  let next = ref 0 in
+  let emit o a b =
+    let i = !next in
+    op.(i) <- o;
+    pa.(i) <- a;
+    pb.(i) <- b;
+    incr next;
+    i
+  in
+  let rec go = function
+    | Expr.Const c ->
+      let ci = !n_consts in
+      consts := c :: !consts;
+      incr n_consts;
+      emit op_const ci 0
+    | Expr.Var x -> emit op_var (Hashtbl.find slot_of x) 0
+    | Expr.Neg a -> un op_neg a
+    | Expr.Sqrt a -> un op_sqrt a
+    | Expr.Exp a -> un op_exp a
+    | Expr.Ln a -> un op_ln a
+    | Expr.Abs a -> un op_abs a
+    | Expr.Pow (a, k) ->
+      if k < 0 then invalid_arg "Hc4.compile: negative exponent";
+      let ia = go a in
+      emit op_pow ia k
+    | Expr.Add (a, b) -> bin op_add a b
+    | Expr.Sub (a, b) -> bin op_sub a b
+    | Expr.Mul (a, b) -> bin op_mul a b
+    | Expr.Div (a, b) -> bin op_div a b
+    | Expr.Min (a, b) -> bin op_min a b
+    | Expr.Max (a, b) -> bin op_max a b
+  and un o a =
+    let ia = go a in
+    emit o ia 0
+  and bin o a b =
+    let ia = go a in
+    let ib = go b in
+    emit o ia ib
+  in
+  let root = go e in
+  assert (root = n - 1);
+  {
+    k_op = op;
+    k_a = pa;
+    k_b = pb;
+    k_cval = Array.of_list (List.rev !consts);
+    k_vars = Array.of_list (List.map var_id names);
+    k_flo = Array.make n 0.;
+    k_fhi = Array.make n 0.;
+    k_blo = Array.make n 0.;
+    k_bhi = Array.make n 0.;
+    k_acc_lo = Array.make (max 1 n_slots) 0.;
+    k_acc_hi = Array.make (max 1 n_slots) 0.;
+    k_tmp = { rlo = 0.; rhi = 0. };
+    k_tlo = Interval.lo target;
+    k_thi = Interval.hi target;
+  }
+
+(* Float mirrors of the [Interval] operations. Branches and operand order
+   are copied verbatim so results (including NaN flows and signed zeros)
+   are bitwise those of the boxed path. *)
+
+let prod_f x y =
+  if (x = 0. && not (Float.is_finite y)) || (y = 0. && not (Float.is_finite x))
+  then 0.
+  else x *. y
+
+let mul_into buf alo ahi blo bhi =
+  let p1 = prod_f alo blo and p2 = prod_f alo bhi in
+  let p3 = prod_f ahi blo and p4 = prod_f ahi bhi in
+  buf.rlo <- min (min p1 p2) (min p3 p4);
+  buf.rhi <- max (max p1 p2) (max p3 p4)
+
+let div_into buf alo ahi blo bhi =
+  if blo > 0. || bhi < 0. then begin
+    let p1 = alo /. blo and p2 = alo /. bhi in
+    let p3 = ahi /. blo and p4 = ahi /. bhi in
+    buf.rlo <- min (min p1 p2) (min p3 p4);
+    buf.rhi <- max (max p1 p2) (max p3 p4)
+  end
+  else if blo = 0. && bhi = 0. then begin
+    buf.rlo <- neg_infinity;
+    buf.rhi <- infinity
+  end
+  else if blo = 0. then
+    if alo >= 0. then begin
+      buf.rlo <- alo /. bhi;
+      buf.rhi <- infinity
+    end
+    else if ahi <= 0. then begin
+      buf.rlo <- neg_infinity;
+      buf.rhi <- ahi /. bhi
+    end
+    else begin
+      buf.rlo <- neg_infinity;
+      buf.rhi <- infinity
+    end
+  else if bhi = 0. then
+    if alo >= 0. then begin
+      buf.rlo <- neg_infinity;
+      buf.rhi <- alo /. blo
+    end
+    else if ahi <= 0. then begin
+      buf.rlo <- ahi /. blo;
+      buf.rhi <- infinity
+    end
+    else begin
+      buf.rlo <- neg_infinity;
+      buf.rhi <- infinity
+    end
+  else begin
+    buf.rlo <- neg_infinity;
+    buf.rhi <- infinity
+  end
+
+let rec pow_into buf alo ahi n =
+  if n = 0 then begin
+    buf.rlo <- 1.;
+    buf.rhi <- 1.
+  end
+  else if n = 1 then begin
+    buf.rlo <- alo;
+    buf.rhi <- ahi
+  end
+  else if n mod 2 = 0 then begin
+    let xlo, xhi =
+      if alo > 0. then (alo, ahi)
+      else if ahi < 0. then (-.ahi, -.alo)
+      else (0., max (abs_float alo) (abs_float ahi))
+    in
+    pow_into buf xlo xhi (n / 2);
+    let blo = buf.rlo and bhi = buf.rhi in
+    mul_into buf blo bhi blo bhi
+  end
+  else begin
+    buf.rlo <- alo ** float_of_int n;
+    buf.rhi <- ahi ** float_of_int n
+  end
+
+let wlo_f t = if Float.is_finite t then t -. bound_slack t else t
+let whi_f t = if Float.is_finite t then t +. bound_slack t else t
+
+let revise_kernel k ~lo ~hi =
+  let vars = k.k_vars in
+  let n_vars = Array.length vars in
+  let acc_lo = k.k_acc_lo and acc_hi = k.k_acc_hi in
+  for j = 0 to n_vars - 1 do
+    let v = vars.(j) in
+    acc_lo.(j) <- lo.(v);
+    acc_hi.(j) <- hi.(v)
+  done;
+  let op = k.k_op and pa = k.k_a and pb = k.k_b in
+  let flo = k.k_flo and fhi = k.k_fhi in
+  let blo = k.k_blo and bhi = k.k_bhi in
+  let tmp = k.k_tmp in
+  let n = Array.length op in
+  (* [meet i plo phi]: widen the projected target and intersect it with
+     node [i]'s forward interval, exactly as the boxed [meet]. *)
+  let meet i plo phi =
+    let wl = wlo_f plo and wh = whi_f phi in
+    let nl = max flo.(i) wl and nh = min fhi.(i) wh in
+    if nl > nh then raise Empty_projection;
+    blo.(i) <- nl;
+    bhi.(i) <- nh
+  in
+  let rec back i =
+    let o = op.(i) in
+    if o = op_const then ()
+    else if o = op_var then begin
+      (* boxed [record]: widen, then intersect with the accumulator *)
+      let j = pa.(i) in
+      let wl = wlo_f blo.(i) and wh = whi_f bhi.(i) in
+      let nl = max acc_lo.(j) wl and nh = min acc_hi.(j) wh in
+      if nl > nh then raise Empty_projection;
+      acc_lo.(j) <- nl;
+      acc_hi.(j) <- nh
+    end
+    else if o = op_neg then begin
+      let ia = pa.(i) in
+      meet ia (-.bhi.(i)) (-.blo.(i));
+      back ia
+    end
+    else if o = op_add then begin
+      let ia = pa.(i) and ib = pb.(i) in
+      meet ia (blo.(i) -. fhi.(ib)) (bhi.(i) -. flo.(ib));
+      back ia;
+      meet ib (blo.(i) -. fhi.(ia)) (bhi.(i) -. flo.(ia));
+      back ib
+    end
+    else if o = op_sub then begin
+      let ia = pa.(i) and ib = pb.(i) in
+      meet ia (blo.(i) +. flo.(ib)) (bhi.(i) +. fhi.(ib));
+      back ia;
+      meet ib (flo.(ia) -. bhi.(i)) (fhi.(ia) -. blo.(i));
+      back ib
+    end
+    else if o = op_mul then begin
+      let ia = pa.(i) and ib = pb.(i) in
+      div_into tmp blo.(i) bhi.(i) flo.(ib) fhi.(ib);
+      meet ia tmp.rlo tmp.rhi;
+      back ia;
+      div_into tmp blo.(i) bhi.(i) flo.(ia) fhi.(ia);
+      meet ib tmp.rlo tmp.rhi;
+      back ib
+    end
+    else if o = op_div then begin
+      let ia = pa.(i) and ib = pb.(i) in
+      mul_into tmp blo.(i) bhi.(i) flo.(ib) fhi.(ib);
+      meet ia tmp.rlo tmp.rhi;
+      back ia;
+      div_into tmp flo.(ia) fhi.(ia) blo.(i) bhi.(i);
+      meet ib tmp.rlo tmp.rhi;
+      back ib
+    end
+    else if o = op_pow then begin
+      let ia = pa.(i) and ex = pb.(i) in
+      let zlo = blo.(i) and zhi = bhi.(i) in
+      if ex = 0 then begin
+        meet ia neg_infinity infinity;
+        back ia
+      end
+      else if ex mod 2 = 1 then begin
+        let root x =
+          if Float.is_finite x then begin
+            let r = abs_float x ** (1. /. float_of_int ex) in
+            if x < 0. then -.r else r
+          end
+          else x
+        in
+        meet ia (root zlo) (root zhi);
+        back ia
+      end
+      else if zhi < 0. then raise Empty_projection
+      else begin
+        let r =
+          if Float.is_finite zhi then zhi ** (1. /. float_of_int ex)
+          else infinity
+        in
+        meet ia (-.r) r;
+        back ia
+      end
+    end
+    else if o = op_sqrt then begin
+      let ia = pa.(i) in
+      if bhi.(i) < 0. then raise Empty_projection;
+      let l = max 0. blo.(i) in
+      meet ia (l *. l)
+        (if Float.is_finite bhi.(i) then bhi.(i) *. bhi.(i) else infinity);
+      back ia
+    end
+    else if o = op_exp then begin
+      let ia = pa.(i) in
+      if bhi.(i) <= 0. then raise Empty_projection;
+      meet ia
+        (if blo.(i) <= 0. then neg_infinity else log blo.(i))
+        (if Float.is_finite bhi.(i) then log bhi.(i) else infinity);
+      back ia
+    end
+    else if o = op_ln then begin
+      let ia = pa.(i) in
+      meet ia
+        (if Float.is_finite blo.(i) then exp blo.(i) else 0.)
+        (if Float.is_finite bhi.(i) then exp bhi.(i) else infinity);
+      back ia
+    end
+    else if o = op_abs then begin
+      let ia = pa.(i) in
+      let h = max 0. bhi.(i) in
+      meet ia (-.h) h;
+      back ia
+    end
+    else if o = op_min then begin
+      let ia = pa.(i) and ib = pb.(i) in
+      (* an argument is bounded above only when the other certainly
+         exceeds the target (boxed A_min case) *)
+      if flo.(ib) > bhi.(i) then meet ia blo.(i) bhi.(i)
+      else meet ia blo.(i) infinity;
+      back ia;
+      if flo.(ia) > bhi.(i) then meet ib blo.(i) bhi.(i)
+      else meet ib blo.(i) infinity;
+      back ib
+    end
+    else begin
+      (* op_max *)
+      let ia = pa.(i) and ib = pb.(i) in
+      if fhi.(ib) < blo.(i) then meet ia blo.(i) bhi.(i)
+      else meet ia neg_infinity bhi.(i);
+      back ia;
+      if fhi.(ia) < blo.(i) then meet ib blo.(i) bhi.(i)
+      else meet ib neg_infinity bhi.(i);
+      back ib
+    end
+  in
+  match
+    for i = 0 to n - 1 do
+      let o = op.(i) in
+      if o = op_const then begin
+        let c = k.k_cval.(pa.(i)) in
+        flo.(i) <- c;
+        fhi.(i) <- c
+      end
+      else if o = op_var then begin
+        let j = pa.(i) in
+        flo.(i) <- acc_lo.(j);
+        fhi.(i) <- acc_hi.(j)
+      end
+      else if o = op_neg then begin
+        let ia = pa.(i) in
+        flo.(i) <- -.fhi.(ia);
+        fhi.(i) <- -.flo.(ia)
+      end
+      else if o = op_add then begin
+        let ia = pa.(i) and ib = pb.(i) in
+        flo.(i) <- flo.(ia) +. flo.(ib);
+        fhi.(i) <- fhi.(ia) +. fhi.(ib)
+      end
+      else if o = op_sub then begin
+        let ia = pa.(i) and ib = pb.(i) in
+        flo.(i) <- flo.(ia) -. fhi.(ib);
+        fhi.(i) <- fhi.(ia) -. flo.(ib)
+      end
+      else if o = op_mul then begin
+        let ia = pa.(i) and ib = pb.(i) in
+        mul_into tmp flo.(ia) fhi.(ia) flo.(ib) fhi.(ib);
+        flo.(i) <- tmp.rlo;
+        fhi.(i) <- tmp.rhi
+      end
+      else if o = op_div then begin
+        let ia = pa.(i) and ib = pb.(i) in
+        div_into tmp flo.(ia) fhi.(ia) flo.(ib) fhi.(ib);
+        flo.(i) <- tmp.rlo;
+        fhi.(i) <- tmp.rhi
+      end
+      else if o = op_pow then begin
+        let ia = pa.(i) in
+        pow_into tmp flo.(ia) fhi.(ia) pb.(i);
+        flo.(i) <- tmp.rlo;
+        fhi.(i) <- tmp.rhi
+      end
+      else if o = op_sqrt then begin
+        let ia = pa.(i) in
+        if fhi.(ia) < 0. then raise Empty_projection;
+        flo.(i) <- sqrt (max 0. flo.(ia));
+        fhi.(i) <- sqrt fhi.(ia)
+      end
+      else if o = op_exp then begin
+        let ia = pa.(i) in
+        flo.(i) <- exp flo.(ia);
+        fhi.(i) <- exp fhi.(ia)
+      end
+      else if o = op_ln then begin
+        let ia = pa.(i) in
+        if fhi.(ia) <= 0. then raise Empty_projection;
+        flo.(i) <- (if flo.(ia) <= 0. then neg_infinity else log flo.(ia));
+        fhi.(i) <- log fhi.(ia)
+      end
+      else if o = op_abs then begin
+        let ia = pa.(i) in
+        if flo.(ia) >= 0. then begin
+          flo.(i) <- flo.(ia);
+          fhi.(i) <- fhi.(ia)
+        end
+        else if fhi.(ia) <= 0. then begin
+          flo.(i) <- -.fhi.(ia);
+          fhi.(i) <- -.flo.(ia)
+        end
+        else begin
+          flo.(i) <- 0.;
+          fhi.(i) <- max (-.flo.(ia)) fhi.(ia)
+        end
+      end
+      else if o = op_min then begin
+        let ia = pa.(i) and ib = pb.(i) in
+        flo.(i) <- min flo.(ia) flo.(ib);
+        fhi.(i) <- min fhi.(ia) fhi.(ib)
+      end
+      else begin
+        (* op_max *)
+        let ia = pa.(i) and ib = pb.(i) in
+        flo.(i) <- max flo.(ia) flo.(ib);
+        fhi.(i) <- max fhi.(ia) fhi.(ib)
+      end
+    done;
+    let r = n - 1 in
+    meet r k.k_tlo k.k_thi;
+    back r
+  with
+  | () -> true
+  | exception Empty_projection -> false

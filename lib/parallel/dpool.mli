@@ -1,0 +1,37 @@
+(** Shared-memory domain pool: the throughput backend.
+
+    The OCaml 5 counterpart of {!Pool}: [map ~jobs ~f items] is
+    [List.map f items] computed by up to [jobs] domains (the caller
+    participates as one of them), self-scheduling items off a shared
+    atomic counter. Unlike the fork pool there is no serialization, no
+    pipes and no per-shard process — results are ordinary heap values and
+    the domains share the same runtime.
+
+    The trade-off is fault isolation: a worker that calls [exit], drives
+    the runtime into the ground, or hangs takes the whole process with it
+    (there is no supervisor to respawn it), so batches that must survive
+    hostile item functions belong on {!Pool}. An item function that
+    {e raises} is handled: the exception is caught per item and reported
+    through the same failure contract as the fork pool.
+
+    [f] must be domain-safe: it may not touch shared mutable state. The
+    simulation runner qualifies — each run builds its own network and Rng
+    from the scenario closure.
+
+    Spawning the first domain permanently disables [Unix.fork] in this
+    process (an OCaml 5 runtime rule), so {!map} calls
+    {!Pool.block_fork} first: any later {!Pool} map degrades to its
+    inline fallback instead of raising. Run fork-pool batches before
+    domain-pool batches when a process needs both. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs ~f items] is [List.map f items]. With [jobs <= 1] or a
+    single item, runs on the calling domain only (no spawn).
+
+    @raise Pool.Worker_error when [f] raised for some item: carries the
+    lowest failing index and a ["worker raised: ..."] message, matching
+    the fork pool's deterministic-raise contract. *)
+
+val map_partial : jobs:int -> f:('a -> 'b) -> 'a list -> ('b, string) result list
+(** Like {!map} but per-item: [Ok result] or [Error message] in input
+    order, never raising {!Pool.Worker_error}. *)

@@ -29,7 +29,15 @@ type supervision_event = {
 
 let default_retries = 2
 
-let available () = Sys.os_type = "Unix"
+(* Once any domain has been spawned, the OCaml 5 runtime permanently
+   forbids Unix.fork in this process ("Unix.fork may not be called while
+   other domains were created" — the multicore latch survives
+   Domain.join). Dpool flips this before its first spawn so every fork
+   path degrades to the inline fallback instead of raising. *)
+let fork_blocked = Atomic.make false
+let block_fork () = Atomic.set fork_blocked true
+
+let available () = Sys.os_type = "Unix" && not (Atomic.get fork_blocked)
 
 let cpu_count () =
   match In_channel.with_open_text "/proc/cpuinfo" In_channel.input_all with

@@ -48,8 +48,16 @@ val default_retries : int
 (** Extra attempts granted to each item beyond its first ([2]). *)
 
 val available : unit -> bool
-(** Whether [Unix.fork] is usable on this platform. When [false], the
-    maps silently run in-process (equivalent results). *)
+(** Whether [Unix.fork] is usable in this process. [false] on non-Unix
+    platforms, and permanently [false] once any domain has been spawned
+    ({!block_fork}) — the OCaml 5 runtime forbids forking a process that
+    has ever been multicore. When [false], the maps silently run
+    in-process (equivalent results, no fault isolation). *)
+
+val block_fork : unit -> unit
+(** Record that this process has spawned a domain, making {!available}
+    return [false] from now on. Called by {!Dpool} before its first
+    [Domain.spawn]; callers never need this directly. *)
 
 val cpu_count : unit -> int
 (** Number of online CPUs (from [/proc/cpuinfo]); [1] when undetectable.

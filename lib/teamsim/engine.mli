@@ -66,7 +66,23 @@ val run_lockstep :
     @raise Invalid_argument if the configuration fails
     {!Config.validate}. *)
 
+type backend =
+  | Domains
+      (** OCaml 5 shared-memory domain pool ({!Adpm_parallel.Dpool}): no
+          serialization, no per-shard process — the throughput default.
+          No fault isolation: a worker that exits or wedges the runtime
+          takes the whole process. *)
+  | Fork
+      (** Fork+pipe pool with supervision ({!Adpm_parallel.Pool}): each
+          shard in its own process; crashes and hangs are retried. The
+          fault-isolation backend. *)
+  | Inline  (** Sequential in-process reference path. *)
+
+val backend_to_string : backend -> string
+val backend_of_string : string -> (backend, string) result
+
 val run_many :
+  ?backend:backend ->
   ?jobs:int ->
   ?retries:int ->
   ?job_timeout:float ->
@@ -77,17 +93,25 @@ val run_many :
   Metrics.run_summary list
 (** One run per seed (via {!run}), same configuration otherwise.
 
-    [jobs] (default 1) shards the seed list across that many forked worker
-    processes ({!Adpm_parallel.Pool}). The result is {b bit-identical} to
-    the sequential path for any [jobs] — same summaries, same seed order —
-    because each seed's run owns its Rng stream and summaries round-trip
-    exactly through {!Metrics_codec}. With [jobs <= 1], a single seed, or
-    fork unavailable, no process is forked.
+    [jobs] (default 1) shards the seed list across that many workers of
+    the chosen [backend] (default [Domains]). The result is
+    {b bit-identical} to the sequential path for any backend and any
+    [jobs] — same summaries, same seed order — because each seed's run
+    owns its Rng stream, runs are independent (every run builds its own
+    network), and fork-backend summaries round-trip exactly through
+    {!Metrics_codec}. With [jobs <= 1] or a single seed nothing is
+    spawned; [Fork] also falls back inline when fork is unavailable —
+    on non-Unix platforms, or once the [Domains] backend has spawned its
+    first domain (the OCaml 5 runtime permanently forbids [Unix.fork]
+    after that), so run fork batches before domain batches when one
+    process needs both.
 
-    [retries], [job_timeout] and [on_retry] configure the pool's
+    [retries], [job_timeout] and [on_retry] configure the fork pool's
     supervision (crashed or hung workers are respawned and their
     undelivered seeds re-run, up to [retries] extra attempts per seed);
-    they pass through to {!Adpm_parallel.Pool.map_serialized}. Supervision
+    they pass through to {!Adpm_parallel.Pool.map_serialized} and are
+    ignored by the other backends (domains share one process — there is
+    nothing to respawn; pick [Fork] when runs may crash). Supervision
     does not affect results, only availability: a retried seed re-runs
     from scratch and is deterministic in its seed.
 
@@ -96,6 +120,7 @@ val run_many :
     aggregates). *)
 
 val run_many_partial :
+  ?backend:backend ->
   ?jobs:int ->
   ?retries:int ->
   ?job_timeout:float ->

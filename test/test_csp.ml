@@ -99,6 +99,94 @@ let test_network_validation () =
        false
      with Invalid_argument _ -> true)
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_msg name expected f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected an exception" name
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S appears in %S" name expected msg)
+      true (contains msg expected)
+
+let test_network_error_messages () =
+  (* Lookup failures must name the missing entity, not just its kind:
+     these messages are what a scenario author sees when a DDDL model
+     references a property that was never declared. *)
+  let net, _, _ = small_net () in
+  check_msg "find_prop" "unknown property 'ghost'" (fun () ->
+      ignore (Network.find_prop net "ghost"));
+  check_msg "find_prop names the function" "Network.find_prop" (fun () ->
+      ignore (Network.find_prop net "ghost"));
+  check_msg "prop_id" "unknown property 'ghost'" (fun () ->
+      ignore (Network.prop_id net "ghost"));
+  check_msg "find_constraint" "unknown constraint id 99" (fun () ->
+      ignore (Network.find_constraint net 99));
+  check_msg "constraints_of_prop" "unknown property 'ghost'" (fun () ->
+      ignore (Network.constraints_of_prop net "ghost"));
+  check_msg "env_box unknown" "unknown property 'ghost'" (fun () ->
+      ignore (Network.env_box net "ghost"));
+  (* symbolic properties keep raising Unbound_variable (the HC4 contract:
+     the environment has no box for them), not Invalid_argument *)
+  Alcotest.(check bool) "env_box symbolic raises Unbound_variable" true
+    (try
+       ignore (Network.env_box net "lvl");
+       false
+     with Expr.Unbound_variable name -> name = "lvl")
+
+let test_constr_args_memoized () =
+  let con =
+    mk Constr.Le Expr.(v "a" + (v "b" * v "a")) Expr.(v "b" + v "d")
+  in
+  let first = Constr.args con in
+  Alcotest.(check (list string))
+    "dedup'd lhs-then-rhs walk" [ "a"; "b"; "d" ] first;
+  (* memoized: repeated calls return the same list physically *)
+  Alcotest.(check bool) "same list physically" true (first == Constr.args con);
+  Alcotest.(check (list string))
+    "content stable across calls" [ "a"; "b"; "d" ] (Constr.args con)
+
+let test_network_constraints_cached () =
+  let net, c1, c2 = small_net () in
+  let first = Network.constraints net in
+  Alcotest.(check bool) "repeated call is physically equal" true
+    (first == Network.constraints net);
+  Alcotest.(check (list int)) "insertion order"
+    [ c1.Constr.id; c2.Constr.id ]
+    (List.map (fun cc -> cc.Constr.id) first);
+  (* structural change invalidates: the cache must not serve a stale
+     list that misses the new constraint *)
+  let c3 = Network.add_constraint net ~name:"ymax" (v "y") Constr.Le (c 5.) in
+  let after = Network.constraints net in
+  Alcotest.(check bool) "add_constraint invalidates" true (first != after);
+  Alcotest.(check (list int)) "new constraint present"
+    [ c1.Constr.id; c2.Constr.id; c3.Constr.id ]
+    (List.map (fun cc -> cc.Constr.id) after);
+  Alcotest.(check bool) "fresh list cached again" true
+    (after == Network.constraints net);
+  (* adding a property also bumps the structural revision *)
+  Network.add_prop net "z" (Domain.continuous 0. 1.);
+  Alcotest.(check bool) "add_prop invalidates too" true
+    (after != Network.constraints net)
+
+let test_flat_views_dense () =
+  let net, c1, c2 = small_net () in
+  let carr = Network.constraint_array net in
+  Alcotest.(check int) "constraint_array dense" 2 (Array.length carr);
+  Alcotest.(check int) "slot 0 is its id" c1.Constr.id carr.(0).Constr.id;
+  Alcotest.(check int) "slot 1 is its id" c2.Constr.id carr.(1).Constr.id;
+  let adj = Network.adjacency_by_id net in
+  Alcotest.(check int) "one row per prop" (Network.prop_count net)
+    (Array.length adj);
+  let xid = Network.prop_id net "x" and yid = Network.prop_id net "y" in
+  Alcotest.(check (list int)) "x row, insertion order"
+    [ c1.Constr.id; c2.Constr.id ]
+    (Array.to_list adj.(xid));
+  Alcotest.(check (list int)) "y row" [ c1.Constr.id ] (Array.to_list adj.(yid))
+
 let test_network_assign () =
   let net, _, _ = small_net () in
   Network.assign net "x" (Value.Num 3.);
@@ -472,6 +560,11 @@ let suite =
     ("equality status", `Quick, test_eq_status);
     ("network basics", `Quick, test_network_basics);
     ("network validation", `Quick, test_network_validation);
+    ("lookup errors name the entity", `Quick, test_network_error_messages);
+    ("constraint args memoized", `Quick, test_constr_args_memoized);
+    ("constraints list cached on revision", `Quick,
+     test_network_constraints_cached);
+    ("flat views are dense and ordered", `Quick, test_flat_views_dense);
     ("network assignment", `Quick, test_network_assign);
     ("network alpha/status", `Quick, test_network_alpha_status);
     ("network solved", `Quick, test_network_solved);

@@ -144,6 +144,62 @@ let hc4_contracts =
         Interval.subset (List.assoc "x" bs) xiv
         && Interval.subset (List.assoc "y" bs) yiv)
 
+(* {2 Compiled kernel: bit-identical to the boxed interpreter} *)
+
+let shape_expr_k shape =
+  let x = Expr.Var "x" and y = Expr.Var "y" in
+  match shape with
+  (* repeated occurrences exercise the accumulator intersection path *)
+  | 6 -> Expr.(Add (x, x))
+  | 7 -> Expr.(Mul (Add (x, y), Sub (x, y)))
+  | 8 -> Expr.(Sub (Ln y, Neg x))
+  | s -> shape_expr s
+
+let gen_case_k =
+  QCheck.Gen.(
+    let* x = float_range (-10.) 10. in
+    let* y = float_range 0.1 10. in
+    let* wx = float_range 0. 5. in
+    let* wy = float_range 0. 5. in
+    let* shape = int_range 0 8 in
+    return (x, y, wx, wy, shape))
+
+let kernel_matches_boxed =
+  QCheck.Test.make
+    ~name:"compiled kernel is bit-identical to the boxed revise" ~count:2000
+    (QCheck.make
+       ~print:(fun (x, y, wx, wy, s) ->
+         Printf.sprintf "x=%g y=%g wx=%g wy=%g shape=%d" x y wx wy s)
+       gen_case_k)
+    (fun (x, y, wx, wy, shape) ->
+      let expr = shape_expr_k shape in
+      let xiv = Interval.make (x -. wx) (x +. wx) in
+      let yiv = Interval.make (y -. wy) (y +. wy) in
+      let env = env_of [ ("x", xiv); ("y", yiv) ] in
+      let target = Interval.make (-5.) 5. in
+      let var_id = function "x" -> 0 | "y" -> 1 | n -> failwith n in
+      let k = Hc4.compile ~var_id expr ~target in
+      let lo = [| Interval.lo xiv; Interval.lo yiv |] in
+      let hi = [| Interval.hi xiv; Interval.hi yiv |] in
+      match (Hc4.revise ~env expr target, Hc4.revise_kernel k ~lo ~hi) with
+      | Hc4.Empty, false -> true
+      | Hc4.Empty, true | Hc4.Narrowed _, false -> false
+      | Hc4.Narrowed bs, true ->
+        (* the accumulators are indexed by position in [k_vars] (the
+           expression's variable order), and must hold the exact same
+           floats as the boxed result, down to the sign of zero *)
+        let pos name =
+          let id = var_id name in
+          let rec find j = if k.Hc4.k_vars.(j) = id then j else find (j + 1) in
+          find 0
+        in
+        List.for_all
+          (fun (name, iv') ->
+            let j = pos name in
+            Float.equal k.Hc4.k_acc_lo.(j) (Interval.lo iv')
+            && Float.equal k.Hc4.k_acc_hi.(j) (Interval.hi iv'))
+          bs)
+
 let suite =
   [
     ("simple inequality projection", `Quick, test_simple_le);
@@ -155,4 +211,5 @@ let suite =
     ("unchanged variables included", `Quick, test_unchanged_variables_included);
     QCheck_alcotest.to_alcotest hc4_preserves_solutions;
     QCheck_alcotest.to_alcotest hc4_contracts;
+    QCheck_alcotest.to_alcotest kernel_matches_boxed;
   ]

@@ -12,6 +12,7 @@ let () =
       ("teamsim", Test_teamsim.suite);
       ("des", Test_des.suite);
       ("parallel", Test_parallel.suite);
+      ("domains", Test_domains.suite);
       ("fault", Test_fault.suite);
       ("check", Test_check.suite);
       ("trace", Test_trace.suite);

@@ -314,14 +314,14 @@ let test_equivalence () =
       List.iter
         (fun mode ->
           let cfg = Config.default ~mode ~seed:0 in
-          let reference = Engine.run_many ~jobs:1 cfg scenario ~seeds in
+          let reference = Engine.run_many ~backend:Engine.Fork ~jobs:1 cfg scenario ~seeds in
           List.iter
             (fun jobs ->
               Alcotest.(check (list summary))
                 (Printf.sprintf "%s/%s jobs=%d" scenario.Scenario.sc_name
                    (Dpm.mode_to_string mode) jobs)
                 reference
-                (Engine.run_many ~jobs cfg scenario ~seeds))
+                (Engine.run_many ~backend:Engine.Fork ~jobs cfg scenario ~seeds))
             [ 2; 4 ])
         [ Dpm.Conventional; Dpm.Adpm ])
     scenarios
@@ -329,7 +329,7 @@ let test_equivalence () =
 let test_equivalence_preserves_seed_order () =
   let seeds = [ 9; 3; 7; 1; 5 ] in
   let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
-  let summaries = Engine.run_many ~jobs:3 cfg Sensor.scenario ~seeds in
+  let summaries = Engine.run_many ~backend:Engine.Fork ~jobs:3 cfg Sensor.scenario ~seeds in
   Alcotest.(check (list int))
     "seed order preserved" seeds
     (List.map (fun s -> s.Metrics.s_seed) summaries)
@@ -352,10 +352,11 @@ let test_run_many_crash_recovery_bit_identical () =
       in
       let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
       let seeds = [ 1; 2; 3; 4 ] in
-      let healthy = Engine.run_many ~jobs:1 cfg Sensor.scenario ~seeds in
+      let healthy = Engine.run_many ~backend:Engine.Fork ~jobs:1 cfg Sensor.scenario ~seeds in
       let retried = ref 0 in
       let recovered =
-        Engine.run_many ~jobs:2 ~on_retry:(fun _ -> incr retried) cfg flaky
+        Engine.run_many ~backend:Engine.Fork ~jobs:2
+          ~on_retry:(fun _ -> incr retried) cfg flaky
           ~seeds
       in
       Alcotest.(check bool) "at least one worker was respawned" true
@@ -386,15 +387,20 @@ let test_run_many_partial_isolates_bad_seeds () =
       results
   in
   check "forked"
-    (Engine.run_many_partial ~jobs:2 ~retries:0 cfg broken ~seeds:[ 7; 8; 9 ]);
+    (Engine.run_many_partial ~backend:Engine.Fork ~jobs:2 ~retries:0 cfg broken
+       ~seeds:[ 7; 8; 9 ]);
   check "inline"
-    (Engine.run_many_partial ~jobs:1 cfg broken ~seeds:[ 7; 8; 9 ])
+    (Engine.run_many_partial ~backend:Engine.Fork ~jobs:1 cfg broken
+       ~seeds:[ 7; 8; 9 ])
 
 let test_run_many_partial_healthy_matches_fail_fast () =
   let cfg = Config.default ~mode:Dpm.Conventional ~seed:0 in
   let seeds = [ 1; 2; 3 ] in
-  let plain = Engine.run_many ~jobs:2 cfg Sensor.scenario ~seeds in
-  let partial = Engine.run_many_partial ~jobs:2 cfg Sensor.scenario ~seeds in
+  let plain = Engine.run_many ~backend:Engine.Fork ~jobs:2 cfg Sensor.scenario ~seeds in
+  let partial =
+    Engine.run_many_partial ~backend:Engine.Fork ~jobs:2 cfg Sensor.scenario
+      ~seeds
+  in
   Alcotest.(check (list summary))
     "healthy `Partial run carries the same summaries" plain
     (List.map
@@ -411,7 +417,7 @@ let test_run_many_failure_names_seed () =
         failwith "synthetic build failure")
   in
   let cfg = Config.default ~mode:Dpm.Adpm ~seed:0 in
-  match Engine.run_many ~jobs:2 cfg broken ~seeds:[ 7; 8; 9 ] with
+  match Engine.run_many ~backend:Engine.Fork ~jobs:2 cfg broken ~seeds:[ 7; 8; 9 ] with
   | (_ : Metrics.run_summary list) -> Alcotest.fail "expected Failure"
   | exception Failure msg ->
     Alcotest.(check bool)
