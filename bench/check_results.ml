@@ -127,6 +127,19 @@ let () =
       "fuzz_clean is false: a fuzzed schedule violated the temporal-property \
        suite"
   | None -> die "%s lacks the fuzz_clean field" file);
+  (* the teamsimd load bench must have run: a finite positive throughput
+     and p99 latency always, and on a full (non-fast) run at least 64
+     concurrent sessions — the daemon's headline capacity claim *)
+  let teamsimd_ops = speedup "teamsimd_ops_per_s" in
+  let teamsimd_p99 = speedup "teamsimd_p99_ms" in
+  let teamsimd_sessions =
+    match Option.bind (Json.member "teamsimd_sessions" json) Json.to_int with
+    | Some n -> n
+    | None -> die "%s lacks the teamsimd_sessions field" file
+  in
+  if (not fast) && teamsimd_sessions < 64 then
+    die "teamsimd_sessions %d < 64 on a full run: the load bench shrank"
+      teamsimd_sessions;
   (* the fault sweep must have produced a degradation curve *)
   (match Json.member "fault_sweep" json with
   | None -> die "%s lacks the fault_sweep field" file
@@ -140,5 +153,7 @@ let () =
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
      (jobs=%d) domains_speedup=%.2fx (jobs=%d, cores=%d) des_overhead=%.2fx \
-     pool_retry_overhead=%.2fx fuzz_throughput=%.1f/s\n"
+     pool_retry_overhead=%.2fx fuzz_throughput=%.1f/s \
+     teamsimd=%d sessions @ %.0f ops/s (p99 %.2fms)\n"
     incremental parallel jobs domains domains_jobs cores des_overhead pool fuzz
+    teamsimd_sessions teamsimd_ops teamsimd_p99

@@ -64,7 +64,7 @@ let fault_sweep_json (faults : Exp_faults.result) =
       ])
 
 let results_json ~fig9_seeds ~parallel ~domains verdicts incr des pool faults
-    fuzz =
+    fuzz teamsimd =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   let domains_jobs, domains_speedup, domains_agrees = domains in
   Json.Obj
@@ -81,6 +81,11 @@ let results_json ~fig9_seeds ~parallel ~domains verdicts incr des pool faults
       ("fuzz_throughput", Json.Num fuzz.Fuzz_bench.throughput);
       ("fuzz_schedules", Json.Num (float_of_int fuzz.Fuzz_bench.schedules));
       ("fuzz_clean", Json.Bool fuzz.Fuzz_bench.clean);
+      ( "teamsimd_sessions",
+        Json.Num (float_of_int teamsimd.Daemon_bench.sessions) );
+      ("teamsimd_ops", Json.Num (float_of_int teamsimd.Daemon_bench.total_ops));
+      ("teamsimd_ops_per_s", Json.Num teamsimd.Daemon_bench.ops_per_s);
+      ("teamsimd_p99_ms", Json.Num teamsimd.Daemon_bench.p99_ms);
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
@@ -255,6 +260,19 @@ let () =
   in
   print_string (Des_overhead.render des);
 
+  section "teamsimd: concurrent interactive sessions over the socket protocol";
+  (* No forks, no domains: the daemon is a single-threaded select loop
+     hosted in this process, so this section is safe to run before the
+     domain spawn below and does not consume the fork latch. *)
+  let teamsimd =
+    timed "teamsimd" (fun () ->
+        Daemon_bench.run
+          ~sessions:(if fast then 16 else 64)
+          ~ops_per_session:(if fast then 4 else 8)
+          ())
+  in
+  print_string (Daemon_bench.render teamsimd);
+
   (* Domain runner: the Fig. 9 cells again on the shared-memory backend.
      Unlike the fork section this always runs (jobs forced to >= 2) so
      every bench run exercises the domain pool's bit-identity; a real
@@ -298,7 +316,7 @@ let () =
 
   let json =
     results_json ~fig9_seeds ~parallel ~domains (Exp_fig9.verdicts fig9) incr
-      des pool faults fuzz
+      des pool faults fuzz teamsimd
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

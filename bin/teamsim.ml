@@ -7,6 +7,7 @@
                comparison table
      replay  — re-execute a recorded trace and check convergence
      analyze — derived views of a recorded trace
+     serve   — teamsimd: persistent multi-session daemon over a socket
      list    — list available scenarios *)
 
 open Cmdliner
@@ -675,10 +676,94 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List scenarios.") Term.(const action $ const ())
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP at the numeric $(docv), e.g. 127.0.0.1:7777.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt string "."
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Directory for default checkpoint artifact paths.")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Maximum concurrently open sessions.")
+  in
+  let action socket tcp checkpoint_dir max_sessions =
+    let addr =
+      match (socket, tcp) with
+      | Some p, None -> Ok (Adpm_serve.Daemon.Unix_path p)
+      | None, Some hp -> (
+        match String.rindex_opt hp ':' with
+        | Some i -> (
+          let host = String.sub hp 0 i in
+          match
+            int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1))
+          with
+          | Some port -> Ok (Adpm_serve.Daemon.Tcp (host, port))
+          | None -> Error (Printf.sprintf "bad port in --tcp %s" hp))
+        | None -> Error (Printf.sprintf "--tcp wants HOST:PORT, got %s" hp))
+      | Some _, Some _ -> Error "give --socket or --tcp, not both"
+      | None, None -> Error "teamsimd needs a listen address: --socket or --tcp"
+    in
+    match addr with
+    | Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok addr -> (
+      let cfg =
+        {
+          (Adpm_serve.Daemon.default_config ~addr ~scenarios) with
+          Adpm_serve.Daemon.dc_checkpoint_dir = checkpoint_dir;
+          dc_max_sessions = max_sessions;
+        }
+      in
+      match Adpm_serve.Daemon.create cfg with
+      | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "teamsimd: cannot listen (%s %s: %s)\n" fn arg
+          (Unix.error_message err);
+        exit 1
+      | daemon ->
+        (match addr with
+        | Adpm_serve.Daemon.Unix_path p ->
+          Printf.printf "teamsimd listening on %s\n%!" p
+        | Adpm_serve.Daemon.Tcp (h, p) ->
+          Printf.printf "teamsimd listening on %s:%d\n%!" h p);
+        Adpm_serve.Daemon.run daemon)
+  in
+  let term =
+    Term.(
+      const action $ socket_arg $ tcp_arg $ checkpoint_dir_arg
+      $ max_sessions_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run teamsimd: a persistent daemon multiplexing interactive \
+          sessions over a JSONL socket protocol (hello, open, exec, status, \
+          checkpoint, resume, close, shutdown).")
+    term
+
 let () =
   let doc = "TeamSim design-process evaluation environment (DAC 2001 repro)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "teamsim" ~doc)
           [ run_cmd; sweep_cmd; replay_cmd; analyze_cmd; check_cmd; fuzz_cmd;
-            interactive_cmd; list_cmd ]))
+            interactive_cmd; serve_cmd; list_cmd ]))

@@ -1,0 +1,74 @@
+module Json = Adpm_trace.Json
+
+type t = {
+  cl_fd : Unix.file_descr;
+  cl_reader : Wire.Reader.t;
+  mutable cl_next_id : int;
+}
+
+let connect ?max_frame addr =
+  let domain =
+    match addr with
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  { cl_fd = fd; cl_reader = Wire.Reader.create ?max_frame (); cl_next_id = 0 }
+
+let fd t = t.cl_fd
+let close t = try Unix.close t.cl_fd with Unix.Unix_error _ -> ()
+
+let send t json = Wire.send_line t.cl_fd json
+
+exception Timeout
+exception Closed
+
+(* Wait for the next frame. [?pump] runs while waiting so a single-threaded
+   harness can host the daemon it is talking to; without it the fd is
+   simply selected on (the daemon is another process). *)
+let next_response ?(timeout = 10.) ?pump t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Wire.Reader.next t.cl_reader with
+    | `Frame line -> (
+      match Wire.response_of_line line with
+      | Ok r -> r
+      | Error msg -> failwith ("Client.next_response: " ^ msg))
+    | `Oversize -> failwith "Client.next_response: oversize response frame"
+    | `Pending ->
+      if Unix.gettimeofday () > deadline then raise Timeout;
+      (match pump with Some f -> f () | None -> ());
+      let ready =
+        match Unix.select [ t.cl_fd ] [] [] 0.05 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      if ready then begin
+        match Unix.read t.cl_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise Closed
+        | n -> Wire.Reader.feed t.cl_reader (Bytes.sub_string chunk 0 n)
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          ()
+      end;
+      loop ()
+  in
+  loop ()
+
+let rpc ?timeout ?pump t req =
+  t.cl_next_id <- t.cl_next_id + 1;
+  let id = Json.Num (float_of_int t.cl_next_id) in
+  send t (Wire.request_to_json ~id req);
+  next_response ?timeout ?pump t
+
+let body_str resp name =
+  Option.bind (Json.member name resp.Wire.r_body) Json.to_str
+
+let body_int resp name =
+  Option.bind (Json.member name resp.Wire.r_body) Json.to_int

@@ -1,0 +1,30 @@
+(** Minimal synchronous teamsimd client, for the smoke test, the load
+    bench, and scripting. One request in flight at a time; responses are
+    matched by arrival order (the daemon answers frames in order). *)
+
+module Json = Adpm_trace.Json
+
+type t
+
+val connect : ?max_frame:int -> Unix.sockaddr -> t
+(** @raise Unix.Unix_error when the daemon is not reachable. *)
+
+val fd : t -> Unix.file_descr
+val close : t -> unit
+
+val send : t -> Json.t -> unit
+(** Write one raw frame (for hostile-input tests). *)
+
+exception Timeout
+exception Closed  (** the daemon closed the connection *)
+
+val next_response : ?timeout:float -> ?pump:(unit -> unit) -> t -> Wire.response
+(** Read the next response frame. [?pump] is called repeatedly while
+    waiting, so a harness hosting the daemon in the same thread can pass
+    [fun () -> ignore (Daemon.step ~timeout:0. d)]. *)
+
+val rpc : ?timeout:float -> ?pump:(unit -> unit) -> t -> Wire.request -> Wire.response
+(** Send with a fresh numeric ["id"] and await the next response. *)
+
+val body_str : Wire.response -> string -> string option
+val body_int : Wire.response -> string -> int option

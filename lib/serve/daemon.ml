@@ -1,0 +1,337 @@
+open Adpm_teamsim
+module Json = Adpm_trace.Json
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  dc_addr : addr;
+  dc_scenarios : Scenario.t list;
+  dc_max_sessions : int;
+  dc_max_frame : int;
+  dc_checkpoint_dir : string;
+}
+
+let default_config ~addr ~scenarios =
+  {
+    dc_addr = addr;
+    dc_scenarios = scenarios;
+    dc_max_sessions = 256;
+    dc_max_frame = Wire.default_max_frame;
+    dc_checkpoint_dir = Filename.current_dir_name;
+  }
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_reader : Wire.Reader.t;
+  cn_out : Buffer.t;
+  mutable cn_closing : bool;  (* close once cn_out drains *)
+  mutable cn_dead : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  sessions : (string, Session.t) Hashtbl.t;
+  mutable next_session : int;
+  mutable stopping : bool;
+}
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+(* Concurrency story (see DESIGN.md §14): a single-threaded non-blocking
+   event loop — no Domain.spawn, so creating a daemon never trips the
+   PR 7 fork latch and [Pool]-based tooling stays usable in the same
+   process. Session work is CPU-cheap (one propagation per op), so
+   multiplexing beats per-session domains at this granularity. *)
+let create cfg =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let domain, addr =
+    match cfg.dc_addr with
+    | Unix_path p ->
+      (* a stale socket file from a killed daemon must not block rebind *)
+      if Sys.file_exists p then (try Unix.unlink p with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, sockaddr_of cfg.dc_addr)
+    | Tcp _ -> (Unix.PF_INET, sockaddr_of cfg.dc_addr)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd addr;
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    cfg;
+    listen_fd = fd;
+    conns = [];
+    sessions = Hashtbl.create 64;
+    next_session = 0;
+    stopping = false;
+  }
+
+let session_count t = Hashtbl.length t.sessions
+let find_session t id = Hashtbl.find_opt t.sessions id
+
+let fresh_session_id t =
+  t.next_session <- t.next_session + 1;
+  Printf.sprintf "s%d" t.next_session
+
+let default_checkpoint_path t id =
+  Filename.concat t.cfg.dc_checkpoint_dir (id ^ ".checkpoint.jsonl")
+
+let scenario_listing t =
+  Json.Arr
+    (List.map
+       (fun s -> Json.Str s.Scenario.sc_name)
+       t.cfg.dc_scenarios)
+
+let with_session t ?id name k =
+  match find_session t name with
+  | None ->
+    Wire.error_frame ?id ~code:Wire.Unknown_session
+      (Printf.sprintf "no session %s" name)
+  | Some s -> k s
+
+let handle t req_json =
+  let id = Wire.request_id req_json in
+  let dispatch () =
+    match Wire.request_of_json req_json with
+    | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
+    | Ok Wire.Hello ->
+      Wire.ok_frame ?id
+        [
+          ("server", Json.Str "teamsimd");
+          ("protocol", Json.Num 1.);
+          ("scenarios", scenario_listing t);
+          ("sessions", Json.Num (float_of_int (session_count t)));
+        ]
+    | Ok (Wire.Open { scenario; mode; seed; designer }) ->
+      if session_count t >= t.cfg.dc_max_sessions then
+        Wire.error_frame ?id ~code:Wire.Session_limit
+          (Printf.sprintf "session limit %d reached" t.cfg.dc_max_sessions)
+      else if Session.find_scenario t.cfg.dc_scenarios scenario = None then
+        Wire.error_frame ?id ~code:Wire.Unknown_scenario
+          (Printf.sprintf "unknown scenario %s" scenario)
+      else begin
+        let sid = fresh_session_id t in
+        match
+          Session.create ~scenarios:t.cfg.dc_scenarios ~id:sid ~scenario ~mode
+            ~seed ~designer
+        with
+        | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
+        | Ok s ->
+          Hashtbl.replace t.sessions sid s;
+          Wire.ok_frame ?id
+            [
+              ("session", Json.Str sid);
+              ("prompt", Json.Str (Session.prompt s));
+            ]
+      end
+    | Ok (Wire.Exec { session; line }) ->
+      with_session t ?id session (fun s ->
+          match Session.exec s line with
+          | Ok output ->
+            Wire.ok_frame ?id
+              [
+                ("output", Json.Str output);
+                ("prompt", Json.Str (Session.prompt s));
+                ("finished", Json.Bool (Session.finished s));
+              ]
+          | Error msg -> Wire.error_frame ?id ~code:Wire.Command msg
+          | exception e ->
+            (* isolation: a throwing session dies alone; the daemon and
+               its other sessions keep serving *)
+            Hashtbl.remove t.sessions session;
+            Wire.error_frame ?id ~code:Wire.Session_failed
+              (Printf.sprintf "session %s failed and was closed: %s" session
+                 (Printexc.to_string e)))
+    | Ok (Wire.Status { session }) ->
+      with_session t ?id session (fun s ->
+          Wire.ok_frame ?id (Session.status_fields s))
+    | Ok (Wire.Checkpoint { session; path }) ->
+      with_session t ?id session (fun s ->
+          let path =
+            match path with
+            | Some p -> p
+            | None -> default_checkpoint_path t session
+          in
+          match Session.checkpoint s ~path with
+          | Ok events ->
+            Wire.ok_frame ?id
+              [
+                ("path", Json.Str path);
+                ("events", Json.Num (float_of_int events));
+                ("fingerprint", Json.Str (Session.fingerprint s));
+              ]
+          | Error msg -> Wire.error_frame ?id ~code:Wire.Io msg)
+    | Ok (Wire.Resume { path }) ->
+      if session_count t >= t.cfg.dc_max_sessions then
+        Wire.error_frame ?id ~code:Wire.Session_limit
+          (Printf.sprintf "session limit %d reached" t.cfg.dc_max_sessions)
+      else begin
+        let sid = fresh_session_id t in
+        match Session.resume ~scenarios:t.cfg.dc_scenarios ~id:sid ~path with
+        | Ok (s, replayed) ->
+          Hashtbl.replace t.sessions sid s;
+          Wire.ok_frame ?id
+            [
+              ("session", Json.Str sid);
+              ("commands_replayed", Json.Num (float_of_int replayed));
+              ("fingerprint", Json.Str (Session.fingerprint s));
+              ("prompt", Json.Str (Session.prompt s));
+            ]
+        | Error (Session.Rs_io msg) -> Wire.error_frame ?id ~code:Wire.Io msg
+        | Error (Session.Rs_corrupt msg) ->
+          Wire.error_frame ?id ~code:Wire.Bad_checkpoint msg
+        | Error (Session.Rs_mismatch msg) ->
+          Wire.error_frame ?id ~code:Wire.Resume_mismatch msg
+      end
+    | Ok (Wire.Close { session }) ->
+      with_session t ?id session (fun _ ->
+          Hashtbl.remove t.sessions session;
+          Wire.ok_frame ?id [ ("closed", Json.Str session) ])
+    | Ok Wire.Shutdown ->
+      t.stopping <- true;
+      Wire.ok_frame ?id [ ("stopping", Json.Bool true) ]
+  in
+  match dispatch () with
+  | resp -> resp
+  | exception e ->
+    Wire.error_frame ?id ~code:Wire.Internal (Printexc.to_string e)
+
+let handle_line t line =
+  match Json.parse line with
+  | Ok j -> handle t j
+  | Error msg -> Wire.error_frame ~code:Wire.Parse msg
+
+let enqueue conn resp =
+  Buffer.add_string conn.cn_out (Json.to_string resp);
+  Buffer.add_char conn.cn_out '\n'
+
+let read_conn t conn =
+  let chunk = Bytes.create 4096 in
+  let rec drain_frames () =
+    match Wire.Reader.next conn.cn_reader with
+    | `Pending -> ()
+    | `Oversize ->
+      enqueue conn
+        (Wire.error_frame ~code:Wire.Oversize
+           (Printf.sprintf "frame exceeds %d bytes; closing connection"
+              t.cfg.dc_max_frame));
+      conn.cn_closing <- true
+    | `Frame line ->
+      enqueue conn (handle_line t line);
+      drain_frames ()
+  in
+  match Unix.read conn.cn_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.cn_dead <- true
+  | n ->
+    Wire.Reader.feed conn.cn_reader (Bytes.sub_string chunk 0 n);
+    drain_frames ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error _ -> conn.cn_dead <- true
+
+let write_conn conn =
+  let pending = Buffer.contents conn.cn_out in
+  let n = String.length pending in
+  if n > 0 then begin
+    match Unix.write_substring conn.cn_fd pending 0 n with
+    | written ->
+      Buffer.clear conn.cn_out;
+      if written < n then
+        Buffer.add_substring conn.cn_out pending written (n - written)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> conn.cn_dead <- true
+  end;
+  if conn.cn_closing && Buffer.length conn.cn_out = 0 then conn.cn_dead <- true
+
+let accept_new t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      t.conns <-
+        {
+          cn_fd = fd;
+          cn_reader = Wire.Reader.create ~max_frame:t.cfg.dc_max_frame ();
+          cn_out = Buffer.create 256;
+          cn_closing = false;
+          cn_dead = false;
+        }
+        :: t.conns;
+      loop ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  in
+  loop ()
+
+let reap t =
+  let dead, live = List.partition (fun c -> c.cn_dead) t.conns in
+  List.iter (fun c -> try Unix.close c.cn_fd with Unix.Unix_error _ -> ()) dead;
+  t.conns <- live
+
+let pending_output t =
+  List.exists (fun c -> Buffer.length c.cn_out > 0) t.conns
+
+let step ?(timeout = 0.05) t =
+  if t.stopping && not (pending_output t) then false
+  else begin
+    let reads =
+      t.listen_fd :: List.filter_map
+                       (fun c -> if c.cn_dead then None else Some c.cn_fd)
+                       t.conns
+    in
+    let writes =
+      List.filter_map
+        (fun c ->
+          if (not c.cn_dead) && Buffer.length c.cn_out > 0 then Some c.cn_fd
+          else None)
+        t.conns
+    in
+    (match Unix.select reads writes [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      if List.memq t.listen_fd readable then accept_new t;
+      List.iter
+        (fun c ->
+          if (not c.cn_dead) && List.memq c.cn_fd readable then read_conn t c)
+        t.conns;
+      List.iter
+        (fun c ->
+          if
+            (not c.cn_dead)
+            && (List.memq c.cn_fd writable || Buffer.length c.cn_out > 0)
+          then write_conn c)
+        t.conns);
+    reap t;
+    not (t.stopping && not (pending_output t))
+  end
+
+let stop t =
+  List.iter
+    (fun c -> try Unix.close c.cn_fd with Unix.Unix_error _ -> ())
+    t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.dc_addr with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ());
+  Hashtbl.reset t.sessions
+
+let run t =
+  while step t do
+    ()
+  done;
+  stop t

@@ -1,0 +1,69 @@
+(** teamsimd: the persistent session daemon.
+
+    Keeps elaborated scenarios resident and multiplexes many concurrent
+    interactive sessions over one listening socket speaking the {!Wire}
+    JSONL protocol.
+
+    {b Concurrency.} A single-threaded, non-blocking [Unix.select] event
+    loop. This is a deliberate choice against per-session domains: it
+    never calls [Domain.spawn], so a process hosting a daemon does not
+    trip the PR 7 fork latch ({!Adpm_parallel.Pool.available} stays
+    true), and per-op work (one propagation) is far too small to amortize
+    domain handoff. Isolation comes from exception boundaries instead of
+    address spaces: a throwing session is torn down and answered with a
+    [session_failed] frame; the accept loop never stalls.
+
+    {b Driving it.} [run] blocks until a [shutdown] frame arrives.
+    [step] runs one bounded iteration, so tests and benches can host a
+    daemon and its clients in a single thread. [handle] exposes the
+    request dispatcher directly for protocol-level tests. *)
+
+open Adpm_teamsim
+module Json = Adpm_trace.Json
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int  (** numeric host address, e.g. ["127.0.0.1"] *)
+
+type config = {
+  dc_addr : addr;
+  dc_scenarios : Scenario.t list;  (** the resident scenario registry *)
+  dc_max_sessions : int;
+  dc_max_frame : int;  (** per-frame byte bound (see {!Wire.Reader}) *)
+  dc_checkpoint_dir : string;  (** default directory for [checkpoint] files *)
+}
+
+val default_config : addr:addr -> scenarios:Scenario.t list -> config
+(** 256 sessions, {!Wire.default_max_frame}, checkpoints in ["."]. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (unlinking a stale unix-socket path first).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val handle : t -> Json.t -> Json.t
+(** Dispatch one parsed request frame to its response frame. Total: any
+    exception becomes an error frame ([session_failed] with teardown for
+    a throwing session's [exec], [internal] otherwise). *)
+
+val handle_line : t -> string -> Json.t
+(** [handle] after parsing; unparseable input yields a [parse] error
+    frame. *)
+
+val step : ?timeout:float -> t -> bool
+(** One event-loop iteration: select (up to [timeout], default 0.05 s),
+    accept, read/dispatch, flush. Returns [false] once a [shutdown]
+    request has been processed and all responses are flushed. *)
+
+val run : t -> unit
+(** [while step t do () done; stop t]. *)
+
+val stop : t -> unit
+(** Close every connection and the listener, unlink a unix-socket path,
+    drop all sessions. *)
+
+val session_count : t -> int
+
+val find_session : t -> string -> Session.t option
+(** Test/bench seam: direct access to a live session. *)

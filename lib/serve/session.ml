@@ -1,0 +1,247 @@
+open Adpm_core
+open Adpm_teamsim
+open Adpm_trace
+module Json = Adpm_trace.Json
+
+type t = {
+  ss_id : string;
+  ss_scenario : string;
+  ss_mode : Dpm.mode;
+  ss_seed : int;
+  ss_designer : string;
+  ss_session : Interactive.t;
+  ss_buf : Sink.Collect.buffer;
+  ss_tracer : Tracer.t;
+  mutable ss_commands : string list;  (* newest first *)
+}
+
+let find_scenario scenarios name =
+  List.find_opt (fun s -> String.equal s.Scenario.sc_name name) scenarios
+
+let id t = t.ss_id
+let interactive t = t.ss_session
+let commands t = List.rev t.ss_commands
+
+let create ~scenarios ~id ~scenario ~mode ~seed ~designer =
+  match find_scenario scenarios scenario with
+  | None ->
+    Error
+      (Printf.sprintf "unknown scenario %s (known: %s)" scenario
+         (String.concat ", "
+            (List.map (fun s -> s.Scenario.sc_name) scenarios)))
+  | Some sc -> (
+    let buf, sink = Sink.collector () in
+    let tracer = Tracer.create sink in
+    match Interactive.create ~tracer ~mode ~seed sc ~designer with
+    | session ->
+      Ok
+        {
+          ss_id = id;
+          ss_scenario = scenario;
+          ss_mode = mode;
+          ss_seed = seed;
+          ss_designer = designer;
+          ss_session = session;
+          ss_buf = buf;
+          ss_tracer = tracer;
+          ss_commands = [];
+        }
+    | exception Invalid_argument msg -> Error msg)
+
+let exec t line =
+  (* Log the line before running it: replay-on-resume must re-issue every
+     command (including rejected ones) so the designer models' RNG and
+     tabu state advance identically. *)
+  t.ss_commands <- line :: t.ss_commands;
+  Interactive.execute t.ss_session line
+
+let prompt t = Interactive.prompt t.ss_session
+let finished t = Interactive.finished t.ss_session
+
+let fingerprint t =
+  let dpm = Interactive.dpm t.ss_session in
+  Printf.sprintf "ops=%d evals=%d spins=%d solved=%b violations=[%s]"
+    (Dpm.op_count dpm)
+    (Interactive.attributed_evaluations t.ss_session)
+    (Dpm.spin_count dpm) (Dpm.solved dpm)
+    (String.concat ","
+       (List.map string_of_int
+          (List.sort compare (Dpm.known_violations dpm))))
+
+let status_fields t =
+  let dpm = Interactive.dpm t.ss_session in
+  [
+    ("session", Json.Str t.ss_id);
+    ("scenario", Json.Str t.ss_scenario);
+    ("mode", Json.Str (Dpm.mode_to_string t.ss_mode));
+    ("seed", Json.Num (float_of_int t.ss_seed));
+    ("designer", Json.Str t.ss_designer);
+    ("prompt", Json.Str (prompt t));
+    ("finished", Json.Bool (finished t));
+    ("operations", Json.Num (float_of_int (Dpm.op_count dpm)));
+    ( "evaluations",
+      Json.Num (float_of_int (Interactive.attributed_evaluations t.ss_session))
+    );
+    ("spins", Json.Num (float_of_int (Dpm.spin_count dpm)));
+    ( "violations",
+      Json.Arr
+        (List.map
+           (fun cid -> Json.Num (float_of_int cid))
+           (List.sort compare (Dpm.known_violations (Interactive.dpm t.ss_session))))
+    );
+    ("commands", Json.Num (float_of_int (List.length t.ss_commands)));
+    ("events", Json.Num (float_of_int (Sink.Collect.length t.ss_buf)));
+  ]
+
+(* A synthetic closing event, NOT appended to the live buffer: the
+   session keeps running after a checkpoint, and a later checkpoint must
+   build its own closing frame from the later state. *)
+let closing_event t =
+  let dpm = Interactive.dpm t.ss_session in
+  {
+    Event.seq = Tracer.seq t.ss_tracer;
+    clock = Tracer.clock t.ss_tracer;
+    event =
+      Event.Run_finished
+        {
+          completed = Dpm.solved dpm && Dpm.ground_truth_solved dpm;
+          operations = Dpm.op_count dpm;
+          evaluations = Interactive.attributed_evaluations t.ss_session;
+          setup_evaluations = Interactive.setup_evaluations t.ss_session;
+          spins = Dpm.spin_count dpm;
+          violations = List.sort compare (Dpm.known_violations dpm);
+        };
+  }
+
+let meta_json t =
+  Json.Obj
+    [
+      ("teamsimd_checkpoint", Json.Num 1.);
+      ("scenario", Json.Str t.ss_scenario);
+      ("mode", Json.Str (Dpm.mode_to_string t.ss_mode));
+      ("seed", Json.Num (float_of_int t.ss_seed));
+      ("designer", Json.Str t.ss_designer);
+      ("commands", Json.Arr (List.rev_map (fun c -> Json.Str c) t.ss_commands));
+      ("fingerprint", Json.Str (fingerprint t));
+    ]
+
+let checkpoint t ~path =
+  let events = Sink.Collect.contents t.ss_buf @ [ closing_event t ] in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Json.to_string (meta_json t));
+        output_char oc '\n';
+        List.iter
+          (fun ev ->
+            output_string oc (Codec.to_line ev);
+            output_char oc '\n')
+          events)
+  with
+  | () -> Ok (List.length events)
+  | exception Sys_error msg -> Error msg
+
+type resume_error =
+  | Rs_io of string
+  | Rs_corrupt of string
+  | Rs_mismatch of string
+
+let read_lines path =
+  match
+    In_channel.with_open_text path (fun ic ->
+        let rec loop acc =
+          match In_channel.input_line ic with
+          | Some l -> loop (l :: acc)
+          | None -> List.rev acc
+        in
+        loop [])
+  with
+  | lines -> Ok lines
+  | exception Sys_error msg -> Error msg
+
+let rec collect_events acc lineno = function
+  | [] -> Ok (List.rev acc)
+  | "" :: rest -> collect_events acc (lineno + 1) rest
+  | line :: rest -> (
+    match Codec.of_line line with
+    | Ok ev -> collect_events (ev :: acc) (lineno + 1) rest
+    | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+
+let resume ~scenarios ~id ~path =
+  let ( let* ) = Result.bind in
+  match read_lines path with
+  | Error msg -> Error (Rs_io msg)
+  | Ok [] -> Error (Rs_corrupt "empty checkpoint file")
+  | Ok (meta_line :: event_lines) ->
+    let corrupt fmt = Printf.ksprintf (fun m -> Error (Rs_corrupt m)) fmt in
+    let* meta =
+      match Json.parse meta_line with
+      | Ok j when Json.member "teamsimd_checkpoint" j <> None -> Ok j
+      | Ok _ -> corrupt "first line is not a teamsimd checkpoint header"
+      | Error msg -> corrupt "unparseable checkpoint header: %s" msg
+    in
+    let meta_str name =
+      match Option.bind (Json.member name meta) Json.to_str with
+      | Some s -> Ok s
+      | None -> corrupt "checkpoint header lacks field %S" name
+    in
+    let* scenario = meta_str "scenario" in
+    let* mode_s = meta_str "mode" in
+    let* mode =
+      match Dpm.mode_of_string mode_s with
+      | Some m -> Ok m
+      | None -> corrupt "bad mode %S in checkpoint header" mode_s
+    in
+    let* seed =
+      match Option.bind (Json.member "seed" meta) Json.to_int with
+      | Some n -> Ok n
+      | None -> corrupt "checkpoint header lacks field \"seed\""
+    in
+    let* designer = meta_str "designer" in
+    let* recorded_fp = meta_str "fingerprint" in
+    let* commands =
+      match Option.bind (Json.member "commands" meta) Json.to_list with
+      | None -> corrupt "checkpoint header lacks field \"commands\""
+      | Some items -> (
+        let strs = List.filter_map Json.to_str items in
+        if List.length strs <> List.length items then
+          corrupt "non-string entry in checkpoint command log"
+        else Ok strs)
+    in
+    let* events =
+      match collect_events [] 2 event_lines with
+      | Ok evs -> Ok evs
+      | Error msg -> corrupt "bad trace event at %s" msg
+    in
+    (* Integrity gate: the recorded trace must replay cleanly through the
+       stock driver before we trust the command log. *)
+    let* () =
+      match Replay.run ~scenarios events with
+      | report when Replay.converged report -> Ok ()
+      | report ->
+        corrupt "checkpoint trace does not replay: %s"
+          (String.trim (Replay.render report))
+      | exception Replay.Replay_error msg ->
+        corrupt "checkpoint trace does not replay: %s" msg
+    in
+    let* fresh =
+      match create ~scenarios ~id ~scenario ~mode ~seed ~designer with
+      | Ok s -> Ok s
+      | Error msg -> corrupt "cannot rebuild session: %s" msg
+    in
+    (* Re-issuing the command log regenerates the designer-model state
+       (RNG, tabu memory) and the trace buffer, so the resumed session can
+       itself be checkpointed again. *)
+    (match List.iter (fun line -> ignore (exec fresh line)) commands with
+    | () ->
+      let fp = fingerprint fresh in
+      if String.equal fp recorded_fp then Ok (fresh, List.length commands)
+      else
+        Error
+          (Rs_mismatch
+             (Printf.sprintf "replayed %s but checkpoint recorded %s" fp
+                recorded_fp))
+    | exception e ->
+      Error
+        (Rs_corrupt
+           (Printf.sprintf "command log replay raised %s"
+              (Printexc.to_string e))))

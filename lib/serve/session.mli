@@ -1,0 +1,71 @@
+(** One daemon-resident interactive session.
+
+    Wraps {!Adpm_teamsim.Interactive} with the bookkeeping the daemon
+    needs: a per-session trace collector (every session records its own
+    PR 1 event stream), a command log, and checkpoint/resume.
+
+    A checkpoint artifact is a JSONL file: line 1 is a header object
+    ([teamsimd_checkpoint], scenario/mode/seed/designer, the command log,
+    and a state fingerprint), followed by the session's stamped trace
+    events with a synthetic closing [Run_finished] appended. The event
+    half is a complete, self-contained replay input for the stock
+    {!Adpm_teamsim.Replay} driver; the header half is what [resume] uses
+    to rebuild the {e live} session (designer-model RNG and memory
+    included) by re-issuing the command log against a fresh engine. *)
+
+open Adpm_core
+open Adpm_teamsim
+module Json = Adpm_trace.Json
+
+type t
+
+val find_scenario : Scenario.t list -> string -> Scenario.t option
+
+val create :
+  scenarios:Scenario.t list ->
+  id:string ->
+  scenario:string ->
+  mode:Dpm.mode ->
+  seed:int ->
+  designer:string ->
+  (t, string) result
+(** [Error] for an unknown scenario or designer; never raises. *)
+
+val id : t -> string
+val interactive : t -> Interactive.t
+
+val commands : t -> string list
+(** Every line ever passed to {!exec}, oldest first. *)
+
+val exec : t -> string -> (string, string) result
+(** Run one command line (logged for resume). Exceptions other than the
+    [Invalid_argument]s {!Interactive.execute} absorbs do propagate —
+    the daemon treats them as a wedged session and tears it down. *)
+
+val prompt : t -> string
+val finished : t -> bool
+
+val fingerprint : t -> string
+(** Compact state digest (op/eval/spin counters, solved flag, sorted
+    violation ids) used to verify resume fidelity. *)
+
+val status_fields : t -> (string * Json.t) list
+(** The [status] response body. *)
+
+val checkpoint : t -> path:string -> (int, string) result
+(** Write the replay artifact; [Ok events_written] or [Error io_message].
+    The live session is untouched and can be checkpointed again later. *)
+
+type resume_error =
+  | Rs_io of string  (** file unreadable *)
+  | Rs_corrupt of string  (** bad header/events, or trace fails replay *)
+  | Rs_mismatch of string  (** rebuilt state contradicts the fingerprint *)
+
+val resume :
+  scenarios:Scenario.t list ->
+  id:string ->
+  path:string ->
+  (t * int, resume_error) result
+(** Rebuild a live session from a checkpoint artifact: validate the
+    recorded trace via {!Adpm_teamsim.Replay}, re-issue the command log,
+    and check the resulting fingerprint. [Ok (session, commands_replayed)]. *)

@@ -1,0 +1,239 @@
+open Adpm_core
+module Json = Adpm_trace.Json
+
+let default_max_frame = 1 lsl 20
+
+(* {2 Incremental framing} *)
+
+module Reader = struct
+  type t = {
+    buf : Buffer.t;
+    max_frame : int;
+    mutable poisoned : bool;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { buf = Buffer.create 256; max_frame; poisoned = false }
+
+  let feed t s = if not t.poisoned then Buffer.add_string t.buf s
+
+  let rec next t =
+    if t.poisoned then `Oversize
+    else
+      let s = Buffer.contents t.buf in
+      match String.index_opt s '\n' with
+      | Some i when i <= t.max_frame ->
+        let line = String.sub s 0 i in
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+        (* tolerate CRLF senders *)
+        let line =
+          let n = String.length line in
+          if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+          else line
+        in
+        (* blank lines are keep-alives, not frames *)
+        if line = "" then next t else `Frame line
+      | Some _ ->
+        t.poisoned <- true;
+        `Oversize
+      | None ->
+        if String.length s > t.max_frame then begin
+          t.poisoned <- true;
+          `Oversize
+        end
+        else `Pending
+end
+
+(* {2 Requests} *)
+
+type request =
+  | Hello
+  | Open of { scenario : string; mode : Dpm.mode; seed : int; designer : string }
+  | Exec of { session : string; line : string }
+  | Status of { session : string }
+  | Checkpoint of { session : string; path : string option }
+  | Resume of { path : string }
+  | Close of { session : string }
+  | Shutdown
+
+let ( let* ) = Result.bind
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let opt_str_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "mistyped field %S" name))
+
+let int_field_default name default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "mistyped field %S" name))
+
+let mode_field j =
+  match Json.member "mode" j with
+  | None -> Ok Dpm.Adpm
+  | Some v -> (
+    match Option.bind (Json.to_str v) Dpm.mode_of_string with
+    | Some m -> Ok m
+    | None -> Error "mistyped field \"mode\" (want \"conventional\" or \"adpm\")")
+
+let request_id j =
+  match Json.member "id" j with
+  | Some (Json.Num _ | Json.Str _) as id -> id
+  | _ -> None
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+    match Option.bind (Json.member "op" j) Json.to_str with
+    | None -> Error "missing or mistyped field \"op\""
+    | Some "hello" -> Ok Hello
+    | Some "open" ->
+      let* scenario = str_field "scenario" j in
+      let* designer = str_field "designer" j in
+      let* seed = int_field_default "seed" 1 j in
+      let* mode = mode_field j in
+      Ok (Open { scenario; mode; seed; designer })
+    | Some "exec" ->
+      let* session = str_field "session" j in
+      let* line = str_field "line" j in
+      Ok (Exec { session; line })
+    | Some "status" ->
+      let* session = str_field "session" j in
+      Ok (Status { session })
+    | Some "checkpoint" ->
+      let* session = str_field "session" j in
+      let* path = opt_str_field "path" j in
+      Ok (Checkpoint { session; path })
+    | Some "resume" ->
+      let* path = str_field "path" j in
+      Ok (Resume { path })
+    | Some "close" ->
+      let* session = str_field "session" j in
+      Ok (Close { session })
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op))
+  | _ -> Error "request must be a JSON object"
+
+let request_to_json ?id req =
+  let base =
+    match req with
+    | Hello -> [ ("op", Json.Str "hello") ]
+    | Open { scenario; mode; seed; designer } ->
+      [
+        ("op", Json.Str "open");
+        ("scenario", Json.Str scenario);
+        ("mode", Json.Str (Dpm.mode_to_string mode));
+        ("seed", Json.Num (float_of_int seed));
+        ("designer", Json.Str designer);
+      ]
+    | Exec { session; line } ->
+      [ ("op", Json.Str "exec"); ("session", Json.Str session); ("line", Json.Str line) ]
+    | Status { session } ->
+      [ ("op", Json.Str "status"); ("session", Json.Str session) ]
+    | Checkpoint { session; path } ->
+      [ ("op", Json.Str "checkpoint"); ("session", Json.Str session) ]
+      @ (match path with None -> [] | Some p -> [ ("path", Json.Str p) ])
+    | Resume { path } -> [ ("op", Json.Str "resume"); ("path", Json.Str path) ]
+    | Close { session } ->
+      [ ("op", Json.Str "close"); ("session", Json.Str session) ]
+    | Shutdown -> [ ("op", Json.Str "shutdown") ]
+  in
+  Json.Obj ((match id with None -> [] | Some v -> [ ("id", v) ]) @ base)
+
+(* {2 Responses} *)
+
+type error_code =
+  | Parse
+  | Oversize
+  | Bad_request
+  | Unknown_scenario
+  | Unknown_session
+  | Session_limit
+  | Command
+  | Session_failed
+  | Io
+  | Bad_checkpoint
+  | Resume_mismatch
+  | Internal
+
+let code_to_string = function
+  | Parse -> "parse"
+  | Oversize -> "oversize"
+  | Bad_request -> "bad_request"
+  | Unknown_scenario -> "unknown_scenario"
+  | Unknown_session -> "unknown_session"
+  | Session_limit -> "session_limit"
+  | Command -> "command"
+  | Session_failed -> "session_failed"
+  | Io -> "io"
+  | Bad_checkpoint -> "bad_checkpoint"
+  | Resume_mismatch -> "resume_mismatch"
+  | Internal -> "internal"
+
+let ok_frame ?id fields =
+  Json.Obj
+    ((match id with None -> [] | Some v -> [ ("id", v) ])
+    @ (("ok", Json.Bool true) :: fields))
+
+let error_frame ?id ~code msg =
+  Json.Obj
+    ((match id with None -> [] | Some v -> [ ("id", v) ])
+    @ [
+        ("ok", Json.Bool false);
+        ("code", Json.Str (code_to_string code));
+        ("error", Json.Str msg);
+      ])
+
+type response = {
+  r_id : Json.t option;
+  r_ok : bool;
+  r_code : string option;
+  r_error : string option;
+  r_body : Json.t;
+}
+
+let response_of_json j =
+  match Option.bind (Json.member "ok" j) Json.to_bool with
+  | None -> Error "response lacks a boolean \"ok\" field"
+  | Some ok ->
+    Ok
+      {
+        r_id = Json.member "id" j;
+        r_ok = ok;
+        r_code = Option.bind (Json.member "code" j) Json.to_str;
+        r_error = Option.bind (Json.member "error" j) Json.to_str;
+        r_body = j;
+      }
+
+let response_of_line line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "unparseable response frame: %s" msg)
+  | Ok j -> response_of_json j
+
+(* {2 Blocking socket helpers (client side)} *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] 1.0)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let send_line fd j = write_all fd (Json.to_string j ^ "\n")

@@ -1,6 +1,7 @@
 open Adpm_util
 open Adpm_csp
 open Adpm_core
+open Adpm_trace
 
 type t = {
   dpm : Dpm.t;
@@ -8,14 +9,29 @@ type t = {
   player_model : Designer.t;
   teammates : Designer.t list;
   models : (string * Adpm_expr.Expr.t) list;
+  setup_evals : int;
+  mutable last_evals : int;
+      (* N_T already attributed to an emitted [Op_submitted]; the delta at
+         the next submission is that op's decision cost (suggest/browse
+         evaluations between applies), mirroring the lockstep engine *)
 }
 
-let create ~mode ~seed scenario ~designer =
+let create ?(tracer = Tracer.null) ~mode ~seed scenario ~designer =
   let dpm = scenario.Scenario.sc_build ~mode in
   if not (List.mem designer (Dpm.designers dpm)) then
     invalid_arg
       (Printf.sprintf "Interactive.create: no designer %s (team: %s)" designer
          (String.concat ", " (Dpm.designers dpm)));
+  Dpm.set_tracer dpm tracer;
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Run_started
+         {
+           scenario = scenario.Scenario.sc_name;
+           mode = Dpm.mode_to_string mode;
+           seed;
+           engine = Dpm.engine_to_string (Dpm.engine dpm);
+         });
   let rng = Rng.create seed in
   let cfg = Config.default ~mode ~seed in
   let mk name = Designer.create cfg ~rng:(Rng.split rng) ~models:scenario.Scenario.sc_models name in
@@ -25,11 +41,14 @@ let create ~mode ~seed scenario ~designer =
       (fun name -> if String.equal name designer then None else Some (mk name))
       (Dpm.designers dpm)
   in
-  (match mode with
-  | Dpm.Conventional -> ()
-  | Dpm.Adpm -> ignore (Dpm.run_propagation dpm));
+  let setup_evals =
+    match mode with
+    | Dpm.Conventional -> 0
+    | Dpm.Adpm -> (Dpm.run_propagation dpm).Propagate.evaluations
+  in
   { dpm; player = designer; player_model; teammates;
-    models = scenario.Scenario.sc_models }
+    models = scenario.Scenario.sc_models; setup_evals;
+    last_evals = Dpm.eval_count dpm }
 
 let prompt t =
   Printf.sprintf "[%s | %s | op %d | %d violations]"
@@ -45,7 +64,16 @@ let describe_op t op =
   Format.asprintf "%a" Operator.pp op
 
 let apply_and_report t op =
+  let tracer = Dpm.tracer t.dpm in
+  if Tracer.active tracer then
+    Tracer.emit tracer
+      (Event.Op_submitted
+         {
+           op = Operator.to_trace_spec op;
+           choose_evaluations = Dpm.eval_count t.dpm - t.last_evals;
+         });
   let result = Dpm.apply t.dpm op in
+  t.last_evals <- Dpm.eval_count t.dpm;
   (* route outcomes through the mailboxes the discrete-event engine uses,
      at latency 0: deliver to everyone, then absorb immediately *)
   let feed d =
@@ -133,7 +161,7 @@ let help =
   quit                leave the session (handled by the client)
 |}
 
-let execute t line =
+let execute_command t line =
   let words =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
@@ -167,10 +195,7 @@ let execute t line =
       | None ->
         Error
           (Printf.sprintf "%s is not an output of one of your problems" prop)
-      | Some op -> (
-        match apply_and_report t op with
-        | report -> Ok report
-        | exception Invalid_argument msg -> Error msg)))
+      | Some op -> Ok (apply_and_report t op)))
   | [ "verify" ] -> (
     match Designer.request_verification t.player_model t.dpm with
     | None -> Error "nothing to verify right now"
@@ -195,3 +220,18 @@ let execute t line =
       t.teammates;
     Ok (Buffer.contents buf)
   | cmd :: _ -> Error (Printf.sprintf "unknown command %s (try 'help')" cmd)
+
+(* Every command is caught uniformly: [Invalid_argument] can surface from
+   choose time (e.g. a problem referencing a constraint the network does
+   not know) as well as from [Dpm.apply] inside [apply_and_report], on
+   the [verify]/[auto]/[step] paths just as on [set]. A long-lived
+   session loop (the teamsimd daemon) must get [Error], not a killed
+   session. *)
+let execute t line =
+  match execute_command t line with
+  | result -> result
+  | exception Invalid_argument msg -> Error msg
+
+let dpm t = t.dpm
+let setup_evaluations t = t.setup_evals
+let attributed_evaluations t = t.last_evals

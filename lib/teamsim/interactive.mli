@@ -11,9 +11,22 @@ open Adpm_core
 
 type t
 
-val create : mode:Dpm.mode -> seed:int -> Scenario.t -> designer:string -> t
+val create :
+  ?tracer:Adpm_trace.Tracer.t ->
+  mode:Dpm.mode ->
+  seed:int ->
+  Scenario.t ->
+  designer:string ->
+  t
 (** Start a session playing [designer]. In ADPM mode the initial
     propagation runs immediately (as the engine would).
+
+    [?tracer] (default disabled) is attached to the DPM and additionally
+    receives the engine-level framing events — [Run_started] up front and
+    [Op_submitted] (with decision-time evaluation deltas) before every
+    applied operation — so the recorded stream is replayable by the stock
+    [Replay] driver once a closing [Run_finished] is appended (the
+    teamsimd checkpoint writer does exactly that).
     @raise Invalid_argument if the scenario has no such designer. *)
 
 val prompt : t -> string
@@ -37,4 +50,24 @@ val execute : t -> string -> (string, string) result
     - [suggest] — show the operation the simulated designer model would
       pick, without executing it
     - [auto] — execute that operation
-    - [step] — every other (simulated) team member takes one turn *)
+    - [step] — every other (simulated) team member takes one turn
+
+    Never raises on a command: [Invalid_argument] escaping a designer
+    decision or a [Dpm.apply] (on any command path, not just [set])
+    comes back as [Error msg], so a daemon session loop survives
+    hostile or unlucky input. *)
+
+val dpm : t -> Dpm.t
+(** The session's underlying DPM (read-mostly: for status frames and
+    checkpoint fingerprints). *)
+
+val setup_evaluations : t -> int
+(** Evaluations spent by the initial ADPM propagation (0 in conventional
+    mode) — the [setup_evaluations] a closing [Run_finished] reports. *)
+
+val attributed_evaluations : t -> int
+(** N_T already attributed to emitted [Op_submitted] events, i.e.
+    [Dpm.eval_count] as of the last applied operation. The checkpoint
+    writer records this (not the live [eval_count]) as [Run_finished]'s
+    evaluation total so a replay reproduces it exactly; decision-time
+    evaluations after the final apply are deliberately excluded. *)

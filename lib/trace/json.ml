@@ -107,18 +107,46 @@ let parse_number cur =
   | Some f -> Num f
   | None -> error cur (Printf.sprintf "bad number %s" text)
 
-(* Encode a Unicode code point as UTF-8 bytes. *)
+(* Encode a Unicode code point as UTF-8 bytes (up to U+10FFFF). *)
 let add_utf8 buf cp =
   if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
   else if cp < 0x800 then begin
     Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
-  else begin
+  else if cp < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
     Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
     Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
   end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+(* Exactly four hex digits, validated by hand: [int_of_string "0x…"]
+   accepts OCaml-isms (underscores, signs, a nested 0x) that are not
+   JSON. *)
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let parse_hex4 cur =
+  if cur.pos + 4 > String.length cur.src then error cur "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    match hex_digit cur.src.[cur.pos + i] with
+    | Some d -> v := (!v lsl 4) lor d
+    | None ->
+      error cur
+        (Printf.sprintf "bad \\u escape %s" (String.sub cur.src cur.pos 4))
+  done;
+  cur.pos <- cur.pos + 4;
+  !v
 
 let parse_string_body cur =
   let buf = Buffer.create 16 in
@@ -142,13 +170,27 @@ let parse_string_body cur =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
-          if cur.pos + 4 > String.length cur.src then
-            error cur "truncated \\u escape";
-          let hex = String.sub cur.src cur.pos 4 in
-          cur.pos <- cur.pos + 4;
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some cp -> add_utf8 buf cp
-          | None -> error cur (Printf.sprintf "bad \\u escape %s" hex))
+          let cp = parse_hex4 cur in
+          if cp >= 0xD800 && cp <= 0xDBFF then begin
+            (* High surrogate: JSON encodes astral-plane code points as a
+               \uD800-DBFF \uDC00-DFFF pair, which must decode to ONE
+               code point — never to two 3-byte CESU-8 sequences. *)
+            if
+              not
+                (cur.pos + 2 <= String.length cur.src
+                && cur.src.[cur.pos] = '\\'
+                && cur.src.[cur.pos + 1] = 'u')
+            then error cur (Printf.sprintf "unpaired high surrogate %04X" cp);
+            cur.pos <- cur.pos + 2;
+            let lo = parse_hex4 cur in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              error cur
+                (Printf.sprintf "high surrogate %04X followed by %04X" cp lo);
+            add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if cp >= 0xDC00 && cp <= 0xDFFF then
+            error cur (Printf.sprintf "unpaired low surrogate %04X" cp)
+          else add_utf8 buf cp
         | c -> error cur (Printf.sprintf "bad escape \\%c" c));
         loop ())
     | Some c ->
@@ -233,6 +275,8 @@ let parse s =
       Error (Printf.sprintf "trailing garbage at offset %d" cur.pos)
     else Ok v
   | exception Parse_error msg -> Error msg
+
+let finite_num f = if Float.is_finite f then Some (Num f) else None
 
 (* {2 Accessors} *)
 

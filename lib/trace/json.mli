@@ -3,8 +3,22 @@
 
     Deliberately dependency-free: trace files must be writable and readable
     without any external JSON library (the container bakes in only the
-    OCaml toolchain). The printer round-trips every finite float
-    ([%.17g]); [nan]/[inf] print as [null]. *)
+    OCaml toolchain).
+
+    {b Float contract.} The printer round-trips every finite float
+    ([%.17g]). [Num nan] and [Num infinity] have no JSON representation
+    and deliberately print as [null] — i.e. [parse (to_string (Num nan))]
+    is [Ok Null], not [Ok (Num nan)]. Wire formats must therefore never
+    put a possibly-non-finite float inside [Num]; use the absent-field
+    convention via {!finite_num} instead (as [Metrics_codec] and the
+    teamsimd frames do), so a missing measurement reads back as a missing
+    field rather than silently becoming [Null].
+
+    {b String contract.} Strings are raw UTF-8 byte sequences. The parser
+    validates [\u] escapes strictly: exactly four hex digits, astral-plane
+    code points as high+low surrogate pairs decoded to one 4-byte UTF-8
+    code point, and lone or mismatched surrogates rejected as parse
+    errors. *)
 
 type t =
   | Null
@@ -19,6 +33,12 @@ val to_string : t -> string
 
 val parse : string -> (t, string) result
 (** Parse one complete JSON document; trailing garbage is an error. *)
+
+val finite_num : float -> t option
+(** [Some (Num f)] when [f] is finite, [None] for nan/±inf. Encoders
+    should [Option.iter] this into an optional field (the absent-field
+    convention) rather than trusting [Num] with unchecked floats — see
+    the float contract above. *)
 
 (** {1 Accessors} — shallow, total; [None] on shape mismatch. *)
 

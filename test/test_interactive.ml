@@ -102,6 +102,131 @@ let test_conventional_verify () =
   let out = ok (Interactive.execute s "verify") in
   Alcotest.(check bool) "verification executes" true (contains out "verification")
 
+(* {2 Exception containment (PR 8 regressions)}
+
+   Before PR 8 only the [set] branch of [Interactive.execute] caught
+   [Invalid_argument]; a session command that made a designer model raise
+   on the [auto]/[step]/[verify] paths killed the whole loop — fatal for
+   a daemon hosting many sessions. These scenarios are deliberately
+   poisoned so those exact raises happen. *)
+
+(* alice owns two problems: "params" with the free output x, and "perf"
+   whose output y is derived (model y = x + 1). Her forward synthesis on
+   x recomputes every derived output she can address and ships the
+   (y, …) assignment inside an operation targeting "params" — which
+   [Dpm.apply] rejects with [Invalid_argument] ("y is not an output of
+   problem params"). *)
+let cross_problem_scenario =
+  let open Adpm_csp in
+  let open Adpm_expr in
+  let build ~mode =
+    let net = Network.create () in
+    Builder.continuous net "x" 0. 10.;
+    Builder.continuous net "y" 0. 20.;
+    let band = Builder.le net "y-band" (Expr.var "y") (Expr.const 15.) in
+    Builder.assemble ~mode ~net ~objects:[] ~top_name:"top" ~leader:"leader"
+      ~requirements:[] ~system_constraints:[]
+      ~subproblems:
+        [
+          {
+            Builder.ps_name = "params";
+            ps_owner = "alice";
+            ps_inputs = [];
+            ps_outputs = [ "x" ];
+            ps_constraints = [];
+            ps_object = None;
+          };
+          {
+            Builder.ps_name = "perf";
+            ps_owner = "alice";
+            ps_inputs = [];
+            ps_outputs = [ "y" ];
+            ps_constraints = [ band ];
+            ps_object = None;
+          };
+        ]
+  in
+  Scenario.make ~name:"broken-synthesis"
+    ~description:"poisoned: synthesis ships a cross-problem assignment"
+    ~models:[ ("y", Adpm_expr.Expr.(var "x" + const 1.)) ]
+    build
+
+(* alice's problem lists a constraint id that the session's network does
+   not know (the constraint was built on a different network), so in
+   conventional mode [Dpm.eligible_verifications] raises
+   [Invalid_argument] at {e choose} time — before any apply. *)
+let alien_constraint_scenario =
+  let open Adpm_csp in
+  let open Adpm_expr in
+  let build ~mode =
+    let net = Network.create () in
+    Builder.continuous net "x" 0. 10.;
+    let alien_net = Network.create () in
+    Builder.continuous alien_net "a" 0. 1.;
+    let alien =
+      List.nth
+        (List.map
+           (fun i ->
+             Builder.le alien_net
+               (Printf.sprintf "alien-%d" i)
+               (Expr.var "a") (Expr.const (float_of_int i)))
+           [ 1; 2; 3; 4; 5 ])
+        4
+    in
+    Builder.assemble ~mode ~net ~objects:[] ~top_name:"top" ~leader:"leader"
+      ~requirements:[] ~system_constraints:[]
+      ~subproblems:
+        [
+          {
+            Builder.ps_name = "work";
+            ps_owner = "alice";
+            ps_inputs = [];
+            ps_outputs = [ "x" ];
+            ps_constraints = [ alien ];
+            ps_object = None;
+          };
+        ]
+  in
+  Scenario.make ~name:"broken-verify"
+    ~description:"poisoned: a problem lists an unknown constraint id" build
+
+let no_exception_leak name result =
+  match result with
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s reports the engine error" name)
+      true
+      (contains msg "not an output" || contains msg "unknown constraint")
+  | Ok out -> Alcotest.failf "%s unexpectedly succeeded: %s" name out
+  | exception Invalid_argument msg ->
+    Alcotest.failf "%s leaked Invalid_argument: %s" name msg
+
+let test_auto_contains_exceptions () =
+  let s =
+    Interactive.create ~mode:Dpm.Adpm ~seed:1 cross_problem_scenario
+      ~designer:"alice"
+  in
+  no_exception_leak "auto" (Interactive.execute s "auto");
+  (* the session survives and keeps answering *)
+  ignore (ok (Interactive.execute s "status"))
+
+let test_step_contains_exceptions () =
+  (* same poison, but the throwing designer is a simulated teammate *)
+  let s =
+    Interactive.create ~mode:Dpm.Adpm ~seed:1 cross_problem_scenario
+      ~designer:"leader"
+  in
+  no_exception_leak "step" (Interactive.execute s "step");
+  ignore (ok (Interactive.execute s "status"))
+
+let test_verify_contains_exceptions () =
+  let s =
+    Interactive.create ~mode:Dpm.Conventional ~seed:1 alien_constraint_scenario
+      ~designer:"alice"
+  in
+  no_exception_leak "verify" (Interactive.execute s "verify");
+  ignore (ok (Interactive.execute s "status"))
+
 (* {2 Full-scale DDDL twins} *)
 
 let check_twin name dddl ocaml =
@@ -136,6 +261,11 @@ let suite =
     ("unknown command", `Quick, test_unknown_command);
     ("delegated playthrough completes", `Quick, test_playthrough_to_completion);
     ("conventional verify", `Quick, test_conventional_verify);
+    ("auto contains engine exceptions", `Quick, test_auto_contains_exceptions);
+    ("step contains engine exceptions", `Quick, test_step_contains_exceptions);
+    ( "verify contains engine exceptions",
+      `Quick,
+      test_verify_contains_exceptions );
     ("sensor DDDL twin is exact", `Slow, test_sensor_dddl_twin);
     ("receiver DDDL twin is exact", `Slow, test_receiver_dddl_twin);
   ]

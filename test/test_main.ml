@@ -22,4 +22,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("extensions", Test_extensions.suite);
       ("interactive", Test_interactive.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,446 @@
+(* Tests for the teamsimd stack: the JSONL wire layer (framing, request
+   codec) and the daemon's request dispatcher, driven in-process through
+   [Daemon.handle] / [handle_line] — no live socket needed, so these run
+   everywhere the unit suite runs. The socket path itself is covered by
+   the daemon-smoke alias (bin/daemon_smoke.ml). *)
+
+open Adpm_core
+open Adpm_teamsim
+open Adpm_serve
+module Json = Adpm_trace.Json
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* {2 Wire.Reader framing} *)
+
+let drain reader =
+  let rec go acc =
+    match Wire.Reader.next reader with
+    | `Frame f -> go (f :: acc)
+    | `Pending | `Oversize -> List.rev acc
+  in
+  go []
+
+let test_reader_framing () =
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r "{\"op\":\"he";
+  Alcotest.(check (list string)) "partial frame pends" [] (drain r);
+  Wire.Reader.feed r "llo\"}\n{\"a\":1}\r\n{\"b\":";
+  Alcotest.(check (list string))
+    "two complete frames, CR stripped"
+    [ "{\"op\":\"hello\"}"; "{\"a\":1}" ]
+    (drain r);
+  Wire.Reader.feed r "2}\n";
+  Alcotest.(check (list string)) "tail completes" [ "{\"b\":2}" ] (drain r);
+  (* empty lines are skipped, not delivered as empty frames *)
+  Wire.Reader.feed r "\n\n{\"c\":3}\n";
+  Alcotest.(check (list string)) "blank lines skipped" [ "{\"c\":3}" ] (drain r)
+
+let test_reader_oversize_sticky () =
+  let r = Wire.Reader.create ~max_frame:8 () in
+  Wire.Reader.feed r "{\"ok\":1}\n";
+  Alcotest.(check (list string)) "frame at bound" [ "{\"ok\":1}" ] (drain r);
+  Wire.Reader.feed r (String.make 64 'x');
+  Alcotest.(check bool) "oversize detected" true
+    (match Wire.Reader.next r with `Oversize -> true | _ -> false);
+  (* sticky: even a newline plus a small frame cannot revive the reader *)
+  Wire.Reader.feed r "\n{\"a\":1}\n";
+  Alcotest.(check bool) "oversize is sticky" true
+    (match Wire.Reader.next r with `Oversize -> true | _ -> false)
+
+(* {2 Request codec} *)
+
+let roundtrip req =
+  match Wire.request_of_json (Wire.request_to_json req) with
+  | Ok r -> r = req
+  | Error _ -> false
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool) "request survives encode/decode" true
+        (roundtrip req))
+    [
+      Wire.Hello;
+      Wire.Open
+        { scenario = "simple"; mode = Dpm.Adpm; seed = 7; designer = "alice" };
+      Wire.Open
+        {
+          scenario = "lna";
+          mode = Dpm.Conventional;
+          seed = 1;
+          designer = "circuit";
+        };
+      Wire.Exec { session = "s1"; line = "set x 1" };
+      Wire.Status { session = "s1" };
+      Wire.Checkpoint { session = "s1"; path = Some "/tmp/a.jsonl" };
+      Wire.Checkpoint { session = "s1"; path = None };
+      Wire.Resume { path = "/tmp/a.jsonl" };
+      Wire.Close { session = "s1" };
+      Wire.Shutdown;
+    ]
+
+let test_request_bad_shapes () =
+  let bad j =
+    match Wire.request_of_json j with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "non-object rejected" true (bad (Json.Str "hello"));
+  Alcotest.(check bool) "missing op rejected" true (bad (Json.Obj []));
+  Alcotest.(check bool) "unknown op rejected" true
+    (bad (Json.Obj [ ("op", Json.Str "frobnicate") ]));
+  Alcotest.(check bool) "open without scenario rejected" true
+    (bad (Json.Obj [ ("op", Json.Str "open") ]));
+  Alcotest.(check bool) "exec without line rejected" true
+    (bad (Json.Obj [ ("op", Json.Str "exec"); ("session", Json.Str "s1") ]));
+  Alcotest.(check bool) "bad mode rejected" true
+    (bad
+       (Json.Obj
+          [
+            ("op", Json.Str "open");
+            ("scenario", Json.Str "simple");
+            ("designer", Json.Str "alice");
+            ("mode", Json.Str "quantum");
+          ]))
+
+(* {2 Dispatcher protocol tests (in-process daemon)} *)
+
+let temp_path suffix =
+  let f = Filename.temp_file "adpm-serve" suffix in
+  Sys.remove f;
+  f
+
+let with_daemon ?(max_sessions = 256) f =
+  let sock = temp_path ".sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~addr:(Daemon.Unix_path sock)
+         ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+      with
+      Daemon.dc_max_sessions = max_sessions;
+    }
+  in
+  let d = Daemon.create cfg in
+  Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d)
+
+let field name frame = Json.member name frame
+
+let str_field name frame =
+  match Option.bind (field name frame) Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks string field %S" name
+
+let is_ok frame =
+  match Option.bind (field "ok" frame) Json.to_bool with
+  | Some b -> b
+  | None -> Alcotest.fail "response lacks the ok field"
+
+let expect_ok frame =
+  if not (is_ok frame) then
+    Alcotest.failf "expected ok frame, got error %s/%s" (str_field "code" frame)
+      (str_field "error" frame);
+  frame
+
+let expect_err code frame =
+  Alcotest.(check bool) "frame is an error" false (is_ok frame);
+  Alcotest.(check string) "error code" code (str_field "code" frame);
+  frame
+
+let obj fields = Json.Obj fields
+let op name rest = obj (("op", Json.Str name) :: rest)
+
+let open_simple ?(designer = "alice") ?(seed = 3) d =
+  let frame =
+    expect_ok
+      (Daemon.handle d
+         (op "open"
+            [
+              ("scenario", Json.Str "simple");
+              ("designer", Json.Str designer);
+              ("mode", Json.Str "adpm");
+              ("seed", Json.Num (float_of_int seed));
+            ]))
+  in
+  str_field "session" frame
+
+let test_hello_and_open () =
+  with_daemon (fun d ->
+      let hello = expect_ok (Daemon.handle d (op "hello" [])) in
+      Alcotest.(check string) "server name" "teamsimd"
+        (str_field "server" hello);
+      Alcotest.(check bool) "scenario listed" true
+        (match Option.bind (field "scenarios" hello) Json.to_list with
+        | Some l -> List.exists (fun s -> Json.to_str s = Some "simple") l
+        | None -> false);
+      let sid = open_simple d in
+      Alcotest.(check int) "one session" 1 (Daemon.session_count d);
+      let status =
+        expect_ok (Daemon.handle d (op "status" [ ("session", Json.Str sid) ]))
+      in
+      Alcotest.(check string) "status echoes designer" "alice"
+        (str_field "designer" status);
+      ignore
+        (expect_ok (Daemon.handle d (op "close" [ ("session", Json.Str sid) ])));
+      Alcotest.(check int) "closed" 0 (Daemon.session_count d))
+
+let test_error_codes () =
+  with_daemon ~max_sessions:1 (fun d ->
+      ignore
+        (expect_err "parse" (Daemon.handle_line d "this is not json"));
+      ignore (expect_err "bad_request" (Daemon.handle_line d "\"a string\""));
+      ignore
+        (expect_err "bad_request"
+           (Daemon.handle d (op "frobnicate" [])));
+      ignore
+        (expect_err "unknown_scenario"
+           (Daemon.handle d
+              (op "open"
+                 [
+                   ("scenario", Json.Str "nonesuch");
+                   ("designer", Json.Str "alice");
+                 ])));
+      ignore
+        (expect_err "bad_request"
+           (Daemon.handle d
+              (op "open"
+                 [
+                   ("scenario", Json.Str "simple");
+                   ("designer", Json.Str "nobody");
+                 ])));
+      ignore
+        (expect_err "unknown_session"
+           (Daemon.handle d (op "exec"
+              [ ("session", Json.Str "s99"); ("line", Json.Str "status") ])));
+      let sid = open_simple d in
+      ignore
+        (expect_err "session_limit"
+           (Daemon.handle d
+              (op "open"
+                 [
+                   ("scenario", Json.Str "simple");
+                   ("designer", Json.Str "bob");
+                 ])));
+      (* a command the session rejects is code=command, session intact *)
+      ignore
+        (expect_err "command"
+           (Daemon.handle d
+              (op "exec"
+                 [ ("session", Json.Str sid); ("line", Json.Str "frobnicate") ])));
+      Alcotest.(check int) "session survives command error" 1
+        (Daemon.session_count d))
+
+let test_id_echo () =
+  with_daemon (fun d ->
+      let frame =
+        Daemon.handle d (obj [ ("op", Json.Str "hello"); ("id", Json.Num 42.) ])
+      in
+      Alcotest.(check bool) "numeric id echoed" true
+        (field "id" frame = Some (Json.Num 42.));
+      let err =
+        Daemon.handle_line d "{\"op\":\"nope\",\"id\":\"req-7\"}"
+      in
+      Alcotest.(check bool) "id echoed on errors too" true
+        (field "id" err = Some (Json.Str "req-7")))
+
+(* The daemon must produce byte-identical command outputs to a local
+   Interactive session with the same scenario/mode/seed/designer — the
+   acceptance bar for "scripted socket session matches the CLI loop". *)
+let test_cli_equivalence () =
+  let script =
+    [ "status"; "auto"; "auto"; "step"; "suggest"; "auto"; "props"; "step" ]
+  in
+  with_daemon (fun d ->
+      let sid = open_simple d ~designer:"alice" ~seed:5 in
+      let local =
+        Interactive.create ~mode:Dpm.Adpm ~seed:5
+          Adpm_scenarios.Simple.scenario ~designer:"alice"
+      in
+      List.iter
+        (fun line ->
+          let remote =
+            str_field "output"
+              (expect_ok
+                 (Daemon.handle d
+                    (op "exec"
+                       [ ("session", Json.Str sid); ("line", Json.Str line) ])))
+          in
+          let expected =
+            match Interactive.execute local line with
+            | Ok out -> out
+            | Error e -> Alcotest.failf "local session rejected %S: %s" line e
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "output of %S matches CLI" line)
+            expected remote)
+        script)
+
+(* {2 Checkpoint / resume} *)
+
+let exec_ok d sid line =
+  str_field "output"
+    (expect_ok
+       (Daemon.handle d
+          (op "exec" [ ("session", Json.Str sid); ("line", Json.Str line) ])))
+
+let test_checkpoint_resume () =
+  let ckpt = temp_path ".jsonl" in
+  let script = [ "auto"; "auto"; "step"; "auto" ] in
+  let fp_before, commands_after =
+    with_daemon (fun d ->
+        let sid = open_simple d ~designer:"alice" ~seed:9 in
+        List.iter (fun l -> ignore (exec_ok d sid l)) script;
+        let frame =
+          expect_ok
+            (Daemon.handle d
+               (op "checkpoint"
+                  [ ("session", Json.Str sid); ("path", Json.Str ckpt) ]))
+        in
+        (str_field "fingerprint" frame, [ "step"; "auto" ]))
+  in
+  (* the first daemon is gone (stopped); a fresh one resumes from disk *)
+  with_daemon (fun d ->
+      let frame =
+        expect_ok (Daemon.handle d (op "resume" [ ("path", Json.Str ckpt) ]))
+      in
+      Alcotest.(check string) "fingerprint preserved across restart" fp_before
+        (str_field "fingerprint" frame);
+      let sid = str_field "session" frame in
+      (* the resumed session must behave exactly like an uninterrupted
+         one: same designer RNG stream, same outputs *)
+      let local =
+        Interactive.create ~mode:Dpm.Adpm ~seed:9
+          Adpm_scenarios.Simple.scenario ~designer:"alice"
+      in
+      List.iter
+        (fun l -> ignore (Result.get_ok (Interactive.execute local l)))
+        script;
+      List.iter
+        (fun l ->
+          let expected = Result.get_ok (Interactive.execute local l) in
+          Alcotest.(check string)
+            (Printf.sprintf "post-resume %S matches uninterrupted run" l)
+            expected (exec_ok d sid l))
+        commands_after);
+  Sys.remove ckpt
+
+let test_resume_errors () =
+  with_daemon (fun d ->
+      ignore
+        (expect_err "io"
+           (Daemon.handle d
+              (op "resume" [ ("path", Json.Str "/nonexistent/ckpt.jsonl") ])));
+      let bad = temp_path ".jsonl" in
+      Out_channel.with_open_text bad (fun oc ->
+          output_string oc "{\"not\":\"a checkpoint\"}\n");
+      ignore
+        (expect_err "bad_checkpoint"
+           (Daemon.handle d (op "resume" [ ("path", Json.Str bad) ])));
+      Sys.remove bad;
+      (* a real checkpoint with a tampered fingerprint must be refused *)
+      let ckpt = temp_path ".jsonl" in
+      let sid = open_simple d in
+      ignore (exec_ok d sid "auto");
+      ignore
+        (expect_ok
+           (Daemon.handle d
+              (op "checkpoint"
+                 [ ("session", Json.Str sid); ("path", Json.Str ckpt) ])));
+      let contents = In_channel.with_open_text ckpt In_channel.input_all in
+      let header, rest =
+        match String.index_opt contents '\n' with
+        | Some i ->
+          ( String.sub contents 0 i,
+            String.sub contents i (String.length contents - i) )
+        | None -> Alcotest.fail "checkpoint has no header line"
+      in
+      let tampered_header =
+        match Json.parse header with
+        | Ok (Json.Obj fields) ->
+          Json.to_string
+            (Json.Obj
+               (List.map
+                  (function
+                    | "fingerprint", _ ->
+                      ("fingerprint", Json.Str "ops=999 tampered")
+                    | kv -> kv)
+                  fields))
+        | _ -> Alcotest.fail "checkpoint header does not parse"
+      in
+      Out_channel.with_open_text ckpt (fun oc ->
+          output_string oc (tampered_header ^ rest));
+      let frame = Daemon.handle d (op "resume" [ ("path", Json.Str ckpt) ]) in
+      Alcotest.(check bool) "tampered checkpoint refused" true
+        (match Option.bind (field "code" frame) Json.to_str with
+        | Some ("resume_mismatch" | "bad_checkpoint") -> true
+        | _ -> false);
+      Sys.remove ckpt)
+
+(* {2 Session isolation} *)
+
+(* A session whose engine throws something other than the
+   Invalid_argument family must be torn down with a [session_failed]
+   frame while the daemon keeps serving everyone else. Stock scenarios
+   cannot produce such a throw organically, so we wedge the session's
+   trace sink through the test seam. *)
+let test_session_failed_teardown () =
+  with_daemon (fun d ->
+      let victim = open_simple d ~designer:"alice" in
+      let bystander = open_simple d ~designer:"bob" in
+      (match Daemon.find_session d victim with
+      | None -> Alcotest.fail "victim session not found"
+      | Some s ->
+        let wedged =
+          Adpm_trace.Tracer.create
+            {
+              Adpm_trace.Sink.write = (fun _ -> failwith "sink wedged");
+              close = (fun () -> ());
+            }
+        in
+        Dpm.set_tracer (Interactive.dpm (Session.interactive s)) wedged);
+      let frame =
+        Daemon.handle d
+          (op "exec" [ ("session", Json.Str victim); ("line", Json.Str "auto") ])
+      in
+      ignore (expect_err "session_failed" frame);
+      Alcotest.(check bool) "failure message surfaced" true
+        (contains (str_field "error" frame) "sink wedged");
+      Alcotest.(check int) "victim torn down, bystander alive" 1
+        (Daemon.session_count d);
+      (* the daemon still serves: the bystander keeps working *)
+      Alcotest.(check bool) "bystander still executes" true
+        (contains (exec_ok d bystander "auto") "executed"))
+
+let test_many_sessions () =
+  with_daemon ~max_sessions:96 (fun d ->
+      let designers = [| "alice"; "bob"; "leader" |] in
+      let sids =
+        List.init 64 (fun i ->
+            open_simple d ~designer:designers.(i mod 3) ~seed:(i + 1))
+      in
+      Alcotest.(check int) "64 concurrent sessions" 64 (Daemon.session_count d);
+      List.iter (fun sid -> ignore (exec_ok d sid "auto")) sids;
+      List.iter
+        (fun sid ->
+          ignore
+            (expect_ok
+               (Daemon.handle d (op "close" [ ("session", Json.Str sid) ]))))
+        sids;
+      Alcotest.(check int) "all closed" 0 (Daemon.session_count d))
+
+let suite =
+  [
+    ("reader framing", `Quick, test_reader_framing);
+    ("reader oversize is sticky", `Quick, test_reader_oversize_sticky);
+    ("request codec round-trip", `Quick, test_request_roundtrip);
+    ("request codec rejects bad shapes", `Quick, test_request_bad_shapes);
+    ("hello, open, status, close", `Quick, test_hello_and_open);
+    ("protocol error codes", `Quick, test_error_codes);
+    ("request ids echoed", `Quick, test_id_echo);
+    ("daemon output equals CLI output", `Quick, test_cli_equivalence);
+    ("checkpoint survives daemon restart", `Quick, test_checkpoint_resume);
+    ("resume rejects bad artifacts", `Quick, test_resume_errors);
+    ("throwing session is isolated", `Quick, test_session_failed_teardown);
+    ("64 sessions multiplex", `Quick, test_many_sessions);
+  ]

@@ -190,6 +190,135 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "{"; "[1,"; "{\"a\":}"; "trailing {} junk"; "\"unterminated" ]
 
+(* {2 Hardened string decoding (PR 8 regressions)} *)
+
+(* U+1F600 is JSON-escaped as the surrogate pair \uD83D \uDE00, which
+   must decode to the single 4-byte UTF-8 sequence F0 9F 98 80 — not to
+   two 3-byte CESU-8 sequences. *)
+let test_json_surrogate_pairs () =
+  (match Json.parse {|"\uD83D\uDE00"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "astral code point" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e);
+  (* raw astral-plane UTF-8 must survive a print/parse cycle unchanged *)
+  (match Json.parse (Json.to_string (Json.Str "\xf0\x9f\x98\x80 ok")) with
+  | Ok (Json.Str s) -> Alcotest.(check string) "raw astral" "\xf0\x9f\x98\x80 ok" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "raw astral failed: %s" e);
+  (* lone or mismatched surrogates are protocol corruption, not data *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted lone surrogate in %S" s
+      | Error _ -> ())
+    [
+      {|"\uD83D"|};  (* lone high at end *)
+      {|"\uD83Dx"|};  (* high followed by a plain char *)
+      {|"\uD83D\n"|};  (* high followed by a non-\u escape *)
+      {|"\uD83D\uD83D"|};  (* high followed by another high *)
+      {|"\uDE00"|};  (* lone low *)
+    ]
+
+(* int_of_string accepts underscores, signs and nested 0x prefixes; the
+   JSON grammar wants exactly four hex digits. *)
+let test_json_strict_hex_escapes () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed escape in %S" s
+      | Error _ -> ())
+    [
+      {|"\u1_23"|}; {|"\u-123"|}; {|"\u+123"|}; {|"\u0x41"|}; {|"\u12"|};
+      {|"\u"|}; {|"\uGHIJ"|}; {|"\u 041"|};
+    ];
+  (match Json.parse {|"\u0041\u00e9\u4e16"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "BMP escapes" "A\xc3\xa9\xe4\xb8\x96" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "valid escapes rejected: %s" e)
+
+(* Pin the documented encoder contract: non-finite floats inside Num
+   print as null (and so round-trip to Null), finite floats round-trip
+   exactly, and finite_num is the absent-field escape hatch. *)
+let test_json_nan_contract () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "non-finite prints null" "null"
+        (Json.to_string (Json.Num f));
+      Alcotest.(check bool)
+        "round-trips to Null" true
+        (Json.parse (Json.to_string (Json.Num f)) = Ok Json.Null);
+      Alcotest.(check bool) "finite_num refuses" true (Json.finite_num f = None))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check bool)
+    "finite_num accepts" true
+    (Json.finite_num 2.5 = Some (Json.Num 2.5));
+  Alcotest.(check bool)
+    "finite round-trip" true
+    (Json.parse (Json.to_string (Json.Num 0.30000000000000004))
+    = Ok (Json.Num 0.30000000000000004))
+
+(* {2 QCheck: codec round-trip fuzz} *)
+
+let gen_json_string =
+  (* adversarial strings: control chars, quotes, backslashes, multi-byte
+     UTF-8 (including astral plane), mixed with plain ASCII *)
+  QCheck.Gen.(
+    let fragment =
+      oneof
+        [
+          map (String.make 1) (char_range 'a' 'z');
+          map (String.make 1) (char_range '\000' '\031');
+          oneofl
+            [
+              "\""; "\\"; "/"; "\xc3\xa9"; "\xe4\xb8\x96"; "\xf0\x9f\x98\x80";
+              "\\u0041"; "\\uD83D"; "\n"; "\t"; " ";
+            ];
+        ]
+    in
+    map (String.concat "") (list_size (int_bound 12) fragment))
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              (* integral and awkward-decimal floats, all finite *)
+              map (fun i -> Json.Num (float_of_int i)) small_signed_int;
+              map (fun f -> Json.Num f) (float_bound_inclusive 1e6);
+              map (fun s -> Json.Str s) gen_json_string;
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun l -> Json.Obj l)
+                  (list_size (int_bound 4)
+                     (pair gen_json_string (self (n / 2)))) );
+            ]))
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~name:"json print/parse round-trip" ~count:500
+    (QCheck.make gen_json ~print:Json.to_string)
+    (fun j -> Json.parse (Json.to_string j) = Ok j)
+
+(* hostile input must never raise out of [parse] — a result, Ok or Error,
+   is the only acceptable outcome for the daemon's wire layer *)
+let qcheck_json_parse_total =
+  QCheck.Test.make ~name:"json parse is total on byte soup" ~count:500
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s ->
+      match Json.parse s with Ok _ | Error _ -> true)
+
 (* {2 Codec round-trip} *)
 
 let test_codec_roundtrip () =
@@ -455,6 +584,12 @@ let suite =
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json escapes" `Quick test_json_escapes;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "json surrogate pairs" `Quick test_json_surrogate_pairs;
+    Alcotest.test_case "json strict hex escapes" `Quick
+      test_json_strict_hex_escapes;
+    Alcotest.test_case "json nan contract" `Quick test_json_nan_contract;
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_json_parse_total;
     Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec file round-trip" `Quick test_codec_file_roundtrip;
     Alcotest.test_case "codec rejects malformed" `Quick
