@@ -115,6 +115,14 @@ let () =
   | None -> die "%s lacks the pool_retry_agrees field" file);
   if (not fast) && pool > 1.1 then
     die "pool_retry_overhead %gx > 1.1x: supervision is no longer free" pool;
+  (* the adaptability study and the generator-throughput measurement must
+     both have run: adapt_advantage is the headline conventional/ADPM
+     operation ratio under requirement shifts (geometric mean over
+     families x schedules) and gen_scenarios_per_s the canonical-pipeline
+     build rate — a missing or non-finite value means the adaptability
+     workload or the DDDL generator silently stopped being measured *)
+  let adapt_advantage = speedup "adapt_advantage" in
+  let gen_rate = speedup "gen_scenarios_per_s" in
   (* the schedule fuzzer must have run at a finite positive throughput and
      found no property violation: fuzz_clean=false means a random schedule
      broke the temporal-property suite — a scheduling or bookkeeping bug,
@@ -153,7 +161,8 @@ let () =
   Printf.printf
     "bench-smoke check OK: incremental_speedup=%.2fx parallel_speedup=%.2fx \
      (jobs=%d) domains_speedup=%.2fx (jobs=%d, cores=%d) des_overhead=%.2fx \
-     pool_retry_overhead=%.2fx fuzz_throughput=%.1f/s \
+     pool_retry_overhead=%.2fx adapt_advantage=%.2fx \
+     gen_scenarios_per_s=%.1f fuzz_throughput=%.1f/s \
      teamsimd=%d sessions @ %.0f ops/s (p99 %.2fms)\n"
-    incremental parallel jobs domains domains_jobs cores des_overhead pool fuzz
-    teamsimd_sessions teamsimd_ops teamsimd_p99
+    incremental parallel jobs domains domains_jobs cores des_overhead pool
+    adapt_advantage gen_rate fuzz teamsimd_sessions teamsimd_ops teamsimd_p99

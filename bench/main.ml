@@ -63,8 +63,39 @@ let fault_sweep_json (faults : Exp_faults.result) =
           Json.Obj [ ("conv", Json.Num conv); ("adpm", Json.Num adpm) ] );
       ])
 
-let results_json ~fig9_seeds ~parallel ~domains verdicts incr des pool faults
-    fuzz teamsimd =
+(* Generator throughput: full canonical-pipeline builds per second —
+   spec parse, DDDL emission (round-trip checked), elaboration to a
+   network — over a spread of specs. *)
+let gen_scenarios_per_s () =
+  let specs =
+    List.concat_map
+      (fun seed ->
+        [
+          Printf.sprintf "n=3,k=2,seed=%d" seed;
+          Printf.sprintf "n=4,k=3,seed=%d,topology=star" seed;
+          Printf.sprintf "n=5,k=2,seed=%d,topology=random-0.5,coupling=0.25"
+            seed;
+        ])
+      (List.init (if fast then 4 else 20) (fun i -> i))
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun spec ->
+      match Adpm_scenarios.Registry.resolve_result ("gen:" ^ spec) with
+      | Ok scenario ->
+        ignore
+          (scenario.Adpm_teamsim.Scenario.sc_build ~mode:Adpm_core.Dpm.Adpm
+            : Adpm_core.Dpm.t)
+      | Error e -> failwith ("gen throughput: " ^ e))
+    specs;
+  let dt = Unix.gettimeofday () -. t0 in
+  let rate = float_of_int (List.length specs) /. dt in
+  Printf.printf "%d generated scenarios built in %.2fs -> %.1f scenarios/s\n"
+    (List.length specs) dt rate;
+  rate
+
+let results_json ~fig9_seeds ~parallel ~domains ~adapt ~gen_rate verdicts incr
+    des pool faults fuzz teamsimd =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   let domains_jobs, domains_speedup, domains_agrees = domains in
   Json.Obj
@@ -78,6 +109,8 @@ let results_json ~fig9_seeds ~parallel ~domains verdicts incr des pool faults
       ("pool_retry_overhead", Json.Num pool.Pool_overhead.overhead);
       ("pool_retry_agrees", Json.Bool pool.Pool_overhead.agrees);
       ("fault_sweep", fault_sweep_json faults);
+      ("adapt_advantage", Json.Num adapt.Exp_adapt.adapt_advantage);
+      ("gen_scenarios_per_s", Json.Num gen_rate);
       ("fuzz_throughput", Json.Num fuzz.Fuzz_bench.throughput);
       ("fuzz_schedules", Json.Num (float_of_int fuzz.Fuzz_bench.schedules));
       ("fuzz_clean", Json.Bool fuzz.Fuzz_bench.clean);
@@ -233,6 +266,16 @@ let () =
          Exp_scaling.render
            (Exp_scaling.run ~seeds:(if fast then 3 else 8) ~jobs:njobs ())));
 
+  section "Adaptability study (extension): requirement shifts mid-run";
+  let adapt =
+    timed "adapt" (fun () ->
+        Exp_adapt.run ~seeds:(if fast then 2 else 8) ~jobs:njobs ())
+  in
+  print_string (Exp_adapt.render adapt);
+
+  section "Generator throughput: canonical DDDL pipeline builds";
+  let gen_rate = timed "gen_throughput" (fun () -> gen_scenarios_per_s ()) in
+
   section "Incremental DCM: full vs dirty-seeded HC4 (receiver, Fig. 9 case)";
   let incr =
     timed "incremental" (fun () ->
@@ -315,8 +358,8 @@ let () =
   timed "microbench" (fun () -> Microbench.run ~fast ());
 
   let json =
-    results_json ~fig9_seeds ~parallel ~domains (Exp_fig9.verdicts fig9) incr
-      des pool faults fuzz teamsimd
+    results_json ~fig9_seeds ~parallel ~domains ~adapt ~gen_rate
+      (Exp_fig9.verdicts fig9) incr des pool faults fuzz teamsimd
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

@@ -16,24 +16,9 @@ open Adpm_teamsim
 open Adpm_scenarios
 open Adpm_trace
 
-let scenarios =
-  [
-    Simple.scenario; Simple_dddl.scenario; Lna.scenario; Sensor.scenario;
-    Receiver.scenario;
-    Generated.scenario (Generated.default_params ~subsystems:4 ~vars:3);
-    Generated.scenario (Generated.default_params ~subsystems:8 ~vars:4);
-  ]
-
-let find_scenario name =
-  match
-    List.find_opt (fun s -> String.equal s.Scenario.sc_name name) scenarios
-  with
-  | Some s -> Ok s
-  | None ->
-    Error
-      (Printf.sprintf "unknown scenario %s (try: %s)" name
-         (String.concat ", "
-            (List.map (fun s -> s.Scenario.sc_name) scenarios)))
+(* every scenario reference — plain name, gen:<spec>, file:<path> — goes
+   through the one registry *)
+let find_scenario = Registry.resolve_result
 
 let mode_conv =
   let parse = function
@@ -50,14 +35,18 @@ let scenario_arg =
     Arg.(
       value
       & pos 0 (some string) None
-      & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see $(b,list)).")
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario reference: a name from $(b,list), a generator spec \
+             $(b,gen:n=4,k=3,seed=0,topology=star), or a DDDL file \
+             $(b,file:path.dddl).")
   in
   let named =
     Arg.(
       value
       & opt (some string) None
       & info [ "scenario" ] ~docv:"SCENARIO"
-          ~doc:"Scenario name (alternative to the positional argument).")
+          ~doc:"Scenario reference (alternative to the positional argument).")
   in
   let combine positional named =
     match (positional, named) with
@@ -134,6 +123,54 @@ let duration_arg =
            verification, decompose). Default $(b,uniform:1). At latency 0 \
            durations stretch the virtual clock without changing any \
            outcome.")
+
+let shift_plan_arg =
+  let plan_conv =
+    let parse s =
+      match Shift.plan_of_string s with
+      | Ok plan -> Ok plan
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf plan =
+      Format.pp_print_string ppf (Shift.plan_to_string plan)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt plan_conv Shift.none
+    & info [ "shift-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Scheduled requirement shifts, e.g. \
+           $(b,p_budget>=140\\@30;gmin0>=9.5\\@60): at virtual time TICK, \
+           re-assign requirement PROP to FLOOR through the DPM. An ADPM \
+           team re-propagates immediately; a conventional team discovers \
+           the moved requirement only when it next verifies. Needs the \
+           discrete-event engine (any nonzero latency or duration works; \
+           latency 0 is fine too — only lockstep refuses shifts).")
+
+let value_policy_arg =
+  let policy_conv =
+    let parse s =
+      match Config.value_policy_of_string s with
+      | Ok p -> Ok p
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Config.value_policy_to_string p)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt policy_conv Config.Endpoint
+    & info [ "value-policy" ] ~docv:"POLICY"
+        ~doc:
+          "ADPM value-selection heuristic f_v: $(b,endpoint) (the paper's \
+           vote-driven quantile pick, the default) or $(b,headroom) \
+           (maximize log of the minimum normalized constraint headroom — \
+           keeps margin for later requirement shifts at extra evaluation \
+           cost).")
 
 (* {2 Fault-injection flags} — shared by run and sweep. *)
 
@@ -293,7 +330,7 @@ let trace_arg =
 
 let run_cmd =
   let action scenario_name mode engine seed latency duration_model faults
-      verbose csv json trace =
+      shifts value_policy verbose csv json trace =
     match find_scenario scenario_name with
     | Error e ->
       prerr_endline e;
@@ -307,6 +344,8 @@ let run_cmd =
             latency;
             duration_model;
             faults;
+            shifts;
+            value_policy;
           }
       in
       let on_op r =
@@ -358,8 +397,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ mode_arg $ engine_arg $ seed_arg
-      $ latency_arg $ duration_arg $ fault_plan_term $ verbose_arg $ csv_arg
-      $ json_arg $ trace_arg)
+      $ latency_arg $ duration_arg $ fault_plan_term $ shift_plan_arg
+      $ value_policy_arg $ verbose_arg $ csv_arg $ json_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one design process run.") term
 
@@ -379,7 +418,7 @@ let read_trace path =
 let replay_cmd =
   let action path =
     let events = read_trace path in
-    match Replay.run ~scenarios events with
+    match Replay.run ~resolve:Registry.resolve events with
     | exception Replay.Replay_error msg ->
       Printf.eprintf "cannot replay %s: %s\n" path msg;
       exit 1
@@ -672,7 +711,10 @@ let list_cmd =
     List.iter
       (fun s ->
         Printf.printf "%-10s %s\n" s.Scenario.sc_name s.Scenario.sc_description)
-      scenarios
+      Registry.builtin;
+    print_endline
+      "gen:SPEC   generated scenario, e.g. gen:n=4,k=3,seed=0,topology=star";
+    print_endline "file:PATH  scenario elaborated from a DDDL file"
   in
   Cmd.v (Cmd.info "list" ~doc:"List scenarios.") Term.(const action $ const ())
 
@@ -729,8 +771,10 @@ let serve_cmd =
     | Ok addr -> (
       let cfg =
         {
-          (Adpm_serve.Daemon.default_config ~addr ~scenarios) with
-          Adpm_serve.Daemon.dc_checkpoint_dir = checkpoint_dir;
+          (Adpm_serve.Daemon.default_config ~addr ~scenarios:Registry.builtin)
+          with
+          Adpm_serve.Daemon.dc_resolve = Registry.resolve_result;
+          dc_checkpoint_dir = checkpoint_dir;
           dc_max_sessions = max_sessions;
         }
       in

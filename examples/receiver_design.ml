@@ -46,8 +46,8 @@ let () =
   (* the DDDL path: parse, elaborate, simulate *)
   print_endline "\n=== a DDDL-defined scenario, end to end ===";
   print_endline "(the simplified two-subsystem case, written in the";
-  print_endline " scenario-description language; see Simple_dddl.source)";
-  let scenario = Simple_dddl.scenario in
+  print_endline " scenario-description language; see Simple.source)";
+  let scenario = Simple.scenario in
   List.iter
     (fun mode ->
       let cfg = Config.default ~mode ~seed:1 in

@@ -76,10 +76,17 @@ let observe f (ev : Event.stamped) =
     Hashtbl.replace f.fx_crashes designer ((at, None) :: windows)
   | Event.Designer_restarted { designer; at } ->
     time at;
+    (* close the newest still-open window: real engine traces never nest
+       crashes of one designer, but adversarial traces can, and a restart
+       must not be discarded just because the newest window is closed *)
+    let rec close = function
+      | [] -> []
+      | (c, None) :: rest -> (c, Some at) :: rest
+      | w :: rest -> w :: close rest
+    in
     let windows =
       match Hashtbl.find_opt f.fx_crashes designer with
-      | Some ((c, None) :: rest) -> (c, Some at) :: rest
-      | Some ws -> ws
+      | Some ws -> close ws
       | None -> []
     in
     Hashtbl.replace f.fx_crashes designer windows

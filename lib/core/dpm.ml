@@ -601,4 +601,48 @@ let apply t op =
          });
   result
 
+(* {2 Requirement shifts} *)
+
+let shift_requirement t ~prop ~value =
+  if not (Network.mem_prop t.net prop) then
+    invalid_arg
+      (Printf.sprintf "Dpm.shift_requirement: unknown property %S" prop);
+  let before_known = snapshot_known t in
+  Network.assign t.net prop (Value.Num value);
+  (* the shifted requirement is newer than every executed operation, so a
+     conventional team's verifications of its constraints go stale and the
+     new demand is only discovered on re-verification; an ADPM team pays
+     for (and benefits from) an immediate propagation *)
+  Hashtbl.replace t.modified_at prop (t.ops + 1);
+  bump_object_for_prop t prop;
+  (match t.d_mode with
+  | Conventional -> ()
+  | Adpm ->
+    let outcome = run_propagation t in
+    t.evals <- t.evals + outcome.Propagate.evaluations);
+  update_statuses t;
+  let after_known = snapshot_known t in
+  let status_changes = ref [] in
+  Hashtbl.iter
+    (fun cid after ->
+      let before =
+        try Hashtbl.find before_known cid with Not_found -> Constr.Consistent
+      in
+      if before <> after then
+        status_changes := (cid, before, after) :: !status_changes)
+    after_known;
+  let status_changes = List.sort compare !status_changes in
+  if Tracer.active t.d_tracer then
+    List.iter
+      (fun (cid, before, after) ->
+        Tracer.emit t.d_tracer
+          (Event.Constraint_status_changed
+             {
+               cid;
+               old_status = trace_status before;
+               new_status = trace_status after;
+             }))
+      status_changes;
+  status_changes
+
 let history t = List.rev t.hist

@@ -201,6 +201,18 @@ val apply : t -> Operator.t -> result
     @raise Invalid_argument for malformed operations (unknown problem,
     assignment to a property outside the problem, non-positive ids). *)
 
+val shift_requirement :
+  t -> prop:string -> value:float -> (int * Constr.status * Constr.status) list
+(** Re-assign a requirement property mid-run — the adaptability workload's
+    "the goalposts moved" transition. Unlike {!apply} it is not a design
+    operation: no operation index is consumed and no history entry is
+    written. The assignment is stamped newer than every executed operation,
+    so conventional-mode verifications of the affected constraints go
+    stale; in ADPM mode one propagation runs immediately (its evaluations
+    are charged to the run). Returns the known-status changes, which are
+    also traced as [Constraint_status_changed] events.
+    @raise Invalid_argument for an unknown property. *)
+
 (** {1 History} *)
 
 type history_entry = {

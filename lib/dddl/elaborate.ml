@@ -204,4 +204,26 @@ let scenario decl =
     ~models:decl.Ast.sd_models
     (fun ~mode -> build decl ~mode)
 
-let load_string src = scenario (Parser.parse src)
+(* Render a lexer/parser position as a caret message so a misplaced token
+   in an embedded or on-disk DDDL source points at the offending spot:
+
+     line 2, column 12: expected a property name
+       property ; }
+                ^                                                       *)
+let caret_message src ~line ~col message =
+  let source_line =
+    match List.nth_opt (String.split_on_char '\n' src) (line - 1) with
+    | Some l -> l
+    | None -> ""
+  in
+  Printf.sprintf "line %d, column %d: %s\n  %s\n  %s^" line col message
+    source_line
+    (String.make (max 0 (col - 1)) ' ')
+
+let load_string src =
+  match Parser.parse src with
+  | decl -> scenario decl
+  | exception Lexer.Error { line; col; message } ->
+    raise (Error (caret_message src ~line ~col message))
+  | exception Parser.Error { line; col; message } ->
+    raise (Error (caret_message src ~line ~col message))

@@ -13,5 +13,8 @@ val scenario : Ast.scenario_decl -> Adpm_teamsim.Scenario.t
 (** @raise Error on semantic errors. *)
 
 val load_string : string -> Adpm_teamsim.Scenario.t
-(** Parse then elaborate.
-    @raise Parser.Error / Lexer.Error / Error accordingly. *)
+(** Parse then elaborate. Lexer and parser failures are re-raised as
+    {!Error} with a caret-style message carrying the line, column and the
+    offending source line, so every failure mode of a DDDL source string
+    surfaces through one exception.
+    @raise Error on lexical, syntactic or semantic errors. *)

@@ -1,0 +1,17 @@
+(** Canonical DDDL emission: render a scenario declaration back to text
+    that the parser reads to a structurally identical AST.
+
+    This is the artifact side of the scenario pipeline: every scenario —
+    hand-written or generated — is a DDDL text, and [emit] is how a
+    programmatically built declaration becomes one. *)
+
+val scenario : Ast.scenario_decl -> string
+(** Canonical rendering, parseable by {!Parser.parse}. *)
+
+val roundtrip : Ast.scenario_decl -> (string, string) result
+(** Render, re-parse, and compare: [Ok src] when [parse (emit m) = m],
+    [Error msg] describing the divergence otherwise. *)
+
+val checked : Ast.scenario_decl -> string
+(** Like {!scenario} but verifies the round-trip first.
+    @raise Elaborate.Error when the emitted text does not round-trip. *)

@@ -1,0 +1,182 @@
+open Adpm_util
+open Adpm_csp
+open Adpm_core
+open Adpm_teamsim
+open Adpm_scenarios
+
+type cell = { ops : float; evals : float; done_rate : float }
+
+type point = {
+  family : string;
+  schedule : string;
+  plan : string;
+  conv : cell;
+  adpm : cell;
+  headroom : cell;
+  advantage : float;
+}
+
+type result = { points : point list; adapt_advantage : float }
+
+(* Witness-preserving shift schedules, derived from the requirement values
+   the generator actually assigned: squeezing the budget to
+   old * (1 + 0.3s) / (1 + s) or raising a gain floor to
+   old * (1 - 0.3s) / (1 - s) moves each requirement 70% of the way to the
+   nominal witness, so the instance stays satisfiable by construction and
+   the shift is a re-work event, not an impossibility. *)
+let schedules params scenario =
+  let dpm = scenario.Scenario.sc_build ~mode:Dpm.Adpm in
+  let net = Dpm.network dpm in
+  let req name =
+    match Network.assigned_num net name with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Exp_adapt: %s has no requirement %S"
+           scenario.Scenario.sc_name name)
+  in
+  let s = params.Generated.g_slack in
+  let squeeze =
+    {
+      Shift.sh_prop = "p_budget";
+      sh_value = req "p_budget" *. (1. +. (0.3 *. s)) /. (1. +. s);
+      sh_at = 10;
+    }
+  in
+  let raise0 =
+    {
+      Shift.sh_prop = "gmin0";
+      sh_value = req "gmin0" *. (1. -. (0.3 *. s)) /. (1. -. s);
+      sh_at = 15;
+    }
+  in
+  [
+    ("budget-squeeze", [ squeeze ]);
+    ("floor-raise", [ raise0 ]);
+    ("double-shift", [ squeeze; { raise0 with Shift.sh_at = 40 } ]);
+  ]
+
+let families =
+  [
+    ("3x2 ring", Generated.default_params ~subsystems:3 ~vars:2);
+    ( "4x2 star+coupling",
+      {
+        (Generated.default_params ~subsystems:4 ~vars:2) with
+        Generated.g_topology = Generated.Star;
+        g_coupling = 0.25;
+      } );
+    ( "4x3 random",
+      {
+        (Generated.default_params ~subsystems:4 ~vars:3) with
+        Generated.g_topology = Generated.Random 0.5;
+      } );
+  ]
+
+let measure_cell ~seeds ~jobs ~shifts ~policy mode scenario =
+  let cfg =
+    {
+      (Config.default ~mode ~seed:0) with
+      Config.shifts;
+      value_policy = policy;
+    }
+  in
+  let summaries =
+    Engine.run_many ~jobs cfg scenario ~seeds:(List.init seeds (fun i -> i + 1))
+  in
+  let ops = Stats_acc.create () and evals = Stats_acc.create () in
+  let completed = ref 0 in
+  List.iter
+    (fun s ->
+      if s.Metrics.s_completed then incr completed;
+      Stats_acc.add_int ops s.Metrics.s_operations;
+      Stats_acc.add_int evals s.Metrics.s_evaluations)
+    summaries;
+  {
+    ops = Stats_acc.mean ops;
+    evals = Stats_acc.mean evals;
+    done_rate = float_of_int !completed /. float_of_int seeds;
+  }
+
+let measure ~seeds ~jobs ~family ~schedule ~shifts scenario =
+  let cell = measure_cell ~seeds ~jobs ~shifts in
+  let conv = cell ~policy:Config.Endpoint Dpm.Conventional scenario in
+  let adpm = cell ~policy:Config.Endpoint Dpm.Adpm scenario in
+  let headroom = cell ~policy:Config.Headroom Dpm.Adpm scenario in
+  {
+    family;
+    schedule;
+    plan = Shift.plan_to_string shifts;
+    conv;
+    adpm;
+    headroom;
+    advantage = conv.ops /. adpm.ops;
+  }
+
+let run ?(seeds = 8) ?(jobs = 1) () =
+  let points =
+    List.concat_map
+      (fun (family, params) ->
+        let scenario = Generated.scenario params in
+        List.map
+          (fun (schedule, shifts) ->
+            measure ~seeds ~jobs ~family ~schedule ~shifts scenario)
+          (schedules params scenario))
+      families
+  in
+  let adapt_advantage =
+    (* geometric mean of the per-point operation ratios *)
+    exp
+      (List.fold_left (fun acc p -> acc +. log p.advantage) 0. points
+      /. float_of_int (List.length points))
+  in
+  { points; adapt_advantage }
+
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+
+let table points =
+  let t =
+    Table.create ~title:"requirement shifts mid-run (mean over seeds)"
+      [
+        "Family"; "Schedule"; "Conv ops"; "ADPM ops"; "Advantage";
+        "HR ops"; "Conv done"; "ADPM done"; "HR done";
+      ]
+  in
+  Table.set_align t
+    [
+      Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+      Table.Right; Table.Right; Table.Right; Table.Right;
+    ];
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.family;
+          p.schedule;
+          Printf.sprintf "%.1f" p.conv.ops;
+          Printf.sprintf "%.1f" p.adpm.ops;
+          Printf.sprintf "%.2fx" p.advantage;
+          Printf.sprintf "%.1f" p.headroom.ops;
+          pct p.conv.done_rate;
+          pct p.adpm.done_rate;
+          pct p.headroom.done_rate;
+        ])
+    points;
+  Table.render t
+
+let render r =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "=== Adaptability study (requirement shifts at virtual time) ===\n\n";
+  add "%s\n" (table r.points);
+  add "Each schedule re-assigns a requirement mid-run, 70%% of the way to\n";
+  add "the generator's witness point (still satisfiable). The ADPM team\n";
+  add "re-propagates at the shift tick and re-plans immediately; the\n";
+  add "conventional team keeps working against the stale requirement until\n";
+  add "its next verification exposes the move. The Advantage column is the\n";
+  add "operation-count ratio conventional/ADPM under the same shifts; HR is\n";
+  add "ADPM with the headroom-seeking value policy (f_v = argmax log of\n";
+  add "minimum normalized constraint headroom), which buys margin against\n";
+  add "future shifts at extra evaluation cost.\n";
+  add "adapt_advantage (geometric mean of per-cell ratios): %.2fx\n"
+    r.adapt_advantage;
+  Buffer.contents buf

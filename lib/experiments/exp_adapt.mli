@@ -1,0 +1,46 @@
+(** Adaptability study: requirement shifts at virtual design time.
+
+    The paper motivates ADPM's continuous constraint propagation partly as
+    an insurance policy: when a requirement moves mid-project, a team with
+    a live constraint network sees the consequences immediately, while a
+    conventional team keeps designing against the stale value until the
+    next verification pass. This experiment measures that asymmetry on
+    generated scenario families under witness-preserving shift schedules
+    ([budget-squeeze], [floor-raise], [double-shift] — each re-assigns a
+    requirement 70% of the way to the generator's witness point, so every
+    shifted instance stays satisfiable).
+
+    Each (family, schedule) cell runs three configurations over the same
+    seeds: conventional, ADPM with the paper's endpoint value heuristic,
+    and ADPM with the headroom-seeking policy
+    ([f_v = argmax log (min normalized constraint headroom)]). The
+    headline [adapt_advantage] is the geometric mean of the per-cell
+    conventional/ADPM operation ratios. *)
+
+type cell = {
+  ops : float;  (** mean N_O over seeds (capped runs included) *)
+  evals : float;  (** mean N_T over seeds *)
+  done_rate : float;  (** fraction of seeds that completed in [0, 1] *)
+}
+
+type point = {
+  family : string;
+  schedule : string;
+  plan : string;  (** concrete rendered plan, e.g. ["p_budget>=132.2@10"] *)
+  conv : cell;
+  adpm : cell;  (** endpoint value policy *)
+  headroom : cell;  (** ADPM with [Config.Headroom] *)
+  advantage : float;  (** [conv.ops /. adpm.ops] *)
+}
+
+type result = {
+  points : point list;  (** families x shift schedules *)
+  adapt_advantage : float;
+      (** geometric mean of {!point.advantage} over all points *)
+}
+
+val run : ?seeds:int -> ?jobs:int -> unit -> result
+(** Default 8 seeds per cell and configuration. [jobs] forwards to
+    {!Adpm_teamsim.Engine.run_many}. *)
+
+val render : result -> string

@@ -111,7 +111,60 @@ let build ?(adjustable_requirements = false) () ~mode =
           };
         ]
 
+(* The same network in DDDL (the fixed-requirements simulation variant;
+   the adjustable-requirements walkthrough stays OCaml-only because its
+   requirements are outputs the leader mutates mid-script). This text is
+   the canonical artifact: [scenario] is elaborated from it, and the OCaml
+   [build] above serves as the equivalence reference the tests compare
+   against. *)
+let source =
+  {|
+// The Section 2.4 walkthrough case in DDDL: LNA + mixer circuitry and a
+// MEMS filtering device. Constants calibrated so the Fig. 2 feasible
+// windows fall out of propagation.
+scenario lna {
+  property "Diff-pair-W" : real [2.5, 10] levels "Transistor,Geometry";
+  property "Freq-ind"    : real [0.05, 0.5] levels "Transistor,Geometry";
+  property "Beam-length" : real [5, 50];
+  property "Min-gain"    : real [10, 100];
+  property "Max-power"   : real [50, 400];
+  property "Min-LNA-Zin" : real [10, 100];
+
+  constraint "LNAPower-C7" :
+    40 + 38.5522 * "Diff-pair-W" + 100 * "Freq-ind" <= "Max-power";
+  constraint "LNAGain-C10" :
+    30 * "Diff-pair-W" * sqrt("Freq-ind") >= "Min-gain";
+  constraint "LNA-Zin-C9" :
+    60 * "Diff-pair-W" * "Freq-ind" >= "Min-LNA-Zin";
+  constraint "FilterMatch-C4" :
+    "Freq-ind" >= 0.0134042 * "Beam-length";
+
+  requirement "Min-gain" = 40;
+  requirement "Max-power" = 200;
+  requirement "Min-LNA-Zin" = 40;
+
+  object "LNA+Mixer" { properties: "Diff-pair-W", "Freq-ind"; }
+  object "MEMS-Filter" { properties: "Beam-length"; }
+
+  problem "receiver-front-end" owner leader {
+    inputs: "Min-gain", "Max-power", "Min-LNA-Zin";
+    constraints: "FilterMatch-C4";
+    subproblem analog owner circuit {
+      inputs: "Min-gain", "Max-power", "Min-LNA-Zin";
+      outputs: "Diff-pair-W", "Freq-ind";
+      constraints: "LNAPower-C7", "LNAGain-C10", "LNA-Zin-C9";
+      object: "LNA+Mixer";
+    }
+    subproblem "mems-filter" owner device {
+      outputs: "Beam-length";
+      object: "MEMS-Filter";
+    }
+  }
+}
+|}
+
 let scenario =
-  Scenario.make ~name:"lna"
-    ~description:"Section 2.4 LNA + MEMS filter walkthrough case"
-    (fun ~mode -> build () ~mode)
+  {
+    (Adpm_dddl.Elaborate.load_string source) with
+    Scenario.sc_description = "Section 2.4 LNA + MEMS filter walkthrough case";
+  }

@@ -31,3 +31,7 @@ val beam_length : string
 val min_gain : string
 val max_power : string
 val min_zin : string
+
+val source : string
+(** The scenario in DDDL — the canonical text artifact that [scenario] is
+    elaborated from. *)

@@ -14,7 +14,14 @@ val build : ?req_gain:float -> unit -> mode:Dpm.mode -> Dpm.t
 (** [req_gain] is the minimum end-to-end voltage gain (default 30). Fig. 10
     sweeps its tightness. *)
 
+val models : (string * Adpm_expr.Expr.t) list
+(** Tool models of the derived performance properties (band centres). *)
+
 val scenario : Scenario.t
 
 val gain_sweep : float list
 (** The requirement values used by the Fig. 10 tightness sweep. *)
+
+val source : string
+(** The scenario in DDDL — the canonical text artifact that [scenario] is
+    elaborated from. *)

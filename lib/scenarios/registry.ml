@@ -1,0 +1,50 @@
+open Adpm_teamsim
+
+let builtin =
+  [ Simple.scenario; Lna.scenario; Sensor.scenario; Receiver.scenario ]
+
+let usage = "gen:<spec> (e.g. gen:n=4,k=3) or file:<path>.dddl"
+
+let strip_prefix prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let resolve name =
+  match strip_prefix "gen:" name with
+  | Some spec -> (
+    match Generated.params_of_spec spec with
+    | Ok p -> Generated.scenario p
+    | Error msg ->
+      invalid_arg (Printf.sprintf "malformed gen: spec %S: %s" spec msg))
+  | None -> (
+    match strip_prefix "file:" name with
+    | Some path -> (
+      let src =
+        match In_channel.with_open_text path In_channel.input_all with
+        | src -> src
+        | exception Sys_error msg ->
+          invalid_arg (Printf.sprintf "cannot read scenario file: %s" msg)
+      in
+      match Adpm_dddl.Elaborate.load_string src with
+      | scenario ->
+        (* the trace header must resolve back to this same file *)
+        { scenario with Scenario.sc_name = name }
+      | exception Adpm_dddl.Elaborate.Error msg ->
+        invalid_arg
+          (Printf.sprintf "scenario file %s does not elaborate: %s" path msg))
+    | None -> (
+      match Scenario.find builtin name with
+      | Some s -> s
+      | None ->
+        invalid_arg
+          (Printf.sprintf "unknown scenario %s (known: %s; or %s)" name
+             (String.concat ", "
+                (List.map (fun s -> s.Scenario.sc_name) builtin))
+             usage)))
+
+let resolve_result name =
+  match resolve name with
+  | s -> Ok s
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,33 @@
+(** The scenario registry: one resolution path for every scenario
+    reference in the system.
+
+    Every consumer — the CLI's run/sweep/fuzz/interactive commands, trace
+    replay, and the daemon — names scenarios with a string and resolves it
+    here. Three forms are understood:
+
+    - a plain name ([simple], [lna], [sensor], [receiver]) — one of the
+      {!builtin} scenarios, each elaborated from its embedded DDDL source;
+    - [gen:<spec>] — a {!Generated} scenario, e.g.
+      [gen:n=4,k=3,seed=7,topology=star]. The spec is the scenario's
+      identity: a trace recorded under it rebuilds the bit-identical
+      network on any process;
+    - [file:<path>] — a DDDL file loaded with
+      {!Adpm_dddl.Elaborate.load_string}; the resolved scenario keeps the
+      [file:<path>] reference as its name so recorded traces resolve back
+      through the same file.
+
+    Resolution failures are [Invalid_argument] with a message identifying
+    the failure class: unknown plain name, malformed [gen:] spec, or
+    unreadable/unelaboratable [file:] target. *)
+
+open Adpm_teamsim
+
+val builtin : Scenario.t list
+(** The paper's four scenarios shipped with the binary. *)
+
+val resolve : string -> Scenario.t
+(** @raise Invalid_argument on any resolution failure (descriptive,
+    distinct per failure class; never any other exception). *)
+
+val resolve_result : string -> (Scenario.t, string) result
+(** {!resolve} with the [Invalid_argument] folded into [Error]. *)

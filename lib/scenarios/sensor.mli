@@ -18,4 +18,11 @@ val build :
   Dpm.t
 (** Defaults: resolution 2.3 kPa, yield 78 %, range 180 kPa. *)
 
+val models : (string * Adpm_expr.Expr.t) list
+(** Tool models of the derived performance properties (band centres). *)
+
 val scenario : Scenario.t
+
+val source : string
+(** The scenario in DDDL — the canonical text artifact that [scenario] is
+    elaborated from. *)

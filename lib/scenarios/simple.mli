@@ -18,3 +18,7 @@ val models : (string * Adpm_expr.Expr.t) list
 (** Tool models of the derived performance properties (band centres). *)
 
 val scenario : Scenario.t
+
+val source : string
+(** The scenario in DDDL — the canonical text artifact that [scenario] is
+    elaborated from. *)

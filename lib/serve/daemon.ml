@@ -6,6 +6,7 @@ type addr = Unix_path of string | Tcp of string * int
 type config = {
   dc_addr : addr;
   dc_scenarios : Scenario.t list;
+  dc_resolve : string -> (Scenario.t, string) result;
   dc_max_sessions : int;
   dc_max_frame : int;
   dc_checkpoint_dir : string;
@@ -15,6 +16,15 @@ let default_config ~addr ~scenarios =
   {
     dc_addr = addr;
     dc_scenarios = scenarios;
+    dc_resolve =
+      (fun name ->
+        match Scenario.find scenarios name with
+        | Some s -> Ok s
+        | None ->
+          Error
+            (Printf.sprintf "unknown scenario %s (known: %s)" name
+               (String.concat ", "
+                  (List.map (fun s -> s.Scenario.sc_name) scenarios))));
     dc_max_sessions = 256;
     dc_max_frame = Wire.default_max_frame;
     dc_checkpoint_dir = Filename.current_dir_name;
@@ -116,23 +126,26 @@ let handle t req_json =
       if session_count t >= t.cfg.dc_max_sessions then
         Wire.error_frame ?id ~code:Wire.Session_limit
           (Printf.sprintf "session limit %d reached" t.cfg.dc_max_sessions)
-      else if Session.find_scenario t.cfg.dc_scenarios scenario = None then
-        Wire.error_frame ?id ~code:Wire.Unknown_scenario
-          (Printf.sprintf "unknown scenario %s" scenario)
       else begin
-        let sid = fresh_session_id t in
-        match
-          Session.create ~scenarios:t.cfg.dc_scenarios ~id:sid ~scenario ~mode
-            ~seed ~designer
-        with
-        | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
-        | Ok s ->
-          Hashtbl.replace t.sessions sid s;
-          Wire.ok_frame ?id
-            [
-              ("session", Json.Str sid);
-              ("prompt", Json.Str (Session.prompt s));
-            ]
+        (* resolution failures (unknown name, malformed gen: spec,
+           unreadable file:) are command-level errors: the daemon answers
+           with a frame and keeps serving, never a failed session *)
+        match t.cfg.dc_resolve scenario with
+        | Error msg -> Wire.error_frame ?id ~code:Wire.Unknown_scenario msg
+        | Ok _ -> (
+          let sid = fresh_session_id t in
+          match
+            Session.create ~resolve:t.cfg.dc_resolve ~id:sid ~scenario ~mode
+              ~seed ~designer
+          with
+          | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
+          | Ok s ->
+            Hashtbl.replace t.sessions sid s;
+            Wire.ok_frame ?id
+              [
+                ("session", Json.Str sid);
+                ("prompt", Json.Str (Session.prompt s));
+              ])
       end
     | Ok (Wire.Exec { session; line }) ->
       with_session t ?id session (fun s ->
@@ -177,7 +190,7 @@ let handle t req_json =
           (Printf.sprintf "session limit %d reached" t.cfg.dc_max_sessions)
       else begin
         let sid = fresh_session_id t in
-        match Session.resume ~scenarios:t.cfg.dc_scenarios ~id:sid ~path with
+        match Session.resume ~resolve:t.cfg.dc_resolve ~id:sid ~path with
         | Ok (s, replayed) ->
           Hashtbl.replace t.sessions sid s;
           Wire.ok_frame ?id

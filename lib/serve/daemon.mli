@@ -27,14 +27,23 @@ type addr =
 
 type config = {
   dc_addr : addr;
-  dc_scenarios : Scenario.t list;  (** the resident scenario registry *)
+  dc_scenarios : Scenario.t list;
+      (** resident scenarios advertised in the [hello] listing *)
+  dc_resolve : string -> (Scenario.t, string) result;
+      (** the injected scenario resolver used by [open] and [resume];
+          an [Error] answers the request with a command-level
+          [unknown_scenario] frame — resolution failures never tear down
+          anything *)
   dc_max_sessions : int;
   dc_max_frame : int;  (** per-frame byte bound (see {!Wire.Reader}) *)
   dc_checkpoint_dir : string;  (** default directory for [checkpoint] files *)
 }
 
 val default_config : addr:addr -> scenarios:Scenario.t list -> config
-(** 256 sessions, {!Wire.default_max_frame}, checkpoints in ["."]. *)
+(** 256 sessions, {!Wire.default_max_frame}, checkpoints in ["."], and a
+    [dc_resolve] that looks names up in [scenarios] only. The CLI
+    overrides [dc_resolve] with the full registry (plain names plus
+    [gen:<spec>] and [file:<path>] references). *)
 
 type t
 

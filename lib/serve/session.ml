@@ -15,21 +15,14 @@ type t = {
   mutable ss_commands : string list;  (* newest first *)
 }
 
-let find_scenario scenarios name =
-  List.find_opt (fun s -> String.equal s.Scenario.sc_name name) scenarios
-
 let id t = t.ss_id
 let interactive t = t.ss_session
 let commands t = List.rev t.ss_commands
 
-let create ~scenarios ~id ~scenario ~mode ~seed ~designer =
-  match find_scenario scenarios scenario with
-  | None ->
-    Error
-      (Printf.sprintf "unknown scenario %s (known: %s)" scenario
-         (String.concat ", "
-            (List.map (fun s -> s.Scenario.sc_name) scenarios)))
-  | Some sc -> (
+let create ~resolve ~id ~scenario ~mode ~seed ~designer =
+  match (resolve scenario : (Scenario.t, string) result) with
+  | Error msg -> Error msg
+  | Ok sc -> (
     let buf, sink = Sink.collector () in
     let tracer = Tracer.create sink in
     match Interactive.create ~tracer ~mode ~seed sc ~designer with
@@ -166,7 +159,7 @@ let rec collect_events acc lineno = function
     | Ok ev -> collect_events (ev :: acc) (lineno + 1) rest
     | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
 
-let resume ~scenarios ~id ~path =
+let resume ~resolve ~id ~path =
   let ( let* ) = Result.bind in
   match read_lines path with
   | Error msg -> Error (Rs_io msg)
@@ -214,8 +207,11 @@ let resume ~scenarios ~id ~path =
     in
     (* Integrity gate: the recorded trace must replay cleanly through the
        stock driver before we trust the command log. *)
+    let raising_resolve name =
+      match resolve name with Ok s -> s | Error msg -> invalid_arg msg
+    in
     let* () =
-      match Replay.run ~scenarios events with
+      match Replay.run ~resolve:raising_resolve events with
       | report when Replay.converged report -> Ok ()
       | report ->
         corrupt "checkpoint trace does not replay: %s"
@@ -224,7 +220,7 @@ let resume ~scenarios ~id ~path =
         corrupt "checkpoint trace does not replay: %s" msg
     in
     let* fresh =
-      match create ~scenarios ~id ~scenario ~mode ~seed ~designer with
+      match create ~resolve ~id ~scenario ~mode ~seed ~designer with
       | Ok s -> Ok s
       | Error msg -> corrupt "cannot rebuild session: %s" msg
     in

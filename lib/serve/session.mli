@@ -19,17 +19,17 @@ module Json = Adpm_trace.Json
 
 type t
 
-val find_scenario : Scenario.t list -> string -> Scenario.t option
-
 val create :
-  scenarios:Scenario.t list ->
+  resolve:(string -> (Scenario.t, string) result) ->
   id:string ->
   scenario:string ->
   mode:Dpm.mode ->
   seed:int ->
   designer:string ->
   (t, string) result
-(** [Error] for an unknown scenario or designer; never raises. *)
+(** [Error] for an unresolvable scenario or unknown designer; never
+    raises. [resolve] is the daemon's injected scenario resolver
+    (typically {!Adpm_scenarios.Registry.resolve_result}). *)
 
 val id : t -> string
 val interactive : t -> Interactive.t
@@ -62,7 +62,7 @@ type resume_error =
   | Rs_mismatch of string  (** rebuilt state contradicts the fingerprint *)
 
 val resume :
-  scenarios:Scenario.t list ->
+  resolve:(string -> (Scenario.t, string) result) ->
   id:string ->
   path:string ->
   (t * int, resume_error) result

@@ -4,6 +4,18 @@ module Fault = Adpm_fault.Fault
 
 type forward_ordering = Smallest_subspace | Most_constrained | Random_target
 
+type value_policy = Endpoint | Headroom
+
+let value_policy_to_string = function
+  | Endpoint -> "endpoint"
+  | Headroom -> "headroom"
+
+let value_policy_of_string = function
+  | "endpoint" -> Ok Endpoint
+  | "headroom" -> Ok Headroom
+  | s ->
+    Error (Printf.sprintf "unknown value policy %S (want endpoint|headroom)" s)
+
 type t = {
   mode : Dpm.mode;
   engine : Dpm.engine;
@@ -20,6 +32,8 @@ type t = {
   use_monotone_hints : bool;
   use_history_tabu : bool;
   use_relaxed_feasible : bool;
+  value_policy : value_policy;
+  shifts : Shift.plan;
 }
 
 let default ~mode ~seed =
@@ -39,6 +53,8 @@ let default ~mode ~seed =
     use_monotone_hints = true;
     use_history_tabu = true;
     use_relaxed_feasible = true;
+    value_policy = Endpoint;
+    shifts = Shift.none;
   }
 
 let with_seed t seed = { t with seed }
@@ -58,13 +74,16 @@ let validate t =
       | Ok () -> (
         match Fault.validate t.faults with
         | Error e -> Error e
-        | Ok () ->
+        | Ok () -> (
           (* the comparison also rejects nan *)
           if not (t.delta_divisor > 0.) then
             Error
               (Printf.sprintf "delta_divisor must be positive (got %g)"
                  t.delta_divisor)
-          else Ok ()))
+          else
+            match Shift.validate t.shifts with
+            | Error e -> Error e
+            | Ok () -> Ok ())))
 
 let validate_exn t =
   match validate t with

@@ -18,6 +18,21 @@ type forward_ordering =
           first (static knowledge, effective in both modes) *)
   | Random_target  (** uninformed baseline *)
 
+type value_policy =
+  | Endpoint
+      (** the paper's f_v: push to the feasible-window end the monotone
+          votes favour *)
+  | Headroom
+      (** the adaptability variant: among candidate quantiles of the
+          feasible window, pick argmax log(min normalized constraint
+          headroom) — keep every connected constraint comfortably away
+          from its limit so later requirement shifts have margin to land
+          in (ADPM mode only; conventional mode has no feasible window
+          to sample) *)
+
+val value_policy_to_string : value_policy -> string
+val value_policy_of_string : string -> (value_policy, string) result
+
 type t = {
   mode : Dpm.mode;  (** the paper's lambda *)
   engine : Dpm.engine;
@@ -56,6 +71,12 @@ type t = {
       (** consult design history to avoid previously-bad assignments *)
   use_relaxed_feasible : bool;
       (** ADPM repair values from constraint-margin propagation *)
+  value_policy : value_policy;
+      (** f_v variant for forward synthesis (default [Endpoint]) *)
+  shifts : Shift.plan;
+      (** requirement shifts applied at virtual time (default
+          {!Shift.none}); only the discrete-event engine honours a
+          non-empty plan *)
 }
 
 val default : mode:Dpm.mode -> seed:int -> t

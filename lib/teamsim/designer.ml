@@ -323,6 +323,91 @@ let endpoint_from_votes d dpm prop dom =
   | Some _ -> random_in_domain d dom
   | None -> None
 
+(* The headroom-seeking f_v variant (the adaptability option): among
+   candidate quantiles of the feasible window, pick the one maximizing
+   log(min normalized headroom) over the connected constraints — keep
+   every constraint comfortably away from its limit so a later
+   requirement shift has margin to land in. Unbound teammate parameters
+   are assumed at the middle of their feasible windows; each constraint
+   check is charged as one tool evaluation. *)
+let headroom_from_votes d dpm probs prop dom =
+  let net = Dpm.network dpm in
+  let connected =
+    List.filter (fun c -> touches_through_models d c prop)
+      (Network.constraints net)
+  in
+  if connected = [] then None
+  else begin
+    let candidates =
+      List.filter
+        (fun v -> not (is_tabu d prop v))
+        (List.sort_uniq compare
+           (List.filter_map (quantile_of_domain dom)
+              [ 0.1; 0.3; 0.5; 0.7; 0.9 ]))
+    in
+    let evals = ref 0 in
+    let midpoint name =
+      match Domain.hull (Network.feasible net name) with
+      | Some iv when Interval.is_bounded iv -> Some (Interval.midpoint iv)
+      | _ -> (
+        match Domain.hull (Network.initial_domain net name) with
+        | Some iv when Interval.is_bounded iv -> Some (Interval.midpoint iv)
+        | _ -> None)
+    in
+    let score v =
+      let derived = recompute_derived d dpm probs [ (prop, v) ] in
+      let lookup name =
+        if String.equal name prop then Some v
+        else
+          match List.assoc_opt name derived with
+          | Some (Value.Num x) -> Some x
+          | Some (Value.Sym _) | None -> (
+            match Network.assigned_num net name with
+            | Some x -> Some x
+            | None -> midpoint name)
+      in
+      let worst =
+        List.fold_left
+          (fun acc c ->
+            incr evals;
+            match
+              ( Expr.eval_opt lookup c.Constr.lhs,
+                Expr.eval_opt lookup c.Constr.rhs )
+            with
+            | Some l, Some r when Float.is_finite l && Float.is_finite r ->
+              let raw =
+                match c.Constr.rel with
+                | Constr.Le -> r -. l
+                | Constr.Ge -> l -. r
+                | Constr.Eq -> -.Float.abs (l -. r)
+              in
+              let headroom = raw /. (1. +. Float.abs r) in
+              Some (match acc with None -> headroom | Some a -> Float.min a headroom)
+            | _ -> acc)
+          None connected
+      in
+      match worst with
+      | None -> None
+      | Some s ->
+        (* log of the worst headroom; an already-violated candidate ranks
+           strictly below every positive-margin one, more-negative worse *)
+        Some (if s > 0. then Float.log s else -1e18 +. s)
+    in
+    let best =
+      List.fold_left
+        (fun acc v ->
+          match score v with
+          | None -> acc
+          | Some s -> (
+            match acc with
+            | Some (_, best_s) when best_s >= s -> acc
+            | _ -> Some (v, s)))
+        None candidates
+    in
+    Dpm.charge_evaluations dpm !evals;
+    Option.map fst best
+  end
+
 (* Delta move for repairs (f_v's "choose from initial subspace" branch):
    exponential search while the direction persists, bisection on flip. *)
 let delta_move d dpm prop direction =
@@ -587,7 +672,15 @@ let forward_op d dpm probs =
             (* v_F = empty: choose from the initial range *)
             random_in_domain d (Network.initial_domain net prop)
           else
-            match endpoint_from_votes d dpm prop feasible with
+            let vote =
+              match d.cfg.Config.value_policy with
+              | Config.Endpoint -> endpoint_from_votes d dpm prop feasible
+              | Config.Headroom -> (
+                match headroom_from_votes d dpm probs prop feasible with
+                | Some v -> Some v
+                | None -> endpoint_from_votes d dpm prop feasible)
+            in
+            match vote with
             | Some v -> Some v
             | None -> random_in_domain d (Network.initial_domain net prop))
         | Dpm.Conventional ->

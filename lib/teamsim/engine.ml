@@ -114,6 +114,9 @@ let run_lockstep ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   if not (Fault.is_none cfg.Config.faults) then
     invalid_arg
       "Engine.run_lockstep: fault injection needs the discrete-event engine";
+  if cfg.Config.shifts <> [] then
+    invalid_arg
+      "Engine.run_lockstep: requirement shifts need the discrete-event engine";
   let profile = ref [] in
   let record r =
     profile := r :: !profile;
@@ -189,6 +192,8 @@ type des_event =
   | Crash of Designer.t  (** scheduled fault: the designer goes down *)
   | Restart of Designer.t
       (** the crashed designer comes back, working memory wiped *)
+  | Shift of Shift.t
+      (** a scheduled requirement shift reaches its virtual time *)
 
 let op_class op =
   match op.Operator.op_kind with
@@ -258,6 +263,39 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
   in
   let order = ref [] in
   let acted = ref false in
+  (* Requirement shifts: pre-scheduled below, applied through the DPM at
+     their virtual time. A shift that lands while an operation is in
+     flight is deferred to that operation's completion — the tool was
+     already running against the old requirement — which keeps exactly one
+     network mutation per scheduler event and a deterministic trace
+     order. *)
+  let shifts_remaining = ref (List.length cfg.Config.shifts) in
+  let in_flight = ref false in
+  let pending_shifts = ref [] in
+  let apply_shift sh =
+    decr shifts_remaining;
+    if Tracer.active tracer then
+      Tracer.emit tracer
+        (Event.Requirement_shifted
+           {
+             prop = sh.Shift.sh_prop;
+             value = sh.Shift.sh_value;
+             at = Scheduler.now sch;
+           });
+    (* [shift_requirement] emits the induced [Constraint_status_changed]
+       events itself, after the [Requirement_shifted] marker above *)
+    ignore
+      (Dpm.shift_requirement dpm ~prop:sh.Shift.sh_prop
+         ~value:sh.Shift.sh_value
+        : (int * Constr.status * Constr.status) list);
+    (* the shift is the system lead's broadcast: every live designer
+       learns the re-checked statuses at once; a crashed designer misses
+       it like any other delivery *)
+    let statuses = Dpm.known_statuses dpm in
+    List.iter
+      (fun d -> if not (is_dead d) then Designer.learn_statuses d statuses)
+      designers
+  in
   let handle ev =
     match ev with
     | Round_start ->
@@ -271,9 +309,10 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
       match !order with
       | [] ->
         if !acted then Scheduler.schedule sch ~delay:0 Round_start
-        else if Hashtbl.length dead > 0 then
-          (* everyone alive is idle but a teammate is down: wait a tick
-             for the restart instead of declaring the project stuck *)
+        else if Hashtbl.length dead > 0 || !shifts_remaining > 0 then
+          (* everyone alive is idle but a teammate is down or a
+             requirement shift is still scheduled: wait a tick for the
+             restart/shift instead of declaring the project done *)
           Scheduler.schedule sch ~delay:1 Round_start
         else Scheduler.halt sch
       | designer :: rest ->
@@ -301,12 +340,14 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
               let delay =
                 Model.duration_for cfg.Config.duration_model (op_class op)
               in
+              in_flight := true;
               Scheduler.schedule sch ~delay
                 (Op_done { designer; op; evals_before })
           end
         end
         else Scheduler.halt sch)
     | Op_done { designer; op; evals_before } ->
+      in_flight := false;
       let result = Dpm.apply dpm op in
       if Tracer.active tracer then
         Tracer.emit tracer
@@ -355,7 +396,13 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
           m_known_violations = List.length (Dpm.known_violations dpm);
           m_spin = result.Dpm.r_spin;
         };
-      if Dpm.solved dpm then begin
+      (* shifts that landed while this operation was in flight take
+         effect now, before the solved check — a just-moved requirement
+         can un-solve the project *)
+      let deferred = !pending_shifts in
+      pending_shifts := [];
+      List.iter apply_shift deferred;
+      if Dpm.solved dpm && !shifts_remaining = 0 then begin
         finished := true;
         Scheduler.halt sch
       end
@@ -367,6 +414,9 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         Tracer.emit tracer
           (Event.Designer_crashed
              { designer = Designer.name designer; at = Scheduler.now sch })
+    | Shift sh ->
+      if !in_flight then pending_shifts := !pending_shifts @ [ sh ]
+      else apply_shift sh
     | Restart designer ->
       Hashtbl.remove dead (Designer.name designer);
       Designer.restart designer;
@@ -420,6 +470,26 @@ let run ?(on_op = fun _ -> ()) ?(tracer = Tracer.null) cfg scenario =
         Scheduler.schedule sch ~delay:cr_at (Crash d);
         Scheduler.schedule sch ~delay:(cr_at + cr_recover) (Restart d))
     cfg.Config.faults.Fault.p_crashes;
+  (* requirement shifts are scheduled up front, like crash windows; an
+     unknown property is a caller error, not a silently dropped shift *)
+  List.iter
+    (fun sh ->
+      if not (Network.mem_prop (Dpm.network dpm) sh.Shift.sh_prop) then
+        invalid_arg
+          (Printf.sprintf "Engine.run: shift plan names unknown property %S"
+             sh.Shift.sh_prop);
+      if
+        not
+          (Adpm_interval.Domain.mem_num sh.Shift.sh_value
+             (Network.initial_domain (Dpm.network dpm) sh.Shift.sh_prop))
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.run: shift plan moves %S to %.12g, outside its initial \
+              range"
+             sh.Shift.sh_prop sh.Shift.sh_value);
+      Scheduler.schedule sch ~delay:sh.Shift.sh_at (Shift sh))
+    cfg.Config.shifts;
   Scheduler.schedule sch ~delay:0 Round_start;
   Scheduler.run sch handle;
   (* pending mailbox deliveries at halt are discarded: the project is over

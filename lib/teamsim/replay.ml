@@ -28,7 +28,7 @@ let status_of_constr = function
   | Constr.Violated -> Event.Violated
   | Constr.Consistent -> Event.Consistent
 
-let run ~scenarios events =
+let run ~resolve events =
   let scenario_name, mode_name, seed, engine_name =
     match
       List.find_map
@@ -43,13 +43,10 @@ let run ~scenarios events =
     | None -> fail "trace contains no run_started event"
   in
   let scenario =
-    match
-      List.find_opt
-        (fun sc -> String.equal sc.Scenario.sc_name scenario_name)
-        scenarios
-    with
-    | Some sc -> sc
-    | None -> fail "trace references unknown scenario %S" scenario_name
+    match resolve scenario_name with
+    | sc -> sc
+    | exception Invalid_argument msg ->
+      fail "trace references unresolvable scenario %S: %s" scenario_name msg
   in
   let mode =
     match Dpm.mode_of_string mode_name with
@@ -129,6 +126,14 @@ let run ~scenarios events =
             (string_of_bool r.Dpm.r_spin))
       | Event.Constraint_status_changed { cid; new_status; _ } ->
         Hashtbl.replace last_status cid new_status
+      | Event.Requirement_shifted { prop; value; _ } -> (
+        (* re-apply the shift so every later operation executes against
+           the moved requirement (and, in ADPM mode, the same propagation
+           cost is re-charged) *)
+        match Dpm.shift_requirement dpm ~prop ~value with
+        | (_ : (int * Constr.status * Constr.status) list) -> ()
+        | exception Invalid_argument msg ->
+          fail "trace records an inapplicable shift of %S: %s" prop msg)
       | Event.Run_finished
           {
             completed;

@@ -39,8 +39,12 @@ exception Replay_error of string
 (** The trace cannot be replayed at all: no [Run_started] event, or it
     names a scenario / mode unknown to this binary. *)
 
-val run : scenarios:Scenario.t list -> Event.stamped list -> report
-(** Replay a single-run trace against the given scenario registry.
+val run : resolve:(string -> Scenario.t) -> Event.stamped list -> report
+(** Replay a single-run trace, resolving the recorded scenario name
+    through [resolve] — typically {!Adpm_scenarios.Registry.resolve} (so
+    recorded ["gen:<spec>"] names rebuild the identical generated network
+    on any process) or {!Scenario.resolver} over a fixture list. An
+    [Invalid_argument] from [resolve] becomes a {!Replay_error}.
     Assumes the engine's default revision budget; a run recorded with a
     custom [max_revisions] may diverge.
     @raise Replay_error when the trace header is unusable. *)

@@ -15,3 +15,14 @@ let make ~name ~description ?(models = []) build =
     sc_models = models;
     sc_build = build;
   }
+
+let find scenarios name =
+  List.find_opt (fun s -> String.equal s.sc_name name) scenarios
+
+let resolver scenarios name =
+  match find scenarios name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown scenario %s (known: %s)" name
+         (String.concat ", " (List.map (fun s -> s.sc_name) scenarios)))

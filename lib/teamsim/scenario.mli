@@ -34,3 +34,10 @@ val make :
   ?models:(string * Expr.t) list ->
   (mode:Dpm.mode -> Dpm.t) ->
   t
+
+val find : t list -> string -> t option
+(** Lookup by [sc_name]. *)
+
+val resolver : t list -> string -> t
+(** A fixed-list resolver, e.g. for {!Replay.run} over test fixtures.
+    @raise Invalid_argument naming the known scenarios when absent. *)

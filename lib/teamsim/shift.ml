@@ -1,0 +1,87 @@
+type t = { sh_prop : string; sh_value : float; sh_at : int }
+
+type plan = t list
+
+let none = []
+
+let to_string s = Printf.sprintf "%s>=%.12g@%d" s.sh_prop s.sh_value s.sh_at
+
+let plan_to_string plan = String.concat ";" (List.map to_string plan)
+
+let split_once sep s =
+  let seplen = String.length sep in
+  let limit = String.length s - seplen in
+  let rec scan i =
+    if i > limit then None
+    else if String.sub s i seplen = sep then
+      Some
+        ( String.sub s 0 i,
+          String.sub s (i + seplen) (String.length s - i - seplen) )
+    else scan (i + 1)
+  in
+  scan 0
+
+let of_string spec =
+  match split_once ">=" spec with
+  | None ->
+    Error
+      (Printf.sprintf "malformed shift %S (want PROP>=FLOOR@TICK)" spec)
+  | Some (prop, rest) -> (
+    match split_once "@" rest with
+    | None ->
+      Error
+        (Printf.sprintf "shift %S lacks a @TICK virtual time" spec)
+    | Some (value, tick) -> (
+      let prop = String.trim prop in
+      if prop = "" then
+        Error (Printf.sprintf "shift %S names no property" spec)
+      else
+        match float_of_string_opt (String.trim value) with
+        | None ->
+          Error
+            (Printf.sprintf "shift %S: %S is not a number" spec value)
+        | Some v when not (Float.is_finite v) ->
+          Error
+            (Printf.sprintf "shift %S: the floor must be finite" spec)
+        | Some v -> (
+          match int_of_string_opt (String.trim tick) with
+          | None ->
+            Error
+              (Printf.sprintf "shift %S: %S is not an integer tick" spec tick)
+          | Some at when at < 0 ->
+            Error
+              (Printf.sprintf "shift %S: tick must be >= 0" spec)
+          | Some at -> Ok { sh_prop = prop; sh_value = v; sh_at = at })))
+
+let plan_of_string spec =
+  let fields =
+    List.filter
+      (fun f -> String.trim f <> "")
+      (String.split_on_char ';' spec)
+  in
+  let rec build acc = function
+    | [] ->
+      (* stable sort: same-tick shifts keep their written order *)
+      Ok (List.stable_sort (fun a b -> compare a.sh_at b.sh_at) (List.rev acc))
+    | f :: rest -> (
+      match of_string (String.trim f) with
+      | Ok s -> build (s :: acc) rest
+      | Error _ as e -> e)
+  in
+  build [] fields
+
+let validate plan =
+  let rec check = function
+    | [] -> Ok ()
+    | s :: rest ->
+      if s.sh_prop = "" then Error "shift plan names an empty property"
+      else if not (Float.is_finite s.sh_value) then
+        Error
+          (Printf.sprintf "shift of %s: the floor must be finite" s.sh_prop)
+      else if s.sh_at < 0 then
+        Error
+          (Printf.sprintf "shift of %s: tick must be >= 0 (got %d)" s.sh_prop
+             s.sh_at)
+      else check rest
+  in
+  check plan

@@ -37,6 +37,7 @@ type report = {
   r_duplicated : int;  (** notifications duplicated by the fault injector *)
   r_crashes : int;  (** scheduled designer crashes that fired *)
   r_restarts : int;  (** designer restarts that fired *)
+  r_shifts : int;  (** requirement shifts applied mid-run *)
   r_pool_retries : int;  (** supervised worker-pool retry events *)
 }
 
@@ -53,6 +54,7 @@ let analyze events =
   let makespan = ref 0 in
   let dropped = ref 0 and duplicated = ref 0 in
   let crashes = ref 0 and restarts = ref 0 in
+  let shifts = ref 0 in
   let pool_retries = ref 0 in
   (* pending notification clocks per designer, oldest first *)
   let pending : (string, int list) Hashtbl.t = Hashtbl.create 8 in
@@ -114,6 +116,9 @@ let analyze events =
       | Notification_duplicated _ -> incr duplicated
       | Designer_crashed _ -> incr crashes
       | Designer_restarted _ -> incr restarts
+      | Requirement_shifted { at; _ } ->
+        incr shifts;
+        makespan := max !makespan at
       | Pool_retry _ -> incr pool_retries
       | Op_executed _ | Propagation_started _ | Designer_decision _ -> ())
     events;
@@ -174,6 +179,7 @@ let analyze events =
     r_duplicated = !duplicated;
     r_crashes = !crashes;
     r_restarts = !restarts;
+    r_shifts = !shifts;
     r_pool_retries = !pool_retries;
   }
 
@@ -197,6 +203,8 @@ let render r =
       "faults: %d notifications dropped, %d duplicated; %d designer crashes \
        (%d restarts); %d pool retries\n"
       r.r_dropped r.r_duplicated r.r_crashes r.r_restarts r.r_pool_retries;
+  if r.r_shifts > 0 then
+    add "requirement shifts applied mid-run: %d\n" r.r_shifts;
   add "HC4 revisions: %d incremental (over %d dirty-seeded runs), %d full\n\n"
     r.r_revisions_incremental r.r_propagations_incremental r.r_revisions_full;
   (if r.r_latencies <> [] then begin
@@ -271,6 +279,7 @@ let to_json r =
       ("duplicated", jint r.r_duplicated);
       ("crashes", jint r.r_crashes);
       ("restarts", jint r.r_restarts);
+      ("shifts", jint r.r_shifts);
       ("pool_retries", jint r.r_pool_retries);
       ("wave_sizes", Json.Arr (List.map jint r.r_wave_sizes));
       ( "notification_latency",

@@ -54,6 +54,7 @@ type report = {
   r_duplicated : int;  (** [Notification_duplicated] events *)
   r_crashes : int;  (** [Designer_crashed] events *)
   r_restarts : int;  (** [Designer_restarted] events *)
+  r_shifts : int;  (** [Requirement_shifted] events *)
   r_pool_retries : int;  (** [Pool_retry] supervision events *)
 }
 

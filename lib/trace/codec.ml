@@ -126,6 +126,8 @@ let fields_of_event = function
     ]
   | Designer_crashed { designer; at } | Designer_restarted { designer; at } ->
     [ ("designer", Json.Str designer); ("at", jint at) ]
+  | Requirement_shifted { prop; value; at } ->
+    [ ("prop", Json.Str prop); ("value", Json.Num value); ("at", jint at) ]
   | Pool_retry { index; attempt; reason; requeued } ->
     [
       ("index", jint index);
@@ -370,6 +372,13 @@ let event_of_json j =
     Designer_crashed { designer = get_str j "designer"; at = get_int j "at" }
   | "designer_restarted" ->
     Designer_restarted { designer = get_str j "designer"; at = get_int j "at" }
+  | "requirement_shifted" ->
+    let value =
+      match Json.to_float (get j "value") with
+      | Some v -> v
+      | None -> fail "field value: expected number"
+    in
+    Requirement_shifted { prop = get_str j "prop"; value; at = get_int j "at" }
   | "pool_retry" ->
     Pool_retry
       {

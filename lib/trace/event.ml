@@ -137,6 +137,11 @@ type t =
       designer : string;
       at : int;  (** virtual restart time (scheduler ticks) *)
     }
+  | Requirement_shifted of {
+      prop : string;  (** the re-assigned requirement property *)
+      value : float;  (** its new value *)
+      at : int;  (** virtual shift time (scheduler ticks) *)
+    }
   | Pool_retry of {
       index : int;  (** work item charged with the failed attempt *)
       attempt : int;  (** 1-based attempt number that failed *)
@@ -170,5 +175,6 @@ let kind_label = function
   | Notification_duplicated _ -> "notification_duplicated"
   | Designer_crashed _ -> "designer_crashed"
   | Designer_restarted _ -> "designer_restarted"
+  | Requirement_shifted _ -> "requirement_shifted"
   | Pool_retry _ -> "pool_retry"
   | Run_finished _ -> "run_finished"

@@ -155,6 +155,11 @@ type t =
       (** The crashed designer came back with an {e empty}
           believed-status table, rebuilt only from subsequent
           deliveries. *)
+  | Requirement_shifted of { prop : string; value : float; at : int }
+      (** A scheduled requirement shift fired at virtual time [at]: the
+          requirement property [prop] was re-assigned to [value] through
+          the DPM (the adaptability workload). Replay re-applies it so
+          later operations see the moved requirement. *)
   | Pool_retry of {
       index : int;
       attempt : int;

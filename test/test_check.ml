@@ -130,6 +130,22 @@ let test_p1_excusals () =
          Event.Op_completed { index = 9; at = 50 };
        ])
 
+(* adversarial traces can record two crashes of one designer before any
+   restart; the second restart must close the older still-open window.
+   Before the fix it was discarded when the newest window was already
+   closed, leaving the recipient "down forever" — which excused a real
+   miss that the naive reference flags (found by the QCheck agreement
+   test). Both restarts predate the delivery window, so no excuse holds. *)
+let test_p1_nested_crash_windows () =
+  check_verdict "restart closes the oldest open crash window" true p1
+    (p1_base
+       [
+         Event.Designer_crashed { designer = "bob"; at = 2 };
+         Event.Designer_crashed { designer = "bob"; at = 3 };
+         Event.Designer_restarted { designer = "bob"; at = 0 };
+         Event.Designer_restarted { designer = "bob"; at = 0 };
+       ])
+
 (* {2 no-starvation} *)
 
 let p2 = Props.no_starvation ()
@@ -614,7 +630,7 @@ let test_fuzz_finds_shrinks_replays () =
         | Ok events ->
           Alcotest.(check bool) "artifact trace round-trips" true
             (events = v.Fuzz.v_events);
-          let report = Replay.run ~scenarios:scenarios_for_replay events in
+          let report = Replay.run ~resolve:(Scenario.resolver scenarios_for_replay) events in
           Alcotest.(check bool) "artifact replays to convergence" true
             (Replay.converged report));
         match
@@ -686,6 +702,8 @@ let suite =
   [
     Alcotest.test_case "notified-or-resolved verdicts" `Quick test_p1_verdicts;
     Alcotest.test_case "notified-or-resolved excusals" `Quick test_p1_excusals;
+    Alcotest.test_case "nested crash windows close in order" `Quick
+      test_p1_nested_crash_windows;
     Alcotest.test_case "no-starvation verdicts" `Quick test_p2_verdicts;
     Alcotest.test_case "crash-rejoins verdicts" `Quick test_p3_verdicts;
     Alcotest.test_case "no-deliver-after-drop verdicts" `Quick test_p4_verdicts;

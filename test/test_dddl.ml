@@ -212,6 +212,19 @@ let test_parse_error_positions () =
     Alcotest.fail "expected parse error"
   with Parser.Error { line; _ } -> Alcotest.(check int) "line number" 2 line
 
+(* Through [Elaborate.load_string], the same misplaced token surfaces as a
+   caret-style [Elaborate.Error] pointing at line, column and source line
+   — pinned exactly so the rendering never regresses. *)
+let test_caret_error_message () =
+  try
+    ignore (Elaborate.load_string "scenario s {\n  property ; }");
+    Alcotest.fail "expected Elaborate.Error"
+  with Elaborate.Error msg ->
+    Alcotest.(check string) "caret message"
+      "line 2, column 12: expected a name but found ';'\n\
+      \    property ; }\n\
+      \             ^" msg
+
 (* {2 Printer round-trips} *)
 
 let test_printer_roundtrip_scenarios () =
@@ -222,9 +235,26 @@ let test_printer_roundtrip_scenarios () =
       let ast2 = Parser.parse printed in
       Alcotest.(check bool) (label ^ " round-trips") true (ast = ast2))
     [
-      ("simple", Adpm_scenarios.Simple_dddl.source);
-      ("sensor", Adpm_scenarios.Sensor_dddl.source);
-      ("receiver", Adpm_scenarios.Receiver_dddl.source);
+      ("simple", Adpm_scenarios.Simple.source);
+      ("sensor", Adpm_scenarios.Sensor.source);
+      ("receiver", Adpm_scenarios.Receiver.source);
+      ("lna", Adpm_scenarios.Lna.source);
+      ("minimal", minimal_scenario);
+    ]
+
+(* Same sources through the [Emit] front door: the canonical artifact
+   contract is parse(emit(m)) = m, reported via [Emit.roundtrip]. *)
+let test_emit_roundtrip_scenarios () =
+  List.iter
+    (fun (label, src) ->
+      match Emit.roundtrip (Parser.parse src) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" label msg)
+    [
+      ("simple", Adpm_scenarios.Simple.source);
+      ("sensor", Adpm_scenarios.Sensor.source);
+      ("receiver", Adpm_scenarios.Receiver.source);
+      ("lna", Adpm_scenarios.Lna.source);
       ("minimal", minimal_scenario);
     ]
 
@@ -287,11 +317,16 @@ let printer_expr_roundtrip =
 
 let test_dddl_matches_ocaml_scenario () =
   let open Adpm_scenarios in
+  let ocaml_reference =
+    Scenario.make ~name:"simple-ocaml" ~description:"OCaml-built reference"
+      ~models:Simple.models
+      (fun ~mode -> Simple.build () ~mode)
+  in
   List.iter
     (fun (mode, seed) ->
       let cfg = Config.default ~mode ~seed in
-      let a = (Engine.run cfg Simple_dddl.scenario).Engine.o_summary in
-      let b = (Engine.run cfg Simple.scenario).Engine.o_summary in
+      let a = (Engine.run cfg Simple.scenario).Engine.o_summary in
+      let b = (Engine.run cfg ocaml_reference).Engine.o_summary in
       Alcotest.(check int) "ops equal" b.Metrics.s_operations a.Metrics.s_operations;
       Alcotest.(check int) "evals equal" b.Metrics.s_evaluations a.Metrics.s_evaluations;
       Alcotest.(check int) "spins equal" b.Metrics.s_spins a.Metrics.s_spins;
@@ -313,7 +348,9 @@ let suite =
     ("problem ordering", `Quick, test_problem_ordering);
     ("semantic errors", `Quick, test_elaborate_errors);
     ("parse error positions", `Quick, test_parse_error_positions);
+    ("caret-style load errors", `Quick, test_caret_error_message);
     ("DDDL scenario equals OCaml scenario", `Quick, test_dddl_matches_ocaml_scenario);
     ("printer round-trips scenarios", `Quick, test_printer_roundtrip_scenarios);
+    ("emit round-trips scenarios", `Quick, test_emit_roundtrip_scenarios);
     QCheck_alcotest.to_alcotest printer_expr_roundtrip;
   ]

@@ -23,7 +23,6 @@ let contains haystack needle =
 let scenarios =
   [
     Simple.scenario;
-    Simple_dddl.scenario;
     Lna.scenario;
     Sensor.scenario;
     Receiver.scenario;

@@ -127,6 +127,25 @@ let test_latency_sweep_smoke () =
   Alcotest.(check bool) "render works" true
     (String.length (Exp_latency.render r) > 0)
 
+let test_adapt_smoke () =
+  let r = Exp_adapt.run ~seeds:2 () in
+  Alcotest.(check int) "families x schedules" 9
+    (List.length r.Exp_adapt.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s plan is concrete" p.Exp_adapt.family
+           p.Exp_adapt.schedule)
+        true
+        (String.length p.Exp_adapt.plan > 0);
+      Alcotest.(check bool) "adpm completes under the shift" true
+        (p.Exp_adapt.adpm.Exp_adapt.done_rate > 0.))
+    r.Exp_adapt.points;
+  Alcotest.(check bool) "adapt_advantage is finite" true
+    (Float.is_finite r.Exp_adapt.adapt_advantage);
+  Alcotest.(check bool) "render works" true
+    (String.length (Exp_adapt.render r) > 0)
+
 let suite =
   [
     ("Fig 2-4 walkthrough values", `Quick, test_fig234_walkthrough);
@@ -136,4 +155,5 @@ let suite =
     ("Fig 9 headline claims", `Slow, test_fig9_claims);
     ("Fig 10 robustness", `Slow, test_fig10_robustness);
     ("ablations", `Slow, test_ablation);
+    ("adaptability smoke", `Slow, test_adapt_smoke);
   ]

@@ -91,6 +91,224 @@ let test_generated_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_generated_spec_roundtrip () =
+  let cases =
+    [
+      Generated.default_params ~subsystems:4 ~vars:3;
+      { (Generated.default_params ~subsystems:5 ~vars:2) with
+        Generated.g_seed = 7; g_slack = 0.3; g_topology = Generated.Star };
+      { (Generated.default_params ~subsystems:6 ~vars:1) with
+        Generated.g_topology = Generated.Random 0.25;
+        g_coupling = 0.5; g_slack_jitter = 0.4 };
+    ]
+  in
+  List.iter
+    (fun p ->
+      let spec = Generated.spec_of_params p in
+      match Generated.params_of_spec spec with
+      | Ok p' ->
+        Alcotest.(check bool) (spec ^ " round-trips") true (p = p')
+      | Error e -> Alcotest.failf "%s failed to parse: %s" spec e)
+    cases;
+  (* omitted fields default *)
+  (match Generated.params_of_spec "n=3,k=2" with
+  | Ok p ->
+    Alcotest.(check bool) "defaults fill in" true
+      (p = Generated.default_params ~subsystems:3 ~vars:2)
+  | Error e -> Alcotest.fail e);
+  let expect_error label spec needle =
+    match Generated.params_of_spec spec with
+    | Ok _ -> Alcotest.failf "%s unexpectedly parsed" label
+    | Error e ->
+      Alcotest.(check bool) (label ^ ": " ^ e) true (contains e needle)
+  in
+  expect_error "malformed field" "n=3,k" "key=value";
+  expect_error "unknown key" "n=3,k=2,frobs=1" "unknown field";
+  expect_error "bad number" "n=3,k=two" "not an integer";
+  expect_error "bad topology" "n=3,k=2,topology=mesh" "unknown topology";
+  expect_error "validation folds to Error" "n=1,k=2" "subsystems";
+  expect_error "empty spec" "" "empty"
+
+let test_generated_topologies () =
+  let count_edges p =
+    Generated.constraint_count p - (2 * p.Generated.g_subsystems) - 1
+  in
+  let base = Generated.default_params ~subsystems:4 ~vars:2 in
+  Alcotest.(check int) "ring n=4 has 4 couplings" 4 (count_edges base);
+  Alcotest.(check int) "star n=4 has 3 couplings" 3
+    (count_edges { base with Generated.g_topology = Generated.Star });
+  Alcotest.(check int) "random-0 is the spanning chain" 3
+    (count_edges { base with Generated.g_topology = Generated.Random 0. });
+  Alcotest.(check int) "random-1 is the complete graph" 6
+    (count_edges { base with Generated.g_topology = Generated.Random 1. });
+  Alcotest.(check int) "coupling adds round(c*n) edges" 6
+    (count_edges { base with Generated.g_coupling = 0.5 });
+  (* non-default knobs still elaborate and keep the witness satisfiable *)
+  let p =
+    { base with Generated.g_topology = Generated.Star;
+      g_coupling = 0.5; g_slack_jitter = 0.5 }
+  in
+  let scenario = Generated.scenario p in
+  let dpm = scenario.Scenario.sc_build ~mode:Dpm.Conventional in
+  let net = Dpm.network dpm in
+  for i = 0 to 3 do
+    for j = 0 to 1 do
+      Network.assign net (Printf.sprintf "x%d_%d" i j) (Value.Num 5.)
+    done
+  done;
+  List.iter
+    (fun (prop, model) ->
+      let v = Expr.eval (fun name ->
+          match Network.assigned_num net name with
+          | Some x -> x
+          | None -> Alcotest.fail (name ^ " unbound")) model
+      in
+      Network.assign net prop (Value.Num v))
+    scenario.Scenario.sc_models;
+  Alcotest.(check bool) "witness satisfies star+coupling+jitter" true
+    (Network.solved net)
+
+let test_generated_canonical_artifact () =
+  (* the scenario's name is its spec, and resolving that spec on a fresh
+     parse yields the identical DDDL text: same spec -> same artifact *)
+  let p =
+    { (Generated.default_params ~subsystems:3 ~vars:2) with
+      Generated.g_seed = 11; g_topology = Generated.Random 0.5;
+      g_coupling = 0.3; g_slack_jitter = 0.2 }
+  in
+  let scenario = Generated.scenario p in
+  let spec = Generated.spec_of_params p in
+  Alcotest.(check string) "scenario named by spec" ("gen:" ^ spec)
+    scenario.Scenario.sc_name;
+  match Generated.params_of_spec spec with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+    Alcotest.(check string) "same spec, same DDDL text" (Generated.source p)
+      (Generated.source p')
+
+let qcheck_generated_sources =
+  (* 100 random parameter points: the emitted DDDL must round-trip
+     (Emit.checked raises otherwise) and the spec string must be the
+     identity on params *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 5 in
+      let* k = int_range 1 3 in
+      let* seed = int_bound 1000 in
+      let* slack = float_range 0.05 0.5 in
+      let* jitter = float_range 0. 0.9 in
+      let* coupling = float_range 0. 1. in
+      let* topology =
+        oneof
+          [
+            return Generated.Ring;
+            return Generated.Star;
+            map (fun p -> Generated.Random p) (float_range 0. 1.);
+          ]
+      in
+      return
+        { Generated.g_subsystems = n; g_vars_per_subsystem = k; g_seed = seed;
+          g_slack = slack; g_topology = topology; g_coupling = coupling;
+          g_slack_jitter = jitter })
+  in
+  QCheck.Test.make ~name:"generated specs emit round-tripping DDDL" ~count:100
+    (QCheck.make ~print:Generated.spec_of_params gen)
+    (fun p ->
+      let src = Generated.source p in
+      String.length src > 0
+      && Generated.params_of_spec (Generated.spec_of_params p) = Ok p)
+
+(* {2 Registry} *)
+
+let expect_unresolvable name ~sub =
+  match Registry.resolve name with
+  | _ -> Alcotest.failf "%S resolved but should not" name
+  | exception Invalid_argument msg ->
+    if not (contains msg sub) then
+      Alcotest.failf "%S: error %S does not mention %S" name msg sub
+
+let test_registry_builtin () =
+  let s = Registry.resolve "lna" in
+  Alcotest.(check string) "plain name resolves" "lna" s.Scenario.sc_name;
+  (match Registry.resolve_result "sensor" with
+  | Ok s -> Alcotest.(check string) "result form" "sensor" s.Scenario.sc_name
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "four builtins" 4 (List.length Registry.builtin)
+
+let test_registry_gen () =
+  (* a partial spec resolves; its canonical name resolves back to the
+     exact same artifact (the trace-header round trip) *)
+  let s = Registry.resolve "gen:n=3,k=2,seed=7" in
+  Alcotest.(check bool) "named by canonical spec" true
+    (contains s.Scenario.sc_name "gen:n=3,k=2,seed=7");
+  let s' = Registry.resolve s.Scenario.sc_name in
+  Alcotest.(check string) "canonical name is a fixed point"
+    s.Scenario.sc_name s'.Scenario.sc_name;
+  match Generated.params_of_spec (String.sub s.Scenario.sc_name 4
+                                    (String.length s.Scenario.sc_name - 4))
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "seed carried through" 7 p.Generated.g_seed
+
+let test_registry_file () =
+  let path = Filename.temp_file "adpm_registry" ".dddl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc Lna.source);
+      let s = Registry.resolve ("file:" ^ path) in
+      Alcotest.(check string) "named by its reference" ("file:" ^ path)
+        s.Scenario.sc_name;
+      let from_file = s.Scenario.sc_build ~mode:Dpm.Adpm in
+      let builtin = Lna.scenario.Scenario.sc_build ~mode:Dpm.Adpm in
+      Alcotest.(check int) "same network as the builtin twin"
+        (Network.constraint_count (Dpm.network builtin))
+        (Network.constraint_count (Dpm.network from_file)))
+
+let test_registry_failures () =
+  (* the three failure classes are distinct, descriptive errors *)
+  expect_unresolvable "nonesuch" ~sub:"unknown scenario nonesuch";
+  expect_unresolvable "nonesuch" ~sub:"gen:<spec>";
+  expect_unresolvable "gen:frobs=1" ~sub:"malformed gen: spec";
+  expect_unresolvable "gen:frobs=1" ~sub:"unknown field";
+  expect_unresolvable "file:/nonexistent/no.dddl"
+    ~sub:"cannot read scenario file";
+  let path = Filename.temp_file "adpm_registry" ".dddl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "scenario broken { properties {");
+      expect_unresolvable ("file:" ^ path) ~sub:"does not elaborate")
+
+let test_registry_fingerprint_reproduction () =
+  (* acceptance: the gen: name a run records in its trace header is
+     enough for a fresh process to rebuild the scenario and reproduce the
+     run bit-for-bit — replay resolves through the registry only *)
+  let p =
+    { (Generated.default_params ~subsystems:3 ~vars:2) with
+      Generated.g_seed = 13; g_topology = Generated.Star; g_coupling = 0.4 }
+  in
+  let scenario = Generated.scenario p in
+  let buffer, sink = Adpm_trace.Sink.memory ~capacity:100_000 in
+  let tracer = Adpm_trace.Tracer.create sink in
+  let cfg = Config.default ~mode:Dpm.Adpm ~seed:2 in
+  let _ = Engine.run ~tracer cfg scenario in
+  Adpm_trace.Tracer.close tracer;
+  let events = Adpm_trace.Sink.Ring.contents buffer in
+  (match events with
+  | { Adpm_trace.Event.event = Adpm_trace.Event.Run_started { scenario; _ }; _ }
+    :: _ ->
+    Alcotest.(check string) "header records the spec"
+      ("gen:" ^ Generated.spec_of_params p) scenario
+  | _ -> Alcotest.fail "first event must be run_started");
+  let report = Replay.run ~resolve:Registry.resolve events in
+  if not (Replay.converged report) then
+    Alcotest.failf "registry-resolved replay diverged:\n%s"
+      (Replay.render report)
+
 (* {2 Bound shaving} *)
 
 let shaving_fixture () =
@@ -274,6 +492,17 @@ let suite =
     ("generated witness satisfiable", `Quick, test_generated_witness_satisfiable);
     ("generated scenarios complete", `Slow, test_generated_completes);
     ("generated validation", `Quick, test_generated_validation);
+    ("generated spec round-trip", `Quick, test_generated_spec_roundtrip);
+    ("generated topologies", `Quick, test_generated_topologies);
+    ("generated canonical artifact", `Quick, test_generated_canonical_artifact);
+    QCheck_alcotest.to_alcotest qcheck_generated_sources;
+    ("registry: builtins", `Quick, test_registry_builtin);
+    ("registry: gen references", `Quick, test_registry_gen);
+    ("registry: file references", `Quick, test_registry_file);
+    ("registry: failure classes", `Quick, test_registry_failures);
+    ( "registry: fingerprint reproduction",
+      `Quick,
+      test_registry_fingerprint_reproduction );
     ("shaving tightens windows", `Quick, test_shaving_tightens);
     ("shaving preserves witnesses", `Quick, test_shaving_sound);
     ("shaving validation", `Quick, test_shaving_validation);

@@ -18,7 +18,6 @@ module Fault = Adpm_fault.Fault
 let scenarios =
   [
     Simple.scenario;
-    Simple_dddl.scenario;
     Lna.scenario;
     Sensor.scenario;
     Receiver.scenario;
@@ -288,7 +287,7 @@ let test_faulty_trace_replays () =
   Alcotest.(check bool) "trace records dropped notifications" true
     ((faults_of outcome.Engine.o_summary).Metrics.f_dropped = 0
     || List.mem "notification_dropped" kinds);
-  let report = Replay.run ~scenarios events in
+  let report = Replay.run ~resolve:(Scenario.resolver scenarios) events in
   Alcotest.(check bool) "faulty trace replays and converges" true
     (Replay.converged report)
 

@@ -300,7 +300,6 @@ let test_codec_rejects_garbage () =
 let scenarios =
   [
     Simple.scenario;
-    Simple_dddl.scenario;
     Lna.scenario;
     Sensor.scenario;
     Receiver.scenario;

@@ -377,6 +377,52 @@ let test_resume_errors () =
         | _ -> false);
       Sys.remove ckpt)
 
+(* {2 Registry-backed resolution} *)
+
+(* With the full registry injected (as the CLI does), a malformed gen:
+   spec or an unreadable file: path must come back as a command-level
+   [unknown_scenario] error frame — never a [session_failed] and never a
+   torn-down daemon. *)
+let test_registry_resolution_errors () =
+  let sock = temp_path ".sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~addr:(Daemon.Unix_path sock)
+         ~scenarios:Adpm_scenarios.Registry.builtin)
+      with
+      Daemon.dc_resolve = Adpm_scenarios.Registry.resolve_result;
+    }
+  in
+  let d = Daemon.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let open_scenario name =
+        Daemon.handle d
+          (op "open"
+             [ ("scenario", Json.Str name); ("designer", Json.Str "leader") ])
+      in
+      List.iter
+        (fun (name, mention) ->
+          let frame = expect_err "unknown_scenario" (open_scenario name) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error mentions %S" name mention)
+            true
+            (contains (str_field "error" frame) mention);
+          Alcotest.(check int)
+            (Printf.sprintf "%S leaves no session behind" name)
+            0 (Daemon.session_count d))
+        [
+          ("nonesuch", "unknown scenario");
+          ("gen:frobs=1", "malformed gen: spec");
+          ("file:/nonexistent/no.dddl", "cannot read scenario file");
+        ];
+      (* and a well-formed gen: reference opens a live session *)
+      let frame = expect_ok (open_scenario "gen:n=3,k=1,seed=4") in
+      let sid = str_field "session" frame in
+      Alcotest.(check bool) "gen: session executes" true
+        (contains (exec_ok d sid "status") "PROBLEMS"))
+
 (* {2 Session isolation} *)
 
 (* A session whose engine throws something other than the
@@ -441,6 +487,9 @@ let suite =
     ("daemon output equals CLI output", `Quick, test_cli_equivalence);
     ("checkpoint survives daemon restart", `Quick, test_checkpoint_resume);
     ("resume rejects bad artifacts", `Quick, test_resume_errors);
+    ( "registry errors are command-level frames",
+      `Quick,
+      test_registry_resolution_errors );
     ("throwing session is isolated", `Quick, test_session_failed_teardown);
     ("64 sessions multiplex", `Quick, test_many_sessions);
   ]

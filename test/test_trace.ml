@@ -132,6 +132,7 @@ let sample_events =
           alpha = 0;
           beta = 0;
         };
+      Event.Requirement_shifted { prop = "p_budget"; value = 132.25; at = 30 };
       Event.Run_finished
         {
           completed = true;
@@ -499,7 +500,7 @@ let test_replay_convergence () =
           List.iter
             (fun seed ->
               let _, events = capture mode seed scenario in
-              let report = Replay.run ~scenarios:replay_scenarios events in
+              let report = Replay.run ~resolve:(Scenario.resolver replay_scenarios) events in
               let label =
                 Printf.sprintf "%s/%s seed %d"
                   scenario.Scenario.sc_name (Dpm.mode_to_string mode) seed
@@ -525,7 +526,7 @@ let test_replay_through_file () =
       match Codec.read_file path with
       | Error e -> Alcotest.failf "read_file: %s" e
       | Ok events ->
-        let report = Replay.run ~scenarios:replay_scenarios events in
+        let report = Replay.run ~resolve:(Scenario.resolver replay_scenarios) events in
         if not (Replay.converged report) then
           Alcotest.failf "file replay diverged:\n%s" (Replay.render report))
 
@@ -560,14 +561,14 @@ let test_replay_detects_tampering () =
         | _ -> s)
       events
   in
-  let report = Replay.run ~scenarios:replay_scenarios tampered in
+  let report = Replay.run ~resolve:(Scenario.resolver replay_scenarios) tampered in
   Alcotest.(check bool) "tampered totals detected" false
     (Replay.converged report)
 
 let test_replay_rejects_unusable_traces () =
   Alcotest.check_raises "empty trace"
     (Replay.Replay_error "trace contains no run_started event") (fun () ->
-      ignore (Replay.run ~scenarios:replay_scenarios []));
+      ignore (Replay.run ~resolve:(Scenario.resolver replay_scenarios) []));
   let bogus =
     [
       stamp 0
@@ -575,7 +576,7 @@ let test_replay_rejects_unusable_traces () =
            { scenario = "nope"; mode = "ADPM"; seed = 1; engine = "full" });
     ]
   in
-  match Replay.run ~scenarios:replay_scenarios bogus with
+  match Replay.run ~resolve:(Scenario.resolver replay_scenarios) bogus with
   | exception Replay.Replay_error _ -> ()
   | _ -> Alcotest.fail "unknown scenario must raise"
 
