@@ -1,0 +1,219 @@
+(* Crash-recovery bench for the journaled daemon, two measurements in
+   one section (no forks, no domains — everything is select loops hosted
+   in this thread, so it composes with main.ml's ordering rules):
+
+   - recovery_ms: wall time of [Daemon.create] on a journal directory
+     holding N in-flight sessions — the full scan + fingerprint-gated
+     replay + compaction cost a restarted daemon pays before serving.
+
+   - ok_sessions/sessions: N reconnecting clients drive scripted
+     sessions through a chaos proxy (default plan: cuts, dribbles,
+     delays, partial writes) with the daemon stopped and recreated
+     mid-run; a session counts as ok only if every exec output is
+     byte-identical to an undisturbed in-process run and the final
+     fingerprint matches. Anything less than N/N is a recovery bug. *)
+
+open Adpm_serve
+module Chaos = Adpm_chaos.Chaos
+
+type result = {
+  sessions : int;
+  ok_sessions : int;
+  recovered : int;
+  recovery_ms : float;
+}
+
+let designer i = if i mod 2 = 0 then "alice" else "bob"
+
+let tmpdir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let rm_rf dir =
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  try rm dir with Sys_error _ | Unix.Unix_error _ -> ()
+
+let config ~dir ~sock =
+  {
+    (Daemon.default_config
+       ~addr:(Daemon.Unix_path sock)
+       ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+    with
+    Daemon.dc_checkpoint_dir = dir;
+    dc_journal_dir = Some (Filename.concat dir "journal");
+    dc_checkpoint_every = 4;
+  }
+
+let open_req i =
+  Wire.Open
+    {
+      scenario = "simple";
+      mode = Adpm_core.Dpm.Adpm;
+      seed = i + 1;
+      designer = designer i;
+    }
+
+let sid_of resp =
+  match Client.body_str resp "session" with
+  | Some sid -> sid
+  | None ->
+    failwith
+      (Printf.sprintf "chaos_bench: open failed: %s"
+         (Adpm_trace.Json.to_string resp.Wire.r_body))
+
+(* Part A: how long does a restarted daemon take to rebuild [sessions]
+   journaled sessions of [ops] commands each? *)
+let measure_recovery ~sessions ~ops =
+  let dir = tmpdir "adpm_chaos_bench_a" in
+  let sock = Filename.concat dir "daemon.sock" in
+  let cfg = config ~dir ~sock in
+  let d1 = Daemon.create cfg in
+  let pump () = ignore (Daemon.step ~timeout:0. d1 : bool) in
+  let rpc c req = Client.rpc ~timeout:60. ~pump c req in
+  let clients =
+    Array.init sessions (fun _ ->
+        let c = Client.connect (Unix.ADDR_UNIX sock) in
+        pump ();
+        c)
+  in
+  let sids = Array.mapi (fun i c -> sid_of (rpc c (open_req i))) clients in
+  for round = 1 to ops do
+    let line = if round mod 3 = 0 then "step" else "auto" in
+    Array.iteri
+      (fun i c ->
+        let resp = rpc c (Wire.Exec { session = sids.(i); line }) in
+        if not resp.Wire.r_ok then
+          failwith
+            (Printf.sprintf "chaos_bench: exec failed: %s"
+               (Adpm_trace.Json.to_string resp.Wire.r_body)))
+      clients
+  done;
+  let fps =
+    Array.mapi
+      (fun i c ->
+        Client.body_str (rpc c (Wire.Status { session = sids.(i) })) "fingerprint")
+      clients
+  in
+  Array.iter Client.close clients;
+  Daemon.stop d1;
+  let t0 = Unix.gettimeofday () in
+  let d2 = Daemon.create cfg in
+  let recovery_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let recovered = List.length (Daemon.recovered_sessions d2) in
+  (* every recovered session must still answer with its pre-stop state *)
+  let pump () = ignore (Daemon.step ~timeout:0. d2 : bool) in
+  Array.iteri
+    (fun i sid ->
+      let c = Client.connect (Unix.ADDR_UNIX sock) in
+      pump ();
+      let fp =
+        Client.body_str
+          (Client.rpc ~timeout:60. ~pump c (Wire.Status { session = sid }))
+          "fingerprint"
+      in
+      if fp <> fps.(i) || fp = None then
+        failwith
+          (Printf.sprintf "chaos_bench: session %s fingerprint drifted across \
+                           restart"
+             sid);
+      Client.close c)
+    sids;
+  Daemon.stop d2;
+  rm_rf dir;
+  (recovered, recovery_ms)
+
+(* Part B: scripted sessions through the chaos proxy, daemon stopped and
+   recreated mid-run; count sessions indistinguishable from an
+   undisturbed run. *)
+let run_chaos ~sessions =
+  let script = [ "auto"; "step"; "auto"; "suggest"; "auto"; "status" ] in
+  let kill_after = 3 in
+  let dir = tmpdir "adpm_chaos_bench_b" in
+  let sock = Filename.concat dir "daemon.sock" in
+  let proxy_sock = Filename.concat dir "proxy.sock" in
+  let cfg = config ~dir ~sock in
+  let d = ref (Daemon.create cfg) in
+  let proxy =
+    Chaos.create ~seed:42 ~plan:Chaos.default
+      ~listen:(Unix.ADDR_UNIX proxy_sock) ~upstream:(Unix.ADDR_UNIX sock)
+  in
+  let pump () =
+    ignore (Daemon.step ~timeout:0. !d : bool);
+    Chaos.step ~timeout:0. proxy
+  in
+  let rpc c req = Client.rpc ~timeout:60. ~pump c req in
+  let references =
+    Array.init sessions (fun i ->
+        Adpm_teamsim.Interactive.create ~mode:Adpm_core.Dpm.Adpm ~seed:(i + 1)
+          Adpm_scenarios.Simple.scenario ~designer:(designer i))
+  in
+  let expected =
+    Array.map
+      (fun r ->
+        List.map
+          (fun line ->
+            match Adpm_teamsim.Interactive.execute r line with
+            | Ok s -> Some s
+            | Error _ -> None)
+          script)
+      references
+  in
+  let clients =
+    Array.init sessions (fun i ->
+        Client.connect_persistent ~retries:12 ~backoff:0.02 ~seed:(500 + i)
+          ~client:(Printf.sprintf "bench-c%d" i)
+          (Unix.ADDR_UNIX proxy_sock))
+  in
+  let sids = Array.mapi (fun i c -> sid_of (rpc c (open_req i))) clients in
+  let got = Array.make sessions [] in
+  List.iteri
+    (fun round line ->
+      if round = kill_after then begin
+        (* in-process "crash": drop every connection and rebuild from the
+           journals; clients resend through the proxy *)
+        Daemon.stop !d;
+        d := Daemon.create cfg
+      end;
+      Array.iteri
+        (fun i c ->
+          let resp = rpc c (Wire.Exec { session = sids.(i); line }) in
+          got.(i) <- Client.body_str resp "output" :: got.(i))
+        clients)
+    script;
+  let ok = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let outputs_match = List.rev got.(i) = expected.(i) in
+      let fp_match =
+        Client.body_str (rpc c (Wire.Status { session = sids.(i) })) "fingerprint"
+        = Some (Session.fingerprint_of_interactive references.(i))
+      in
+      if outputs_match && fp_match then incr ok;
+      ignore (rpc c (Wire.Close { session = sids.(i) }) : Wire.response);
+      Client.close c)
+    clients;
+  Daemon.stop !d;
+  Chaos.stop proxy;
+  rm_rf dir;
+  !ok
+
+let run ?(sessions = 8) ?(ops_per_session = 6) () =
+  let recovered, recovery_ms =
+    measure_recovery ~sessions ~ops:ops_per_session
+  in
+  let ok_sessions = run_chaos ~sessions in
+  { sessions; ok_sessions; recovered; recovery_ms }
+
+let render r =
+  Printf.sprintf
+    "restart replayed %d journaled sessions in %.2fms; %d/%d chaos sessions \
+     byte-identical to an undisturbed run across a mid-run restart\n"
+    r.recovered r.recovery_ms r.ok_sessions r.sessions

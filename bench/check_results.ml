@@ -148,6 +148,28 @@ let () =
   if (not fast) && teamsimd_sessions < 64 then
     die "teamsimd_sessions %d < 64 on a full run: the load bench shrank"
       teamsimd_sessions;
+  (* crash recovery must have been measured (a finite positive replay
+     time) and must be lossless: chaos_sessions_ok is the fraction of
+     chaos-proxied sessions whose outputs and fingerprint were
+     byte-identical to an undisturbed run across a mid-run daemon
+     restart — anything below 1.0 is recovered-state corruption, never
+     acceptable noise *)
+  let recovery_ms = speedup "teamsimd_recovery_ms" in
+  let chaos_sessions =
+    match Option.bind (Json.member "chaos_sessions" json) Json.to_int with
+    | Some n -> n
+    | None -> die "%s lacks the chaos_sessions field" file
+  in
+  (match Option.bind (Json.member "chaos_sessions_ok" json) Json.to_float with
+  | Some ok when ok = 1.0 -> ()
+  | Some ok ->
+    die
+      "chaos_sessions_ok %g < 1.0: a chaos-proxied session diverged from the        undisturbed run after the mid-run restart"
+      ok
+  | None -> die "%s lacks the chaos_sessions_ok field" file);
+  if (not fast) && chaos_sessions < 8 then
+    die "chaos_sessions %d < 8 on a full run: the recovery bench shrank"
+      chaos_sessions;
   (* the fault sweep must have produced a degradation curve *)
   (match Json.member "fault_sweep" json with
   | None -> die "%s lacks the fault_sweep field" file
@@ -163,6 +185,8 @@ let () =
      (jobs=%d) domains_speedup=%.2fx (jobs=%d, cores=%d) des_overhead=%.2fx \
      pool_retry_overhead=%.2fx adapt_advantage=%.2fx \
      gen_scenarios_per_s=%.1f fuzz_throughput=%.1f/s \
-     teamsimd=%d sessions @ %.0f ops/s (p99 %.2fms)\n"
+     teamsimd=%d sessions @ %.0f ops/s (p99 %.2fms) recovery=%.1fms \
+     chaos_sessions=%d/%d ok\n"
     incremental parallel jobs domains domains_jobs cores des_overhead pool
     adapt_advantage gen_rate fuzz teamsimd_sessions teamsimd_ops teamsimd_p99
+    recovery_ms chaos_sessions chaos_sessions

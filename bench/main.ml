@@ -95,7 +95,7 @@ let gen_scenarios_per_s () =
   rate
 
 let results_json ~fig9_seeds ~parallel ~domains ~adapt ~gen_rate verdicts incr
-    des pool faults fuzz teamsimd =
+    des pool faults fuzz teamsimd chaos =
   let parallel_jobs, parallel_speedup, parallel_agrees = parallel in
   let domains_jobs, domains_speedup, domains_agrees = domains in
   Json.Obj
@@ -119,6 +119,14 @@ let results_json ~fig9_seeds ~parallel ~domains ~adapt ~gen_rate verdicts incr
       ("teamsimd_ops", Json.Num (float_of_int teamsimd.Daemon_bench.total_ops));
       ("teamsimd_ops_per_s", Json.Num teamsimd.Daemon_bench.ops_per_s);
       ("teamsimd_p99_ms", Json.Num teamsimd.Daemon_bench.p99_ms);
+      ("teamsimd_recovery_ms", Json.Num chaos.Chaos_bench.recovery_ms);
+      ( "teamsimd_recovered",
+        Json.Num (float_of_int chaos.Chaos_bench.recovered) );
+      ("chaos_sessions", Json.Num (float_of_int chaos.Chaos_bench.sessions));
+      ( "chaos_sessions_ok",
+        Json.Num
+          (float_of_int chaos.Chaos_bench.ok_sessions
+          /. float_of_int chaos.Chaos_bench.sessions) );
       ("parallel_jobs", Json.Num (float_of_int parallel_jobs));
       ("parallel_speedup", Json.Num parallel_speedup);
       ("parallel_agrees", Json.Bool parallel_agrees);
@@ -316,6 +324,18 @@ let () =
   in
   print_string (Daemon_bench.render teamsimd);
 
+  section "teamsimd crash recovery: journal replay and chaos-proxy sessions";
+  (* Same no-fork/no-domain footing as the load bench above: daemon,
+     proxy, and clients are all select loops in this thread. *)
+  let chaos =
+    timed "chaos" (fun () ->
+        Chaos_bench.run
+          ~sessions:(if fast then 4 else 8)
+          ~ops_per_session:(if fast then 4 else 6)
+          ())
+  in
+  print_string (Chaos_bench.render chaos);
+
   (* Domain runner: the Fig. 9 cells again on the shared-memory backend.
      Unlike the fork section this always runs (jobs forced to >= 2) so
      every bench run exercises the domain pool's bit-identity; a real
@@ -359,7 +379,7 @@ let () =
 
   let json =
     results_json ~fig9_seeds ~parallel ~domains ~adapt ~gen_rate
-      (Exp_fig9.verdicts fig9) incr des pool faults fuzz teamsimd
+      (Exp_fig9.verdicts fig9) incr des pool faults fuzz teamsimd chaos
   in
   let oc = open_out "BENCH_results.json" in
   Fun.protect

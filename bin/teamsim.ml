@@ -747,7 +747,46 @@ let serve_cmd =
       & info [ "max-sessions" ] ~docv:"N"
           ~doc:"Maximum concurrently open sessions.")
   in
-  let action socket tcp checkpoint_dir max_sessions =
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write-ahead journal directory. Every accepted open/exec/resume \
+             is journaled (fsync'd before execution); a restarted daemon \
+             pointed at the same $(docv) rebuilds every in-flight session \
+             automatically.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Auto-compact a session's journal every $(docv) executed \
+             commands (0 disables compaction).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Connection admission limit: clients past it are answered with \
+             one `overloaded' error frame and disconnected.")
+  in
+  let max_ops_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-ops" ] ~docv:"N"
+          ~doc:
+            "Per-session exec budget (0 = unlimited); past it every exec is \
+             refused with `overloaded'.")
+  in
+  let action socket tcp checkpoint_dir max_sessions journal_dir checkpoint_every
+      max_conns max_ops =
     let addr =
       match (socket, tcp) with
       | Some p, None -> Ok (Adpm_serve.Daemon.Unix_path p)
@@ -776,6 +815,10 @@ let serve_cmd =
           Adpm_serve.Daemon.dc_resolve = Registry.resolve_result;
           dc_checkpoint_dir = checkpoint_dir;
           dc_max_sessions = max_sessions;
+          dc_journal_dir = journal_dir;
+          dc_checkpoint_every = checkpoint_every;
+          dc_max_conns = max_conns;
+          dc_max_ops = max_ops;
         }
       in
       match Adpm_serve.Daemon.create cfg with
@@ -783,18 +826,30 @@ let serve_cmd =
         Printf.eprintf "teamsimd: cannot listen (%s %s: %s)\n" fn arg
           (Unix.error_message err);
         exit 1
+      | exception Failure msg ->
+        Printf.eprintf "teamsimd: %s\n" msg;
+        exit 1
       | daemon ->
         (match addr with
         | Adpm_serve.Daemon.Unix_path p ->
           Printf.printf "teamsimd listening on %s\n%!" p
         | Adpm_serve.Daemon.Tcp (h, p) ->
           Printf.printf "teamsimd listening on %s:%d\n%!" h p);
+        List.iter
+          (fun (sid, replayed) ->
+            Printf.printf "teamsimd: recovered session %s (%d commands)\n%!"
+              sid replayed)
+          (Adpm_serve.Daemon.recovered_sessions daemon);
+        List.iter
+          (fun w -> Printf.printf "teamsimd: warning: %s\n%!" w)
+          (Adpm_serve.Daemon.warnings daemon);
         Adpm_serve.Daemon.run daemon)
   in
   let term =
     Term.(
       const action $ socket_arg $ tcp_arg $ checkpoint_dir_arg
-      $ max_sessions_arg)
+      $ max_sessions_arg $ journal_dir_arg $ checkpoint_every_arg
+      $ max_conns_arg $ max_ops_arg)
   in
   Cmd.v
     (Cmd.info "serve"

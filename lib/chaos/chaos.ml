@@ -1,0 +1,355 @@
+module Rng = Adpm_util.Rng
+
+type plan = {
+  cp_cut : float;
+  cp_dribble : float;
+  cp_delay : float;
+  cp_delay_max : float;
+  cp_split : float;
+}
+
+let none =
+  { cp_cut = 0.; cp_dribble = 0.; cp_delay = 0.; cp_delay_max = 0.; cp_split = 0. }
+
+let default =
+  {
+    cp_cut = 0.02;
+    cp_dribble = 0.05;
+    cp_delay = 0.15;
+    cp_delay_max = 0.02;
+    cp_split = 0.3;
+  }
+
+type stats = {
+  mutable st_conns : int;
+  mutable st_cuts : int;
+  mutable st_dribbles : int;
+  mutable st_delays : int;
+  mutable st_splits : int;
+}
+
+(* One queued delivery: [sg_bytes] from [sg_off], not before [sg_due]. *)
+type seg = { sg_due : float; sg_bytes : Bytes.t; mutable sg_off : int }
+
+(* One proxied direction: bytes read from [dr_src] are queued (possibly
+   mangled) and drained into [dr_dst]. *)
+type dir = {
+  dr_src : Unix.file_descr;
+  dr_dst : Unix.file_descr;
+  dr_segs : seg Queue.t;
+  mutable dr_eof : bool;  (* src hit EOF; flush then shutdown dst's send side *)
+  mutable dr_shut : bool;
+}
+
+type link = {
+  lk_client : Unix.file_descr;
+  lk_server : Unix.file_descr;
+  lk_rng : Rng.t;
+  lk_c2s : dir;
+  lk_s2c : dir;
+  mutable lk_cutting : bool;  (* flush queues, then hard-close both fds *)
+  mutable lk_dead : bool;
+}
+
+type t = {
+  ch_plan : plan;
+  ch_listen : Unix.file_descr;
+  ch_listen_path : string option;
+  ch_upstream : Unix.sockaddr;
+  ch_rng : Rng.t;
+  ch_stats : stats;
+  mutable ch_links : link list;
+}
+
+let stats t = t.ch_stats
+
+let create ~seed ~plan ~listen ~upstream =
+  let domain, path =
+    match listen with
+    | Unix.ADDR_UNIX p ->
+      if Sys.file_exists p then (try Unix.unlink p with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Some p)
+    | Unix.ADDR_INET _ -> (Unix.PF_INET, None)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd listen;
+     Unix.listen fd 64;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    ch_plan = plan;
+    ch_listen = fd;
+    ch_listen_path = path;
+    ch_upstream = upstream;
+    ch_rng = Rng.create seed;
+    ch_stats =
+      { st_conns = 0; st_cuts = 0; st_dribbles = 0; st_delays = 0; st_splits = 0 };
+    ch_links = [];
+  }
+
+let now () = Unix.gettimeofday ()
+
+let enqueue_slice dir ~due buf off len =
+  if len > 0 then
+    Queue.add { sg_due = due; sg_bytes = Bytes.sub buf off len; sg_off = 0 }
+      dir.dr_segs
+
+(* Mangle one freshly-read chunk according to the plan. Five values are
+   drawn from the link's RNG in a fixed order on {e every} chunk —
+   whether or not each fault fires — so the byte stream's content never
+   perturbs the fault schedule: determinism depends only on the seed and
+   the chunk boundaries (lib/fault's fixed-draw-order idiom). *)
+let ingest t link dir buf len =
+  let p = t.ch_plan in
+  let r = link.lk_rng in
+  let cut_d = Rng.float r 1.0 in
+  let drib_d = Rng.float r 1.0 in
+  let delay_d = Rng.float r 1.0 in
+  let split_d = Rng.float r 1.0 in
+  let aux = Rng.float r 1.0 in
+  let t0 = now () in
+  if cut_d < p.cp_cut then begin
+    (* mid-frame disconnect: forward a prefix, then kill the link *)
+    t.ch_stats.st_cuts <- t.ch_stats.st_cuts + 1;
+    let keep = int_of_float (aux *. float_of_int len) in
+    enqueue_slice dir ~due:t0 buf 0 keep;
+    link.lk_cutting <- true
+  end
+  else if drib_d < p.cp_dribble then begin
+    (* slow-loris: one byte at a time, spread over ~cp_delay_max *)
+    t.ch_stats.st_dribbles <- t.ch_stats.st_dribbles + 1;
+    let gap = if len > 1 then p.cp_delay_max /. float_of_int len else 0. in
+    for i = 0 to len - 1 do
+      enqueue_slice dir ~due:(t0 +. (gap *. float_of_int i)) buf i 1
+    done
+  end
+  else if delay_d < p.cp_delay then begin
+    t.ch_stats.st_delays <- t.ch_stats.st_delays + 1;
+    enqueue_slice dir ~due:(t0 +. (aux *. p.cp_delay_max)) buf 0 len
+  end
+  else if split_d < p.cp_split && len > 1 then begin
+    (* partial write: the peer sees the chunk arrive in two pieces *)
+    t.ch_stats.st_splits <- t.ch_stats.st_splits + 1;
+    let cut_at = 1 + int_of_float (aux *. float_of_int (len - 1)) in
+    enqueue_slice dir ~due:t0 buf 0 cut_at;
+    enqueue_slice dir ~due:t0 buf cut_at (len - cut_at)
+  end
+  else enqueue_slice dir ~due:t0 buf 0 len
+
+let read_dir t link dir =
+  let chunk = Bytes.create 2048 in
+  match Unix.read dir.dr_src chunk 0 (Bytes.length chunk) with
+  | 0 -> dir.dr_eof <- true
+  | n -> ingest t link dir chunk n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error _ ->
+    dir.dr_eof <- true;
+    Queue.clear dir.dr_segs
+
+let flush_dir dir =
+  let t0 = now () in
+  let rec loop () =
+    match Queue.peek_opt dir.dr_segs with
+    | None -> ()
+    | Some seg when seg.sg_due > t0 -> ()
+    | Some seg -> (
+      let remaining = Bytes.length seg.sg_bytes - seg.sg_off in
+      match Unix.write dir.dr_dst seg.sg_bytes seg.sg_off remaining with
+      | written ->
+        seg.sg_off <- seg.sg_off + written;
+        if seg.sg_off >= Bytes.length seg.sg_bytes then begin
+          ignore (Queue.pop dir.dr_segs : seg);
+          loop ()
+        end
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error _ ->
+        (* dst is gone; drop the queue and pass the EOF upstream *)
+        Queue.clear dir.dr_segs;
+        dir.dr_eof <- true)
+  in
+  loop ()
+
+(* Propagate a half-close once a drained direction hit EOF: the peer sees
+   exactly the shutdown sequence it would see without the proxy. *)
+let settle_dir dir =
+  if dir.dr_eof && Queue.is_empty dir.dr_segs && not dir.dr_shut then begin
+    dir.dr_shut <- true;
+    try Unix.shutdown dir.dr_dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+  end
+
+let close_link link =
+  if not link.lk_dead then begin
+    link.lk_dead <- true;
+    (try Unix.close link.lk_client with Unix.Unix_error _ -> ());
+    try Unix.close link.lk_server with Unix.Unix_error _ -> ()
+  end
+
+let link_finished link =
+  (link.lk_cutting
+  && Queue.is_empty link.lk_c2s.dr_segs
+  && Queue.is_empty link.lk_s2c.dr_segs)
+  || (link.lk_c2s.dr_shut && link.lk_s2c.dr_shut)
+
+let accept_new t =
+  let rec loop () =
+    match Unix.accept t.ch_listen with
+    | cfd, _ -> (
+      (* close-on-exec on both legs: if the host process forks+execs (a
+         harness respawning the daemon under test), the child must not
+         inherit link fds — a cut link would otherwise stay open from
+         the client's point of view and never deliver its EOF *)
+      Unix.set_close_on_exec cfd;
+      t.ch_stats.st_conns <- t.ch_stats.st_conns + 1;
+      match
+        let domain =
+          match t.ch_upstream with
+          | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+          | Unix.ADDR_INET _ -> Unix.PF_INET
+        in
+        let sfd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec sfd;
+        (try Unix.connect sfd t.ch_upstream
+         with e ->
+           Unix.close sfd;
+           raise e);
+        sfd
+      with
+      | sfd ->
+        Unix.set_nonblock cfd;
+        Unix.set_nonblock sfd;
+        let link =
+          {
+            lk_client = cfd;
+            lk_server = sfd;
+            (* per-connection substream: the fault schedule of link N is
+               independent of how many bytes links 1..N-1 carried *)
+            lk_rng = Rng.split t.ch_rng;
+            lk_c2s =
+              {
+                dr_src = cfd;
+                dr_dst = sfd;
+                dr_segs = Queue.create ();
+                dr_eof = false;
+                dr_shut = false;
+              };
+            lk_s2c =
+              {
+                dr_src = sfd;
+                dr_dst = cfd;
+                dr_segs = Queue.create ();
+                dr_eof = false;
+                dr_shut = false;
+              };
+            lk_cutting = false;
+            lk_dead = false;
+          }
+        in
+        t.ch_links <- link :: t.ch_links;
+        loop ()
+      | exception Unix.Unix_error _ ->
+        (* upstream down (e.g. daemon mid-restart): the client sees an
+           immediate EOF and its own retry logic takes over *)
+        (try Unix.close cfd with Unix.Unix_error _ -> ());
+        loop ())
+    | exception
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+      ->
+      ()
+  in
+  loop ()
+
+(* Earliest due time among queued segments, for the select timeout. *)
+let next_due t =
+  List.fold_left
+    (fun acc link ->
+      let dir_due d acc =
+        match Queue.peek_opt d.dr_segs with
+        | Some seg -> Float.min acc seg.sg_due
+        | None -> acc
+      in
+      dir_due link.lk_c2s (dir_due link.lk_s2c acc))
+    infinity t.ch_links
+
+let step ?(timeout = 0.05) t =
+  let timeout =
+    let due = next_due t in
+    if due = infinity then timeout
+    else Float.max 0. (Float.min timeout (due -. now ()))
+  in
+  let reads =
+    t.ch_listen
+    :: List.concat_map
+         (fun l ->
+           if l.lk_dead || l.lk_cutting then []
+           else
+             (if l.lk_c2s.dr_eof then [] else [ l.lk_c2s.dr_src ])
+             @ if l.lk_s2c.dr_eof then [] else [ l.lk_s2c.dr_src ])
+         t.ch_links
+  in
+  let writes =
+    List.concat_map
+      (fun l ->
+        if l.lk_dead then []
+        else
+          let due d =
+            match Queue.peek_opt d.dr_segs with
+            | Some seg when seg.sg_due <= now () -> [ d.dr_dst ]
+            | _ -> []
+          in
+          due l.lk_c2s @ due l.lk_s2c)
+      t.ch_links
+  in
+  (match Unix.select reads writes [] timeout with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  | readable, _, _ ->
+    if List.memq t.ch_listen readable then accept_new t;
+    List.iter
+      (fun l ->
+        if not l.lk_dead then begin
+          if
+            (not l.lk_cutting)
+            && (not l.lk_c2s.dr_eof)
+            && List.memq l.lk_c2s.dr_src readable
+          then read_dir t l l.lk_c2s;
+          if
+            (not l.lk_cutting)
+            && (not l.lk_s2c.dr_eof)
+            && List.memq l.lk_s2c.dr_src readable
+          then read_dir t l l.lk_s2c
+        end)
+      t.ch_links);
+  List.iter
+    (fun l ->
+      if not l.lk_dead then begin
+        flush_dir l.lk_c2s;
+        flush_dir l.lk_s2c;
+        if l.lk_cutting then begin
+          if link_finished l then close_link l
+        end
+        else begin
+          settle_dir l.lk_c2s;
+          settle_dir l.lk_s2c;
+          if link_finished l then close_link l
+        end
+      end)
+    t.ch_links;
+  t.ch_links <- List.filter (fun l -> not l.lk_dead) t.ch_links
+
+let stop t =
+  List.iter close_link t.ch_links;
+  t.ch_links <- [];
+  (try Unix.close t.ch_listen with Unix.Unix_error _ -> ());
+  match t.ch_listen_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ()

@@ -1,0 +1,63 @@
+(** Socket-level chaos proxy for hardening the teamsimd stack.
+
+    Sits between a client and the daemon, forwarding bytes in both
+    directions while injecting faults drawn deterministically from a
+    seeded {!Adpm_util.Rng}: mid-frame disconnects (a random prefix of a
+    chunk is delivered, then the link dies), partial writes (a chunk
+    arrives split in two), delivery delays, and slow-loris dribble (a
+    chunk arrives one byte at a time). Each accepted connection gets its
+    own [Rng.split] substream, and every chunk draws the same five
+    values in a fixed order whether or not a fault fires — so a given
+    seed produces the same fault schedule regardless of payload content
+    (the lib/fault idiom).
+
+    Like {!Adpm_serve.Daemon}, the proxy is a single-threaded
+    non-blocking [select] loop driven by {!step}, so a test can host the
+    client, the proxy, and the daemon in one process, or run the proxy
+    in-process against a daemon in another. *)
+
+(** Per-chunk fault probabilities, each drawn independently; precedence
+    when several fire is cut > dribble > delay > split. *)
+type plan = {
+  cp_cut : float;  (** P(kill the link after a random prefix of the chunk) *)
+  cp_dribble : float;  (** P(deliver byte-by-byte over [cp_delay_max]) *)
+  cp_delay : float;  (** P(hold the chunk up to [cp_delay_max] seconds) *)
+  cp_delay_max : float;  (** delay/dribble time scale, seconds *)
+  cp_split : float;  (** P(deliver the chunk as two back-to-back writes) *)
+}
+
+val none : plan
+(** Pure passthrough — every probability 0. *)
+
+val default : plan
+(** Mild chaos: 2% cuts, 5% dribbles, 15% delays, 30% splits, 20 ms
+    scale. *)
+
+type stats = {
+  mutable st_conns : int;
+  mutable st_cuts : int;
+  mutable st_dribbles : int;
+  mutable st_delays : int;
+  mutable st_splits : int;
+}
+
+type t
+
+val create :
+  seed:int ->
+  plan:plan ->
+  listen:Unix.sockaddr ->
+  upstream:Unix.sockaddr ->
+  t
+(** Bind [listen] (unlinking a stale unix-socket path). Each accepted
+    client gets a fresh upstream connection; if the upstream is down the
+    client is closed immediately (it sees EOF and retries).
+    @raise Unix.Unix_error when [listen] cannot be bound. *)
+
+val step : ?timeout:float -> t -> unit
+(** One proxy iteration: select (bounded by [timeout], default 0.05 s,
+    and by the earliest queued delivery), accept, read + inject, flush
+    due segments, propagate half-closes, reap dead links. *)
+
+val stats : t -> stats
+val stop : t -> unit

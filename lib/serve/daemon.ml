@@ -10,6 +10,13 @@ type config = {
   dc_max_sessions : int;
   dc_max_frame : int;
   dc_checkpoint_dir : string;
+  dc_journal_dir : string option;
+  dc_checkpoint_every : int;
+  dc_max_conns : int;
+  dc_max_write_buf : int;
+  dc_max_ops : int;
+  dc_reply_cache : int;
+  dc_sndbuf : int option;
 }
 
 let default_config ~addr ~scenarios =
@@ -28,6 +35,13 @@ let default_config ~addr ~scenarios =
     dc_max_sessions = 256;
     dc_max_frame = Wire.default_max_frame;
     dc_checkpoint_dir = Filename.current_dir_name;
+    dc_journal_dir = None;
+    dc_checkpoint_every = 0;
+    dc_max_conns = 64;
+    dc_max_write_buf = 4 lsl 20;
+    dc_max_ops = 0;
+    dc_reply_cache = 64;
+    dc_sndbuf = None;
   }
 
 type conn = {
@@ -43,6 +57,12 @@ type t = {
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
   sessions : (string, Session.t) Hashtbl.t;
+  journals : (string, Journal.t) Hashtbl.t;
+  lock : Journal.lock option;
+  reply_cache : (string, (string * Json.t) list ref) Hashtbl.t;
+  cache_order : string Queue.t;  (* client tokens, first-seen order *)
+  mutable recovered : (string * int) list;
+  mutable warnings : string list;
   mutable next_session : int;
   mutable stopping : bool;
 }
@@ -51,15 +71,174 @@ let sockaddr_of = function
   | Unix_path p -> Unix.ADDR_UNIX p
   | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
+let journal_marker = "teamsimd_journal"
+
+let journal_header ?(extras = []) ~sid s =
+  Json.Obj
+    (Session.header_fields ~marker:journal_marker s
+    @ (("session", Json.Str sid) :: extras))
+
+(* {2 Bounded reply cache}
+
+   Keyed by (client token, request id): a reconnecting client that never
+   saw its reply resends the identical frame, and the daemon answers from
+   here instead of executing the command a second time. Bounded per
+   client ([dc_reply_cache] newest replies) and in client count, so a
+   token-spraying peer cannot balloon memory. *)
+
+let max_cache_clients = 256
+
+let cache_key id = Json.to_string id
+
+let cache_find t ~client ~key =
+  match Hashtbl.find_opt t.reply_cache client with
+  | None -> None
+  | Some entries -> List.assoc_opt key !entries
+
+let cache_store t ~client ~key resp =
+  let entries =
+    match Hashtbl.find_opt t.reply_cache client with
+    | Some r -> r
+    | None ->
+      if Hashtbl.length t.reply_cache >= max_cache_clients then
+        (match Queue.take_opt t.cache_order with
+        | Some oldest -> Hashtbl.remove t.reply_cache oldest
+        | None -> ());
+      let r = ref [] in
+      Hashtbl.replace t.reply_cache client r;
+      Queue.add client t.cache_order;
+      r
+  in
+  let rec keep n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | e :: rest -> e :: keep (n - 1) rest
+  in
+  entries :=
+    (key, resp) :: keep (t.cfg.dc_reply_cache - 1) (List.remove_assoc key !entries)
+
+(* {2 Journal recovery} *)
+
+let warn t fmt = Printf.ksprintf (fun m -> t.warnings <- t.warnings @ [ m ]) fmt
+
+let exec_reply ?id s result =
+  match result with
+  | Ok output ->
+    Wire.ok_frame ?id
+      [
+        ("output", Json.Str output);
+        ("prompt", Json.Str (Session.prompt s));
+        ("finished", Json.Bool (Session.finished s));
+      ]
+  | Error msg -> Wire.error_frame ?id ~code:Wire.Command msg
+
+let seed_cache_from t json =
+  match
+    ( Option.bind (Json.member "reply_client" json) Json.to_str,
+      Json.member "reply_id" json )
+  with
+  | Some client, Some id -> (
+    match Json.member "reply" json with
+    | Some reply -> cache_store t ~client ~key:(cache_key id) reply
+    | None -> ())
+  | _ -> ()
+
+(* Replay one journal back into a live session. The header rebuilds the
+   state at the last compaction (fingerprint-gated); each tail entry is
+   fingerprint-checked against the state it was appended over, executed,
+   and its reply re-cached so a client resend after the crash is answered
+   without double-execution. Any damage stops the tail replay at the last
+   consistent point — never the whole recovery. *)
+let recover_one t ~dir (sc : Journal.scanned) =
+  let sid = sc.Journal.sc_sid in
+  match Session.header_of_json ~marker:journal_marker sc.Journal.sc_header with
+  | Error msg ->
+    Journal.quarantine sc.Journal.sc_path;
+    warn t "journal %s: %s (quarantined)" sid msg
+  | Ok header -> (
+    match Session.rebuild ~resolve:t.cfg.dc_resolve ~id:sid header with
+    | Error err ->
+      Journal.quarantine sc.Journal.sc_path;
+      let msg =
+        match err with
+        | Session.Rs_io m | Session.Rs_corrupt m | Session.Rs_mismatch m -> m
+      in
+      warn t "journal %s: cannot rebuild session: %s (quarantined)" sid msg
+    | Ok (s, replayed) ->
+      if sc.Journal.sc_dropped > 0 then
+        warn t "journal %s: dropped %d damaged trailing line(s)" sid
+          sc.Journal.sc_dropped;
+      seed_cache_from t sc.Journal.sc_header;
+      let executed = ref 0 in
+      (try
+         List.iter
+           (fun entry ->
+             match Option.bind (Json.member "cmd" entry) Json.to_str with
+             | None ->
+               warn t "journal %s: entry without \"cmd\"; dropping rest" sid;
+               raise Exit
+             | Some line -> (
+               (match Option.bind (Json.member "fp" entry) Json.to_str with
+               | Some fp when not (String.equal fp (Session.fingerprint s)) ->
+                 warn t
+                   "journal %s: entry fingerprint diverges from replay; \
+                    dropping rest"
+                   sid;
+                 raise Exit
+               | _ -> ());
+               match Session.exec s line with
+               | result ->
+                 incr executed;
+                 let id = Json.member "id" entry in
+                 (match
+                    (Option.bind (Json.member "client" entry) Json.to_str, id)
+                  with
+                 | Some client, Some idv ->
+                   cache_store t ~client ~key:(cache_key idv)
+                     (exec_reply ?id s result)
+                 | _ -> ())
+               | exception e ->
+                 warn t "journal %s: replay of %S raised %s; dropping rest" sid
+                   line (Printexc.to_string e);
+                 raise Exit))
+           sc.Journal.sc_entries
+       with Exit -> ());
+      Hashtbl.replace t.sessions sid s;
+      t.recovered <- t.recovered @ [ (sid, replayed + !executed) ];
+      (* keep "s%d" ids monotone across the restart *)
+      (match int_of_string_opt (String.sub sid 1 (String.length sid - 1)) with
+      | Some n when String.length sid > 1 && sid.[0] = 's' ->
+        if n > t.next_session then t.next_session <- n
+      | _ -> ());
+      (* compact: the rebuilt session's own header (full command log,
+         current fingerprint) replaces the whole journal atomically *)
+      (match Journal.reopen ~dir ~sid with
+      | Error msg -> warn t "journal %s: cannot reopen: %s" sid msg
+      | Ok j -> (
+        match Journal.rewrite j (journal_header ~sid s) with
+        | Ok () -> Hashtbl.replace t.journals sid j
+        | Error msg ->
+          Journal.close j;
+          warn t "journal %s: cannot compact: %s" sid msg)))
+
 (* Concurrency story (see DESIGN.md §14): a single-threaded non-blocking
    event loop — no Domain.spawn, so creating a daemon never trips the
    PR 7 fork latch and [Pool]-based tooling stays usable in the same
    process. Session work is CPU-cheap (one propagation per op), so
    multiplexing beats per-session domains at this granularity. *)
 let create cfg =
-  (match Sys.os_type with
-  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-  | _ -> ());
+  Wire.ignore_sigpipe ();
+  let lock =
+    match cfg.dc_journal_dir with
+    | None -> None
+    | Some dir -> (
+      match Journal.acquire ~dir with
+      | Ok l -> Some l
+      | Error msg -> failwith msg)
+  in
+  let release_lock () =
+    match lock with Some l -> Journal.release l | None -> ()
+  in
   let domain, addr =
     match cfg.dc_addr with
     | Unix_path p ->
@@ -68,26 +247,51 @@ let create cfg =
       (Unix.PF_UNIX, sockaddr_of cfg.dc_addr)
     | Tcp _ -> (Unix.PF_INET, sockaddr_of cfg.dc_addr)
   in
-  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let fd =
+    match Unix.socket domain Unix.SOCK_STREAM 0 with
+    | fd -> fd
+    | exception e ->
+      release_lock ();
+      raise e
+  in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_close_on_exec fd;
   (try
      Unix.bind fd addr;
      Unix.listen fd 128;
      Unix.set_nonblock fd
    with e ->
      Unix.close fd;
+     release_lock ();
      raise e);
-  {
-    cfg;
-    listen_fd = fd;
-    conns = [];
-    sessions = Hashtbl.create 64;
-    next_session = 0;
-    stopping = false;
-  }
+  let t =
+    {
+      cfg;
+      listen_fd = fd;
+      conns = [];
+      sessions = Hashtbl.create 64;
+      journals = Hashtbl.create 64;
+      lock;
+      reply_cache = Hashtbl.create 64;
+      cache_order = Queue.create ();
+      recovered = [];
+      warnings = [];
+      next_session = 0;
+      stopping = false;
+    }
+  in
+  (match cfg.dc_journal_dir with
+  | None -> ()
+  | Some dir ->
+    let scanned, scan_warnings = Journal.scan ~dir in
+    List.iter (fun w -> warn t "%s" w) scan_warnings;
+    List.iter (recover_one t ~dir) scanned);
+  t
 
 let session_count t = Hashtbl.length t.sessions
 let find_session t id = Hashtbl.find_opt t.sessions id
+let recovered_sessions t = t.recovered
+let warnings t = t.warnings
 
 let fresh_session_id t =
   t.next_session <- t.next_session + 1;
@@ -109,8 +313,85 @@ let with_session t ?id name k =
       (Printf.sprintf "no session %s" name)
   | Some s -> k s
 
+(* Drop a session and its journal file: the session ended (close, or a
+   throwing exec tore it down), so there is nothing left to recover. *)
+let drop_session t sid =
+  Hashtbl.remove t.sessions sid;
+  match Hashtbl.find_opt t.journals sid with
+  | Some j ->
+    Hashtbl.remove t.journals sid;
+    Journal.remove j
+  | None -> ()
+
+(* Start journaling a session the moment it exists. The header snapshots
+   creation parameters (and, for [resume], the already-replayed command
+   log); [reply_client]/[reply_id]/[reply] stash the response verbatim so
+   recovery can re-seed the reply cache for the very request that created
+   the session. On journal failure the session is refused outright —
+   running a session the daemon has promised to recover but cannot is
+   worse than an [io] error frame. *)
+let start_journal t ~sid ~s ?client ?id reply =
+  match t.cfg.dc_journal_dir with
+  | None -> reply
+  | Some dir -> (
+    let extras =
+      (match client with
+      | Some c -> [ ("reply_client", Json.Str c) ]
+      | None -> [])
+      @ (match id with Some v -> [ ("reply_id", v) ] | None -> [])
+      @ match (client, id) with
+        | Some _, Some _ -> [ ("reply", reply) ]
+        | _ -> []
+    in
+    match Journal.create ~dir ~sid (journal_header ~extras ~sid s) with
+    | Ok j ->
+      Hashtbl.replace t.journals sid j;
+      reply
+    | Error msg ->
+      Hashtbl.remove t.sessions sid;
+      Wire.error_frame ?id ~code:Wire.Io
+        (Printf.sprintf "cannot journal session: %s" msg))
+
+let exec_entry ?client ?id ~s line =
+  Json.Obj
+    ([ ("cmd", Json.Str line); ("fp", Json.Str (Session.fingerprint s)) ]
+    @ (match client with Some c -> [ ("client", Json.Str c) ] | None -> [])
+    @ match id with Some v -> [ ("id", v) ] | None -> [])
+
+(* WAL: the command line (and the fingerprint of the state it runs over)
+   hits stable storage before execution. *)
+let journal_exec t ~sid ~s ?client ?id line =
+  match (t.cfg.dc_journal_dir, Hashtbl.find_opt t.journals sid) with
+  | None, _ -> Ok ()
+  | Some dir, None -> (
+    (* self-heal: a session whose journal died gets a fresh compacted one *)
+    match Journal.create ~dir ~sid (journal_header ~sid s) with
+    | Error msg -> Error msg
+    | Ok j -> (
+      match Journal.append j (exec_entry ?client ?id ~s line) with
+      | Ok () ->
+        Hashtbl.replace t.journals sid j;
+        Ok ()
+      | Error _ as e ->
+        Journal.close j;
+        e))
+  | Some _, Some j -> Journal.append j (exec_entry ?client ?id ~s line)
+
+(* Periodic compaction: every [dc_checkpoint_every] executed commands,
+   fold the journal tail back into its header. *)
+let maybe_compact t ~sid ~s =
+  let every = t.cfg.dc_checkpoint_every in
+  if every > 0 && Session.command_count s mod every = 0 then
+    match Hashtbl.find_opt t.journals sid with
+    | None -> ()
+    | Some j -> (
+      match Journal.rewrite j (journal_header ~sid s) with
+      | Ok () -> ()
+      | Error msg -> warn t "journal %s: compaction failed: %s" sid msg)
+
 let handle t req_json =
   let id = Wire.request_id req_json in
+  let client = Wire.request_client req_json in
   let dispatch () =
     match Wire.request_of_json req_json with
     | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
@@ -141,30 +422,44 @@ let handle t req_json =
           | Error msg -> Wire.error_frame ?id ~code:Wire.Bad_request msg
           | Ok s ->
             Hashtbl.replace t.sessions sid s;
-            Wire.ok_frame ?id
-              [
-                ("session", Json.Str sid);
-                ("prompt", Json.Str (Session.prompt s));
-              ])
+            let reply =
+              Wire.ok_frame ?id
+                [
+                  ("session", Json.Str sid);
+                  ("prompt", Json.Str (Session.prompt s));
+                ]
+            in
+            start_journal t ~sid ~s ?client ?id reply)
       end
     | Ok (Wire.Exec { session; line }) ->
       with_session t ?id session (fun s ->
-          match Session.exec s line with
-          | Ok output ->
-            Wire.ok_frame ?id
-              [
-                ("output", Json.Str output);
-                ("prompt", Json.Str (Session.prompt s));
-                ("finished", Json.Bool (Session.finished s));
-              ]
-          | Error msg -> Wire.error_frame ?id ~code:Wire.Command msg
-          | exception e ->
-            (* isolation: a throwing session dies alone; the daemon and
-               its other sessions keep serving *)
-            Hashtbl.remove t.sessions session;
-            Wire.error_frame ?id ~code:Wire.Session_failed
-              (Printf.sprintf "session %s failed and was closed: %s" session
-                 (Printexc.to_string e)))
+          if
+            t.cfg.dc_max_ops > 0
+            && Session.command_count s >= t.cfg.dc_max_ops
+          then
+            Wire.error_frame ?id ~code:Wire.Overloaded
+              (Printf.sprintf "session %s exhausted its op budget (%d)" session
+                 t.cfg.dc_max_ops)
+          else
+            (* write-ahead: journal the command before running it; if the
+               journal cannot take it, the command must not run *)
+            match journal_exec t ~sid:session ~s ?client ?id line with
+            | Error msg ->
+              Wire.error_frame ?id ~code:Wire.Io
+                (Printf.sprintf "cannot journal command: %s" msg)
+            | Ok () -> (
+              match Session.exec s line with
+              | result ->
+                let reply = exec_reply ?id s result in
+                maybe_compact t ~sid:session ~s;
+                reply
+              | exception e ->
+                (* isolation: a throwing session dies alone; the daemon and
+                   its other sessions keep serving *)
+                drop_session t session;
+                Wire.error_frame ?id ~code:Wire.Session_failed
+                  (Printf.sprintf "session %s failed and was closed: %s"
+                     session (Printexc.to_string e))))
     | Ok (Wire.Status { session }) ->
       with_session t ?id session (fun s ->
           Wire.ok_frame ?id (Session.status_fields s))
@@ -193,13 +488,16 @@ let handle t req_json =
         match Session.resume ~resolve:t.cfg.dc_resolve ~id:sid ~path with
         | Ok (s, replayed) ->
           Hashtbl.replace t.sessions sid s;
-          Wire.ok_frame ?id
-            [
-              ("session", Json.Str sid);
-              ("commands_replayed", Json.Num (float_of_int replayed));
-              ("fingerprint", Json.Str (Session.fingerprint s));
-              ("prompt", Json.Str (Session.prompt s));
-            ]
+          let reply =
+            Wire.ok_frame ?id
+              [
+                ("session", Json.Str sid);
+                ("commands_replayed", Json.Num (float_of_int replayed));
+                ("fingerprint", Json.Str (Session.fingerprint s));
+                ("prompt", Json.Str (Session.prompt s));
+              ]
+          in
+          start_journal t ~sid ~s ?client ?id reply
         | Error (Session.Rs_io msg) -> Wire.error_frame ?id ~code:Wire.Io msg
         | Error (Session.Rs_corrupt msg) ->
           Wire.error_frame ?id ~code:Wire.Bad_checkpoint msg
@@ -208,25 +506,48 @@ let handle t req_json =
       end
     | Ok (Wire.Close { session }) ->
       with_session t ?id session (fun _ ->
-          Hashtbl.remove t.sessions session;
+          drop_session t session;
           Wire.ok_frame ?id [ ("closed", Json.Str session) ])
     | Ok Wire.Shutdown ->
       t.stopping <- true;
       Wire.ok_frame ?id [ ("stopping", Json.Bool true) ]
   in
-  match dispatch () with
-  | resp -> resp
-  | exception e ->
-    Wire.error_frame ?id ~code:Wire.Internal (Printexc.to_string e)
+  (* idempotency: a (client, id) pair names one logical request; a resend
+     after connection loss is answered from the bounded reply cache
+     instead of executed a second time *)
+  let key =
+    match (client, id) with
+    | Some c, Some i -> Some (c, cache_key i)
+    | _ -> None
+  in
+  match key with
+  | Some (client, key) when cache_find t ~client ~key <> None ->
+    Option.get (cache_find t ~client ~key)
+  | _ -> (
+    let resp =
+      match dispatch () with
+      | resp -> resp
+      | exception e ->
+        Wire.error_frame ?id ~code:Wire.Internal (Printexc.to_string e)
+    in
+    (match key with
+    | Some (client, key) -> cache_store t ~client ~key resp
+    | None -> ());
+    resp)
 
 let handle_line t line =
   match Json.parse line with
   | Ok j -> handle t j
   | Error msg -> Wire.error_frame ~code:Wire.Parse msg
 
-let enqueue conn resp =
+(* Back-pressure: a peer that stops reading while the daemon keeps
+   producing would otherwise grow cn_out without bound. Past
+   [dc_max_write_buf] buffered bytes the client is declared slow and
+   disconnected — protecting the daemon is worth more than the laggard. *)
+let enqueue t conn resp =
   Buffer.add_string conn.cn_out (Json.to_string resp);
-  Buffer.add_char conn.cn_out '\n'
+  Buffer.add_char conn.cn_out '\n';
+  if Buffer.length conn.cn_out > t.cfg.dc_max_write_buf then conn.cn_dead <- true
 
 let read_conn t conn =
   let chunk = Bytes.create 4096 in
@@ -234,13 +555,13 @@ let read_conn t conn =
     match Wire.Reader.next conn.cn_reader with
     | `Pending -> ()
     | `Oversize ->
-      enqueue conn
+      enqueue t conn
         (Wire.error_frame ~code:Wire.Oversize
            (Printf.sprintf "frame exceeds %d bytes; closing connection"
               t.cfg.dc_max_frame));
       conn.cn_closing <- true
     | `Frame line ->
-      enqueue conn (handle_line t line);
+      enqueue t conn (handle_line t line);
       drain_frames ()
   in
   match Unix.read conn.cn_fd chunk 0 (Bytes.length chunk) with
@@ -269,12 +590,21 @@ let write_conn conn =
   end;
   if conn.cn_closing && Buffer.length conn.cn_out = 0 then conn.cn_dead <- true
 
+(* Admission control: past [dc_max_conns] live connections a newcomer is
+   told [overloaded] and shown the door immediately — accepted only long
+   enough to carry the error frame, never parked to wedge later. *)
 let accept_new t =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
       Unix.set_nonblock fd;
-      t.conns <-
+      Unix.set_close_on_exec fd;
+      (match t.cfg.dc_sndbuf with
+      | Some bytes -> (
+        try Unix.setsockopt_int fd Unix.SO_SNDBUF bytes
+        with Unix.Unix_error _ -> ())
+      | None -> ());
+      let conn =
         {
           cn_fd = fd;
           cn_reader = Wire.Reader.create ~max_frame:t.cfg.dc_max_frame ();
@@ -282,10 +612,19 @@ let accept_new t =
           cn_closing = false;
           cn_dead = false;
         }
-        :: t.conns;
+      in
+      if List.length t.conns >= t.cfg.dc_max_conns then begin
+        enqueue t conn
+          (Wire.error_frame ~code:Wire.Overloaded
+             (Printf.sprintf "connection limit %d reached" t.cfg.dc_max_conns));
+        conn.cn_closing <- true
+      end;
+      t.conns <- conn :: t.conns;
       loop ()
     | exception
-        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+      ->
       ()
   in
   loop ()
@@ -314,7 +653,7 @@ let step ?(timeout = 0.05) t =
         t.conns
     in
     (match Unix.select reads writes [] timeout with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
     | readable, writable, _ ->
       if List.memq t.listen_fd readable then accept_new t;
       List.iter
@@ -332,6 +671,10 @@ let step ?(timeout = 0.05) t =
     not (t.stopping && not (pending_output t))
   end
 
+(* Journal files deliberately survive [stop]: they are the crash-recovery
+   state, and a restarted daemon pointed at the same --journal-dir will
+   rebuild every session from them. Only [close] (the op) and session
+   teardown delete a session's journal. *)
 let stop t =
   List.iter
     (fun c -> try Unix.close c.cn_fd with Unix.Unix_error _ -> ())
@@ -341,6 +684,9 @@ let stop t =
   (match t.cfg.dc_addr with
   | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ());
+  Hashtbl.iter (fun _ j -> Journal.close j) t.journals;
+  Hashtbl.reset t.journals;
+  (match t.lock with Some l -> Journal.release l | None -> ());
   Hashtbl.reset t.sessions
 
 let run t =

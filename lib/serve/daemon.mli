@@ -37,24 +37,61 @@ type config = {
   dc_max_sessions : int;
   dc_max_frame : int;  (** per-frame byte bound (see {!Wire.Reader}) *)
   dc_checkpoint_dir : string;  (** default directory for [checkpoint] files *)
+  dc_journal_dir : string option;
+      (** when set, every accepted [open]/[exec]/[resume] is written to a
+          per-session write-ahead journal (fsync'd {e before} execution)
+          in this directory, and [create] rebuilds every journaled
+          session found there — see {!Journal} *)
+  dc_checkpoint_every : int;
+      (** auto-compact a session's journal every N executed commands
+          (0 = never): the tail folds back into a fresh header *)
+  dc_max_conns : int;
+      (** admission control: connections past this bound are answered
+          with a single [overloaded] error frame and closed *)
+  dc_max_write_buf : int;
+      (** per-connection buffered-output bound in bytes; a peer that
+          stops reading past it is disconnected (slow-client defense) *)
+  dc_max_ops : int;
+      (** per-session [exec] budget (0 = unlimited); past it every exec
+          is refused with [overloaded] *)
+  dc_reply_cache : int;
+      (** per-client bound on cached replies for idempotent resend *)
+  dc_sndbuf : int option;
+      (** SO_SNDBUF for accepted connections (test seam for the
+          slow-client path) *)
 }
 
 val default_config : addr:addr -> scenarios:Scenario.t list -> config
-(** 256 sessions, {!Wire.default_max_frame}, checkpoints in ["."], and a
-    [dc_resolve] that looks names up in [scenarios] only. The CLI
-    overrides [dc_resolve] with the full registry (plain names plus
-    [gen:<spec>] and [file:<path>] references). *)
+(** 256 sessions, {!Wire.default_max_frame}, checkpoints in ["."], no
+    journaling, no auto-compaction, 64 connections, 4 MiB write buffers,
+    unlimited ops, 64 cached replies per client, and a [dc_resolve] that
+    looks names up in [scenarios] only. The CLI overrides [dc_resolve]
+    with the full registry (plain names plus [gen:<spec>] and
+    [file:<path>] references). *)
 
 type t
 
 val create : config -> t
-(** Bind and listen (unlinking a stale unix-socket path first).
-    @raise Unix.Unix_error when the address cannot be bound. *)
+(** Bind and listen (unlinking a stale unix-socket path first). With
+    [dc_journal_dir] set, also: lock the journal directory (pid
+    lockfile; stale locks from a killed daemon are broken), scan it, and
+    rebuild every recoverable session by replaying its journal —
+    fingerprint-gated at the header and at every tail entry, with
+    damaged journals quarantined ([*.corrupt]) and reported via
+    {!warnings} rather than wedging startup. Each recovered journal is
+    compacted, and replies for journaled (client, id) requests are
+    re-cached so a client resend from before the crash is answered
+    without double-execution.
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Failure when another live daemon holds the journal dir. *)
 
 val handle : t -> Json.t -> Json.t
 (** Dispatch one parsed request frame to its response frame. Total: any
     exception becomes an error frame ([session_failed] with teardown for
-    a throwing session's [exec], [internal] otherwise). *)
+    a throwing session's [exec], [internal] otherwise). A frame carrying
+    both a ["client"] token and an ["id"] is idempotent: a duplicate
+    (client, id) pair is answered from the bounded reply cache instead
+    of re-executed. *)
 
 val handle_line : t -> string -> Json.t
 (** [handle] after parsing; unparseable input yields a [parse] error
@@ -70,9 +107,19 @@ val run : t -> unit
 
 val stop : t -> unit
 (** Close every connection and the listener, unlink a unix-socket path,
-    drop all sessions. *)
+    drop all sessions, release the journal lock. Journal {e files} are
+    deliberately kept: they are the crash-recovery state a restarted
+    daemon rebuilds from. *)
 
 val session_count : t -> int
 
 val find_session : t -> string -> Session.t option
 (** Test/bench seam: direct access to a live session. *)
+
+val recovered_sessions : t -> (string * int) list
+(** Sessions rebuilt from journals at {!create}, as
+    [(session_id, commands_replayed)], in recovery order. *)
+
+val warnings : t -> string list
+(** Human-readable reports of journal damage absorbed during recovery
+    (quarantined files, dropped tail entries). *)

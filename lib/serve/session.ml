@@ -18,6 +18,7 @@ type t = {
 let id t = t.ss_id
 let interactive t = t.ss_session
 let commands t = List.rev t.ss_commands
+let command_count t = List.length t.ss_commands
 
 let create ~resolve ~id ~scenario ~mode ~seed ~designer =
   match (resolve scenario : (Scenario.t, string) result) with
@@ -51,15 +52,17 @@ let exec t line =
 let prompt t = Interactive.prompt t.ss_session
 let finished t = Interactive.finished t.ss_session
 
-let fingerprint t =
-  let dpm = Interactive.dpm t.ss_session in
+let fingerprint_of_interactive session =
+  let dpm = Interactive.dpm session in
   Printf.sprintf "ops=%d evals=%d spins=%d solved=%b violations=[%s]"
     (Dpm.op_count dpm)
-    (Interactive.attributed_evaluations t.ss_session)
+    (Interactive.attributed_evaluations session)
     (Dpm.spin_count dpm) (Dpm.solved dpm)
     (String.concat ","
        (List.map string_of_int
           (List.sort compare (Dpm.known_violations dpm))))
+
+let fingerprint t = fingerprint_of_interactive t.ss_session
 
 let status_fields t =
   let dpm = Interactive.dpm t.ss_session in
@@ -71,6 +74,7 @@ let status_fields t =
     ("designer", Json.Str t.ss_designer);
     ("prompt", Json.Str (prompt t));
     ("finished", Json.Bool (finished t));
+    ("fingerprint", Json.Str (fingerprint t));
     ("operations", Json.Num (float_of_int (Dpm.op_count dpm)));
     ( "evaluations",
       Json.Num (float_of_int (Interactive.attributed_evaluations t.ss_session))
@@ -106,17 +110,22 @@ let closing_event t =
         };
   }
 
-let meta_json t =
-  Json.Obj
-    [
-      ("teamsimd_checkpoint", Json.Num 1.);
-      ("scenario", Json.Str t.ss_scenario);
-      ("mode", Json.Str (Dpm.mode_to_string t.ss_mode));
-      ("seed", Json.Num (float_of_int t.ss_seed));
-      ("designer", Json.Str t.ss_designer);
-      ("commands", Json.Arr (List.rev_map (fun c -> Json.Str c) t.ss_commands));
-      ("fingerprint", Json.Str (fingerprint t));
-    ]
+(* The checkpoint header and the write-ahead journal header share one
+   format (the journal reuses the checkpoint shape under a different
+   marker key), so resume-from-checkpoint and journal recovery parse
+   through the same code path. *)
+let header_fields ~marker t =
+  [
+    (marker, Json.Num 1.);
+    ("scenario", Json.Str t.ss_scenario);
+    ("mode", Json.Str (Dpm.mode_to_string t.ss_mode));
+    ("seed", Json.Num (float_of_int t.ss_seed));
+    ("designer", Json.Str t.ss_designer);
+    ("commands", Json.Arr (List.rev_map (fun c -> Json.Str c) t.ss_commands));
+    ("fingerprint", Json.Str (fingerprint t));
+  ]
+
+let meta_json t = Json.Obj (header_fields ~marker:"teamsimd_checkpoint" t)
 
 let checkpoint t ~path =
   let events = Sink.Collect.contents t.ss_buf @ [ closing_event t ] in
@@ -128,7 +137,11 @@ let checkpoint t ~path =
           (fun ev ->
             output_string oc (Codec.to_line ev);
             output_char oc '\n')
-          events)
+          events;
+        (* flush inside the protected region: [with_open_text] closes
+           with [close_noerr], which would swallow an ENOSPC surfacing
+           only when the channel buffer finally hits the disk *)
+        Out_channel.flush oc)
   with
   | () -> Ok (List.length events)
   | exception Sys_error msg -> Error msg
@@ -159,6 +172,79 @@ let rec collect_events acc lineno = function
     | Ok ev -> collect_events (ev :: acc) (lineno + 1) rest
     | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
 
+type header = {
+  h_scenario : string;
+  h_mode : Dpm.mode;
+  h_seed : int;
+  h_designer : string;
+  h_commands : string list;
+  h_fingerprint : string;
+}
+
+let header_of_json ~marker meta =
+  let ( let* ) = Result.bind in
+  let* () =
+    match meta with
+    | Json.Obj _ when Json.member marker meta <> None -> Ok ()
+    | _ -> Error (Printf.sprintf "first line is not a %s header" marker)
+  in
+  let meta_str name =
+    match Option.bind (Json.member name meta) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "header lacks field %S" name)
+  in
+  let* h_scenario = meta_str "scenario" in
+  let* mode_s = meta_str "mode" in
+  let* h_mode =
+    match Dpm.mode_of_string mode_s with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "bad mode %S in header" mode_s)
+  in
+  let* h_seed =
+    match Option.bind (Json.member "seed" meta) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error "header lacks field \"seed\""
+  in
+  let* h_designer = meta_str "designer" in
+  let* h_fingerprint = meta_str "fingerprint" in
+  let* h_commands =
+    match Option.bind (Json.member "commands" meta) Json.to_list with
+    | None -> Error "header lacks field \"commands\""
+    | Some items ->
+      let strs = List.filter_map Json.to_str items in
+      if List.length strs <> List.length items then
+        Error "non-string entry in header command log"
+      else Ok strs
+  in
+  Ok { h_scenario; h_mode; h_seed; h_designer; h_commands; h_fingerprint }
+
+(* Re-issuing the command log regenerates the designer-model state (RNG,
+   tabu memory) and the trace buffer, so the rebuilt session can itself
+   be checkpointed or journaled again. *)
+let rebuild ~resolve ~id header =
+  match
+    create ~resolve ~id ~scenario:header.h_scenario ~mode:header.h_mode
+      ~seed:header.h_seed ~designer:header.h_designer
+  with
+  | Error msg ->
+    Error (Rs_corrupt (Printf.sprintf "cannot rebuild session: %s" msg))
+  | Ok fresh -> (
+    match List.iter (fun line -> ignore (exec fresh line)) header.h_commands with
+    | () ->
+      let fp = fingerprint fresh in
+      if String.equal fp header.h_fingerprint then
+        Ok (fresh, List.length header.h_commands)
+      else
+        Error
+          (Rs_mismatch
+             (Printf.sprintf "replayed %s but header recorded %s" fp
+                header.h_fingerprint))
+    | exception e ->
+      Error
+        (Rs_corrupt
+           (Printf.sprintf "command log replay raised %s"
+              (Printexc.to_string e))))
+
 let resume ~resolve ~id ~path =
   let ( let* ) = Result.bind in
   match read_lines path with
@@ -168,37 +254,13 @@ let resume ~resolve ~id ~path =
     let corrupt fmt = Printf.ksprintf (fun m -> Error (Rs_corrupt m)) fmt in
     let* meta =
       match Json.parse meta_line with
-      | Ok j when Json.member "teamsimd_checkpoint" j <> None -> Ok j
-      | Ok _ -> corrupt "first line is not a teamsimd checkpoint header"
+      | Ok j -> Ok j
       | Error msg -> corrupt "unparseable checkpoint header: %s" msg
     in
-    let meta_str name =
-      match Option.bind (Json.member name meta) Json.to_str with
-      | Some s -> Ok s
-      | None -> corrupt "checkpoint header lacks field %S" name
-    in
-    let* scenario = meta_str "scenario" in
-    let* mode_s = meta_str "mode" in
-    let* mode =
-      match Dpm.mode_of_string mode_s with
-      | Some m -> Ok m
-      | None -> corrupt "bad mode %S in checkpoint header" mode_s
-    in
-    let* seed =
-      match Option.bind (Json.member "seed" meta) Json.to_int with
-      | Some n -> Ok n
-      | None -> corrupt "checkpoint header lacks field \"seed\""
-    in
-    let* designer = meta_str "designer" in
-    let* recorded_fp = meta_str "fingerprint" in
-    let* commands =
-      match Option.bind (Json.member "commands" meta) Json.to_list with
-      | None -> corrupt "checkpoint header lacks field \"commands\""
-      | Some items -> (
-        let strs = List.filter_map Json.to_str items in
-        if List.length strs <> List.length items then
-          corrupt "non-string entry in checkpoint command log"
-        else Ok strs)
+    let* header =
+      match header_of_json ~marker:"teamsimd_checkpoint" meta with
+      | Ok h -> Ok h
+      | Error msg -> corrupt "%s" msg
     in
     let* events =
       match collect_events [] 2 event_lines with
@@ -219,25 +281,4 @@ let resume ~resolve ~id ~path =
       | exception Replay.Replay_error msg ->
         corrupt "checkpoint trace does not replay: %s" msg
     in
-    let* fresh =
-      match create ~resolve ~id ~scenario ~mode ~seed ~designer with
-      | Ok s -> Ok s
-      | Error msg -> corrupt "cannot rebuild session: %s" msg
-    in
-    (* Re-issuing the command log regenerates the designer-model state
-       (RNG, tabu memory) and the trace buffer, so the resumed session can
-       itself be checkpointed again. *)
-    (match List.iter (fun line -> ignore (exec fresh line)) commands with
-    | () ->
-      let fp = fingerprint fresh in
-      if String.equal fp recorded_fp then Ok (fresh, List.length commands)
-      else
-        Error
-          (Rs_mismatch
-             (Printf.sprintf "replayed %s but checkpoint recorded %s" fp
-                recorded_fp))
-    | exception e ->
-      Error
-        (Rs_corrupt
-           (Printf.sprintf "command log replay raised %s"
-              (Printexc.to_string e))))
+    rebuild ~resolve ~id header

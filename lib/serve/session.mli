@@ -37,6 +37,9 @@ val interactive : t -> Interactive.t
 val commands : t -> string list
 (** Every line ever passed to {!exec}, oldest first. *)
 
+val command_count : t -> int
+(** [List.length (commands t)], without building the list. *)
+
 val exec : t -> string -> (string, string) result
 (** Run one command line (logged for resume). Exceptions other than the
     [Invalid_argument]s {!Interactive.execute} absorbs do propagate —
@@ -49,6 +52,11 @@ val fingerprint : t -> string
 (** Compact state digest (op/eval/spin counters, solved flag, sorted
     violation ids) used to verify resume fidelity. *)
 
+val fingerprint_of_interactive : Interactive.t -> string
+(** The same digest computed for a bare {!Interactive} session, so
+    harnesses can compare a daemon session against a local reference run
+    without a [Session.t] in hand. *)
+
 val status_fields : t -> (string * Json.t) list
 (** The [status] response body. *)
 
@@ -56,10 +64,41 @@ val checkpoint : t -> path:string -> (int, string) result
 (** Write the replay artifact; [Ok events_written] or [Error io_message].
     The live session is untouched and can be checkpointed again later. *)
 
+val header_fields : marker:string -> t -> (string * Json.t) list
+(** The checkpoint/journal header object's fields: [marker] (a format
+    tag, ["teamsimd_checkpoint"] or ["teamsimd_journal"]),
+    scenario/mode/seed/designer, the full command log, and the current
+    state fingerprint. Shared by {!checkpoint} and the daemon's
+    write-ahead journal. *)
+
 type resume_error =
   | Rs_io of string  (** file unreadable *)
   | Rs_corrupt of string  (** bad header/events, or trace fails replay *)
   | Rs_mismatch of string  (** rebuilt state contradicts the fingerprint *)
+
+(** Parsed header (checkpoint or journal — same shape). *)
+type header = {
+  h_scenario : string;
+  h_mode : Dpm.mode;
+  h_seed : int;
+  h_designer : string;
+  h_commands : string list;
+  h_fingerprint : string;
+}
+
+val header_of_json : marker:string -> Json.t -> (header, string) result
+(** Parse a header object, requiring the given [marker] key. *)
+
+val rebuild :
+  resolve:(string -> (Scenario.t, string) result) ->
+  id:string ->
+  header ->
+  (t * int, resume_error) result
+(** Rebuild a live session from a parsed header alone: create a fresh
+    engine, re-issue the command log, and gate on the recorded
+    fingerprint. This is the shared replay path under both {!resume}
+    (checkpoint artifacts, which additionally validate their recorded
+    trace) and the daemon's journal recovery. *)
 
 val resume :
   resolve:(string -> (Scenario.t, string) result) ->

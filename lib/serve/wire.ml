@@ -93,6 +93,8 @@ let request_id j =
   | Some (Json.Num _ | Json.Str _) as id -> id
   | _ -> None
 
+let request_client j = Option.bind (Json.member "client" j) Json.to_str
+
 let request_of_json j =
   match j with
   | Json.Obj _ -> (
@@ -126,7 +128,7 @@ let request_of_json j =
     | Some op -> Error (Printf.sprintf "unknown op %S" op))
   | _ -> Error "request must be a JSON object"
 
-let request_to_json ?id req =
+let request_to_json ?id ?client req =
   let base =
     match req with
     | Hello -> [ ("op", Json.Str "hello") ]
@@ -150,7 +152,10 @@ let request_to_json ?id req =
       [ ("op", Json.Str "close"); ("session", Json.Str session) ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
-  Json.Obj ((match id with None -> [] | Some v -> [ ("id", v) ]) @ base)
+  Json.Obj
+    ((match id with None -> [] | Some v -> [ ("id", v) ])
+    @ (match client with None -> [] | Some c -> [ ("client", Json.Str c) ])
+    @ base)
 
 (* {2 Responses} *)
 
@@ -161,6 +166,7 @@ type error_code =
   | Unknown_scenario
   | Unknown_session
   | Session_limit
+  | Overloaded
   | Command
   | Session_failed
   | Io
@@ -175,6 +181,7 @@ let code_to_string = function
   | Unknown_scenario -> "unknown_scenario"
   | Unknown_session -> "unknown_session"
   | Session_limit -> "session_limit"
+  | Overloaded -> "overloaded"
   | Command -> "command"
   | Session_failed -> "session_failed"
   | Io -> "io"
@@ -224,6 +231,19 @@ let response_of_line line =
 
 (* {2 Blocking socket helpers (client side)} *)
 
+let ignore_sigpipe () =
+  (* A peer that dies mid-write must surface as EPIPE from the syscall,
+     never as a process-killing SIGPIPE. Both the daemon and the client
+     call this before touching a socket. *)
+  match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
+(* Partial-write-safe: loop until the whole frame is flushed or the fd is
+   dead (a Unix_error other than the transient EAGAIN/EWOULDBLOCK/EINTR
+   family escapes to the caller). [write] may send any prefix; the
+   wait-for-writability select is itself retried on EINTR so a signal
+   landing mid-loop cannot escape as an exception. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
@@ -231,8 +251,10 @@ let write_all fd s =
   while !off < n do
     match Unix.write fd b !off (n - !off) with
     | written -> off := !off + written
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      ignore (Unix.select [] [ fd ] [] 1.0)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] 1.0 with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 

@@ -51,8 +51,17 @@ val request_id : Json.t -> Json.t option
 (** The ["id"] field when present and a string or number (other shapes
     are ignored rather than echoed). *)
 
+val request_client : Json.t -> string option
+(** The ["client"] envelope field: a caller-chosen stable client token.
+    Requests carrying both a client token and an id are idempotent — the
+    daemon answers a duplicate (client, id) pair from its bounded reply
+    cache instead of re-executing, which is what makes a reconnecting
+    client's resend-after-connection-loss safe for mutating ops. *)
+
 val request_of_json : Json.t -> (request, string) result
-val request_to_json : ?id:Json.t -> request -> Json.t
+
+val request_to_json : ?id:Json.t -> ?client:string -> request -> Json.t
+(** [id] and [client] are envelope fields alongside the op payload. *)
 
 type error_code =
   | Parse  (** frame is not valid JSON *)
@@ -61,6 +70,10 @@ type error_code =
   | Unknown_scenario
   | Unknown_session
   | Session_limit
+  | Overloaded
+      (** admission control: connection limit reached, or a session's op
+          budget is exhausted — the request is rejected outright, never
+          accepted-then-wedged *)
   | Command  (** the session rejected the command ([Error] from [execute]) *)
   | Session_failed  (** the session threw and was torn down *)
   | Io  (** checkpoint/resume file system failure *)
@@ -84,8 +97,16 @@ type response = {
 val response_of_json : Json.t -> (response, string) result
 val response_of_line : string -> (response, string) result
 
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (on Unix), so a dead peer surfaces as an
+    EPIPE [Unix_error] from the write instead of killing the process.
+    Called by {!Daemon.create} and {!Client.connect}. *)
+
 val write_all : Unix.file_descr -> string -> unit
-(** Blocking-ish write of the whole string (waits out EAGAIN/EINTR). *)
+(** Partial-write-safe: loops until the whole string is flushed, waiting
+    out EAGAIN/EWOULDBLOCK (with the select itself EINTR-proof) and
+    retrying interrupted writes. A dead fd (EPIPE, ECONNRESET, ...)
+    escapes as the underlying [Unix.Unix_error]. *)
 
 val send_line : Unix.file_descr -> Json.t -> unit
 (** [write_all] of one frame: the rendered JSON plus ['\n']. *)

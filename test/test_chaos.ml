@@ -1,0 +1,246 @@
+(* Tests for the lib/chaos socket fault proxy, hosting client, proxy,
+   and daemon in one thread (both are select loops driven by [step]).
+   Each fault knob is driven to probability 1 in isolation, then a mild
+   default-plan run with a mid-script daemon restart checks the whole
+   recovery story end-to-end at unit-test scale (bin/chaos_smoke.ml does
+   the same across real processes and SIGKILL). *)
+
+open Adpm_serve
+module Chaos = Adpm_chaos.Chaos
+module Interactive = Adpm_teamsim.Interactive
+
+let temp_dir () =
+  let d = Filename.temp_file "adpm-chaos" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  let rec rm p =
+    if (try Sys.is_directory p with Sys_error _ -> false) then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+  in
+  rm dir
+
+let script = [ "auto"; "step"; "auto"; "status" ]
+
+let reference_outputs ~seed =
+  let r =
+    Interactive.create ~mode:Adpm_core.Dpm.Adpm ~seed
+      Adpm_scenarios.Simple.scenario ~designer:"alice"
+  in
+  ( List.map
+      (fun line ->
+        match Interactive.execute r line with Ok s -> Some s | Error _ -> None)
+      script,
+    r )
+
+(* Host a daemon (as a mutable ref so tests can restart it) and a proxy
+   in front of it; hand the test a pump and the proxy's listen addr. *)
+let with_stack ?(journal = false) ~plan ~seed f =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let sock = Filename.concat dir "d.sock" in
+      let cfg =
+        {
+          (Daemon.default_config
+             ~addr:(Daemon.Unix_path sock)
+             ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+          with
+          Daemon.dc_checkpoint_dir = dir;
+          dc_journal_dir =
+            (if journal then Some (Filename.concat dir "journal") else None);
+        }
+      in
+      let d = ref (Daemon.create cfg) in
+      let proxy =
+        Chaos.create ~seed ~plan
+          ~listen:(Unix.ADDR_UNIX (Filename.concat dir "proxy.sock"))
+          ~upstream:(Unix.ADDR_UNIX sock)
+      in
+      let pump () =
+        ignore (Daemon.step ~timeout:0. !d : bool);
+        Chaos.step ~timeout:0. proxy
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Chaos.stop proxy;
+          Daemon.stop !d)
+        (fun () ->
+          f
+            ~addr:(Unix.ADDR_UNIX (Filename.concat dir "proxy.sock"))
+            ~pump ~proxy
+            ~restart:(fun () ->
+              Daemon.stop !d;
+              d := Daemon.create cfg)))
+
+let run_script ~pump c ~seed =
+  let rpc req = Client.rpc ~timeout:30. ~pump c req in
+  let opened =
+    rpc
+      (Wire.Open
+         { scenario = "simple"; mode = Adpm_core.Dpm.Adpm; seed; designer = "alice" })
+  in
+  let sid = Option.get (Client.body_str opened "session") in
+  ( sid,
+    List.map
+      (fun line -> Client.body_str (rpc (Wire.Exec { session = sid; line })) "output")
+      script )
+
+(* With every probability at 0 the proxy must be invisible: same outputs
+   as a direct run, and the stats stay clean. *)
+let test_passthrough () =
+  with_stack ~plan:Chaos.none ~seed:7 (fun ~addr ~pump ~proxy ~restart:_ ->
+      let c = Client.connect_persistent ~client:"t-pass" ~seed:1 addr in
+      let _sid, got = run_script ~pump c ~seed:5 in
+      let expected, _ = reference_outputs ~seed:5 in
+      Alcotest.(check (list (option string)))
+        "passthrough outputs identical" expected got;
+      let st = Chaos.stats proxy in
+      Alcotest.(check int) "no cuts" 0 st.Chaos.st_cuts;
+      Alcotest.(check int) "no dribbles" 0 st.Chaos.st_dribbles;
+      Alcotest.(check int) "no delays" 0 st.Chaos.st_delays;
+      Alcotest.(check int) "no splits" 0 st.Chaos.st_splits;
+      Alcotest.(check bool) "at least one connection" true
+        (st.Chaos.st_conns >= 1);
+      Client.close c)
+
+(* cut = 1: every chunk kills its link. A plain (non-reconnecting)
+   client must see this as a clean connection loss, never a hang. *)
+let test_cut_everything () =
+  with_stack
+    ~plan:{ Chaos.none with Chaos.cp_cut = 1.0 }
+    ~seed:11
+    (fun ~addr ~pump ~proxy:_ ~restart:_ ->
+      let c = Client.connect addr in
+      pump ();
+      let died =
+        match Client.rpc ~timeout:10. ~pump c Wire.Hello with
+        | _ -> false
+        | exception (Client.Closed | Client.Timeout) -> true
+      in
+      Alcotest.(check bool) "plain client sees the cut as Closed" true died;
+      Client.close c)
+
+(* dribble = 1: every chunk arrives a byte at a time. Slower, but a
+   persistent client must still complete the whole script correctly —
+   byte-at-a-time delivery is just framing's worst case. *)
+let test_dribble_everything () =
+  with_stack
+    ~plan:{ Chaos.none with Chaos.cp_dribble = 1.0; cp_delay_max = 0.005 }
+    ~seed:13
+    (fun ~addr ~pump ~proxy ~restart:_ ->
+      let c = Client.connect_persistent ~client:"t-drib" ~seed:2 addr in
+      let _sid, got = run_script ~pump c ~seed:6 in
+      let expected, _ = reference_outputs ~seed:6 in
+      Alcotest.(check (list (option string)))
+        "dribbled outputs identical" expected got;
+      Alcotest.(check bool) "dribbles actually fired" true
+        ((Chaos.stats proxy).Chaos.st_dribbles > 0);
+      Client.close c)
+
+(* split = 1: every chunk is delivered as two back-to-back writes —
+   every frame boundary lands mid-write somewhere. *)
+let test_split_everything () =
+  with_stack
+    ~plan:{ Chaos.none with Chaos.cp_split = 1.0 }
+    ~seed:17
+    (fun ~addr ~pump ~proxy ~restart:_ ->
+      let c = Client.connect_persistent ~client:"t-split" ~seed:3 addr in
+      let _sid, got = run_script ~pump c ~seed:9 in
+      let expected, _ = reference_outputs ~seed:9 in
+      Alcotest.(check (list (option string)))
+        "split outputs identical" expected got;
+      Alcotest.(check bool) "splits actually fired" true
+        ((Chaos.stats proxy).Chaos.st_splits > 0);
+      Client.close c)
+
+(* The full story at unit scale: two reconnecting clients through the
+   default mild-chaos plan against a journaled daemon that is torn down
+   and rebuilt mid-script. Both command logs must be byte-identical to
+   undisturbed runs and both final fingerprints exact. *)
+let test_chaos_restart_end_to_end () =
+  with_stack ~journal:true ~plan:Chaos.default ~seed:23
+    (fun ~addr ~pump ~proxy:_ ~restart ->
+      let seeds = [| 4; 8 |] in
+      let refs =
+        Array.map
+          (fun seed ->
+            Interactive.create ~mode:Adpm_core.Dpm.Adpm ~seed
+              Adpm_scenarios.Simple.scenario ~designer:"alice")
+          seeds
+      in
+      let expected =
+        Array.map
+          (fun r ->
+            List.map
+              (fun line ->
+                match Interactive.execute r line with
+                | Ok s -> Some s
+                | Error _ -> None)
+              script)
+          refs
+      in
+      let clients =
+        Array.mapi
+          (fun i _ ->
+            Client.connect_persistent ~retries:12
+              ~client:(Printf.sprintf "t-e2e-%d" i)
+              ~seed:(100 + i) addr)
+          seeds
+      in
+      let rpc c req = Client.rpc ~timeout:30. ~pump c req in
+      let sids =
+        Array.mapi
+          (fun i c ->
+            Option.get
+              (Client.body_str
+                 (rpc c
+                    (Wire.Open
+                       {
+                         scenario = "simple";
+                         mode = Adpm_core.Dpm.Adpm;
+                         seed = seeds.(i);
+                         designer = "alice";
+                       }))
+                 "session"))
+          clients
+      in
+      let got = Array.make (Array.length seeds) [] in
+      List.iteri
+        (fun round line ->
+          if round = 2 then restart ();
+          Array.iteri
+            (fun i c ->
+              let resp = rpc c (Wire.Exec { session = sids.(i); line }) in
+              got.(i) <- Client.body_str resp "output" :: got.(i))
+            clients)
+        script;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check (list (option string)))
+            (Printf.sprintf "client %d log byte-identical across restart" i)
+            expected.(i)
+            (List.rev got.(i));
+          Alcotest.(check (option string))
+            (Printf.sprintf "client %d fingerprint exact" i)
+            (Some (Session.fingerprint_of_interactive refs.(i)))
+            (Client.body_str (rpc c (Wire.Status { session = sids.(i) })) "fingerprint");
+          Client.close c)
+        clients)
+
+let suite =
+  [
+    ("proxy passthrough is invisible", `Quick, test_passthrough);
+    ("all-cuts surfaces as connection loss", `Quick, test_cut_everything);
+    ("all-dribbles still completes", `Quick, test_dribble_everything);
+    ("all-splits still completes", `Quick, test_split_everything);
+    ( "default chaos + restart, byte-identical",
+      `Quick,
+      test_chaos_restart_end_to_end );
+  ]

@@ -12,6 +12,9 @@ let () =
       ("teamsim", Test_teamsim.suite);
       ("des", Test_des.suite);
       ("parallel", Test_parallel.suite);
+      (* forks inside: must run before the "domains" suite spawns (the
+         PR 7 fork latch) *)
+      ("serve-wire", Test_serve.wire_suite);
       ("domains", Test_domains.suite);
       ("fault", Test_fault.suite);
       ("check", Test_check.suite);
@@ -23,4 +26,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("interactive", Test_interactive.suite);
       ("serve", Test_serve.suite);
+      ("chaos", Test_chaos.suite);
     ]

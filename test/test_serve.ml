@@ -475,6 +475,542 @@ let test_many_sessions () =
         sids;
       Alcotest.(check int) "all closed" 0 (Daemon.session_count d))
 
+(* {2 Write-ahead journal: WAL, recovery, compaction, locking} *)
+
+let temp_dir () =
+  let d = Filename.temp_file "adpm-serve" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  let rec rm p =
+    if (try Sys.is_directory p with Sys_error _ -> false) then begin
+      Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+  in
+  rm dir
+
+let journal_config ?(checkpoint_every = 0) ?(max_ops = 0) ~dir () =
+  {
+    (Daemon.default_config
+       ~addr:(Daemon.Unix_path (Filename.concat dir "d.sock"))
+       ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+    with
+    Daemon.dc_checkpoint_dir = dir;
+    dc_journal_dir = Some (Filename.concat dir "journal");
+    dc_checkpoint_every = checkpoint_every;
+    dc_max_ops = max_ops;
+  }
+
+let journal_path ~dir sid =
+  Filename.concat (Filename.concat dir "journal") (sid ^ ".journal.jsonl")
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let status_fp d sid =
+  str_field "fingerprint"
+    (expect_ok (Daemon.handle d (op "status" [ ("session", Json.Str sid) ])))
+
+(* Kill-free auto-resume: a second daemon pointed at the first one's
+   journal dir (after [stop], which keeps journal files) must rebuild the
+   session, match its fingerprint, and continue byte-identically to an
+   uninterrupted run. *)
+let test_journal_autoresume () =
+  with_dir (fun dir ->
+      let before = [ "auto"; "auto"; "step" ] and after = [ "auto"; "step" ] in
+      let d1 = Daemon.create (journal_config ~dir ()) in
+      let sid = open_simple d1 ~designer:"alice" ~seed:11 in
+      List.iter (fun l -> ignore (exec_ok d1 sid l)) before;
+      let fp = status_fp d1 sid in
+      Daemon.stop d1;
+      Alcotest.(check bool) "journal file survives stop" true
+        (Sys.file_exists (journal_path ~dir sid));
+      let d2 = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d2)
+        (fun () ->
+          Alcotest.(check (list (pair string int)))
+            "session recovered with its command count"
+            [ (sid, List.length before) ]
+            (Daemon.recovered_sessions d2);
+          Alcotest.(check string) "fingerprint preserved" fp (status_fp d2 sid);
+          let local =
+            Interactive.create ~mode:Dpm.Adpm ~seed:11
+              Adpm_scenarios.Simple.scenario ~designer:"alice"
+          in
+          List.iter
+            (fun l -> ignore (Result.get_ok (Interactive.execute local l)))
+            before;
+          List.iter
+            (fun l ->
+              Alcotest.(check string)
+                (Printf.sprintf "post-recovery %S matches uninterrupted run" l)
+                (Result.get_ok (Interactive.execute local l))
+                (exec_ok d2 sid l))
+            after;
+          (* a fresh open after recovery must not collide with the
+             recovered session's id *)
+          let sid2 = open_simple d2 ~designer:"bob" in
+          Alcotest.(check bool) "session ids stay monotone" true (sid2 <> sid);
+          ignore
+            (expect_ok
+               (Daemon.handle d2 (op "close" [ ("session", Json.Str sid) ])));
+          Alcotest.(check bool) "close deletes the journal" false
+            (Sys.file_exists (journal_path ~dir sid))))
+
+(* A torn final line (crash mid-append) is a command that never executed:
+   recovery drops it and lands exactly on the state before it. *)
+let test_journal_torn_tail () =
+  with_dir (fun dir ->
+      let d1 = Daemon.create (journal_config ~dir ()) in
+      let sid = open_simple d1 ~seed:4 in
+      ignore (exec_ok d1 sid "auto");
+      ignore (exec_ok d1 sid "auto");
+      let fp = status_fp d1 sid in
+      Daemon.stop d1;
+      let p = journal_path ~dir sid in
+      let oc = open_out_gen [ Open_append ] 0o644 p in
+      output_string oc "{\"cmd\":\"auto\",\"fp\":\"torn mid-wri";
+      close_out oc;
+      let d2 = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d2)
+        (fun () ->
+          Alcotest.(check (list (pair string int)))
+            "torn tail dropped, both real commands replayed"
+            [ (sid, 2) ]
+            (Daemon.recovered_sessions d2);
+          Alcotest.(check string) "state is the pre-tear state" fp
+            (status_fp d2 sid)))
+
+(* A corrupt header must never wedge startup: the journal is quarantined
+   and the daemon comes up clean (and says so via warnings). *)
+let test_journal_corrupt_header () =
+  with_dir (fun dir ->
+      let jdir = Filename.concat dir "journal" in
+      Unix.mkdir jdir 0o755;
+      let p = Filename.concat jdir "s1.journal.jsonl" in
+      Out_channel.with_open_text p (fun oc ->
+          output_string oc "this is not a json header\n");
+      let d = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d)
+        (fun () ->
+          Alcotest.(check int) "daemon starts with no sessions" 0
+            (Daemon.session_count d);
+          Alcotest.(check bool) "warning emitted" true (Daemon.warnings d <> []);
+          Alcotest.(check bool) "journal quarantined" true
+            (Sys.file_exists (p ^ ".corrupt"))))
+
+(* An entry whose fingerprint diverges from the replayed state marks the
+   end of the trustworthy tail: replay stops there, earlier state stands. *)
+let test_journal_fingerprint_gate () =
+  with_dir (fun dir ->
+      let d1 = Daemon.create (journal_config ~dir ()) in
+      let sid = open_simple d1 ~seed:6 in
+      ignore (exec_ok d1 sid "auto");
+      ignore (exec_ok d1 sid "auto");
+      Daemon.stop d1;
+      let p = journal_path ~dir sid in
+      let lines =
+        In_channel.with_open_text p In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      (* tamper the second entry's fp (header :: e1 :: e2) *)
+      let tampered =
+        List.mapi
+          (fun i l ->
+            if i = 2 then
+              match Json.parse l with
+              | Ok (Json.Obj fields) ->
+                Json.to_string
+                  (Json.Obj
+                     (List.map
+                        (function
+                          | "fp", _ -> ("fp", Json.Str "ops=999 tampered")
+                          | kv -> kv)
+                        fields))
+              | _ -> l
+            else l)
+          lines
+      in
+      Out_channel.with_open_text p (fun oc ->
+          List.iter (fun l -> output_string oc (l ^ "\n")) tampered);
+      let d2 = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d2)
+        (fun () ->
+          Alcotest.(check (list (pair string int)))
+            "replay stops at the divergent entry"
+            [ (sid, 1) ]
+            (Daemon.recovered_sessions d2);
+          Alcotest.(check bool) "divergence reported" true
+            (List.exists (fun w -> contains w "diverges") (Daemon.warnings d2))))
+
+(* Auto-compaction folds the tail into the header every N commands; the
+   compacted journal still recovers fingerprint-exact. *)
+let test_journal_compaction () =
+  with_dir (fun dir ->
+      let d1 = Daemon.create (journal_config ~checkpoint_every:2 ~dir ()) in
+      let sid = open_simple d1 ~seed:8 in
+      List.iter (fun l -> ignore (exec_ok d1 sid l)) [ "auto"; "auto"; "step"; "auto" ] ;
+      let fp = status_fp d1 sid in
+      Daemon.stop d1;
+      let lines =
+        In_channel.with_open_text (journal_path ~dir sid) In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "4th command compacted the tail away" 1
+        (List.length lines);
+      let d2 = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d2)
+        (fun () ->
+          Alcotest.(check (list (pair string int)))
+            "compacted journal recovers (4 commands in the header)"
+            [ (sid, 4) ]
+            (Daemon.recovered_sessions d2);
+          Alcotest.(check string) "fingerprint preserved" fp (status_fp d2 sid)))
+
+(* Two daemons must never share a journal dir: the second refuses at
+   create; once the first stops, the dir is free again. A stale lock left
+   by a SIGKILLed daemon (dead pid) is broken, not honored. *)
+let test_journal_lockfile () =
+  with_dir (fun dir ->
+      let cfg2 =
+        {
+          (journal_config ~dir ()) with
+          Daemon.dc_addr = Daemon.Unix_path (Filename.concat dir "d2.sock");
+        }
+      in
+      let d1 = Daemon.create (journal_config ~dir ()) in
+      (match Daemon.create cfg2 with
+      | _ -> Alcotest.fail "second daemon on a held journal dir must refuse"
+      | exception Failure msg ->
+        Alcotest.(check bool) "refusal names the lock" true
+          (contains msg "locked"));
+      Daemon.stop d1;
+      let d2 = Daemon.create cfg2 in
+      Daemon.stop d2;
+      (* stale lock: a dead pid in the lockfile must be broken silently *)
+      let lock = Filename.concat (Filename.concat dir "journal") "teamsimd.lock" in
+      Out_channel.with_open_text lock (fun oc -> output_string oc "999999999\n");
+      let d3 = Daemon.create cfg2 in
+      Daemon.stop d3)
+
+(* dc_journal_dir pointing at something unusable must refuse at create
+   (a daemon that cannot journal must not pretend it can recover). *)
+let test_journal_dir_unusable () =
+  let file = Filename.temp_file "adpm-serve" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let cfg =
+        {
+          (Daemon.default_config
+             ~addr:(Daemon.Unix_path (temp_path ".sock"))
+             ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+          with
+          Daemon.dc_journal_dir = Some file;
+        }
+      in
+      match Daemon.create cfg with
+      | d ->
+        Daemon.stop d;
+        Alcotest.fail "journal dir = regular file must refuse"
+      | exception Failure msg ->
+        Alcotest.(check bool) "error names the journal dir" true
+          (contains msg "journal"))
+
+(* When journaling breaks after startup (dir vanishes out from under the
+   daemon), an [open] is refused with [io] rather than running a session
+   the daemon cannot recover. *)
+let test_journal_write_failure_refuses_open () =
+  with_dir (fun dir ->
+      let d = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d)
+        (fun () ->
+          let jdir = Filename.concat dir "journal" in
+          rm_rf jdir;
+          Out_channel.with_open_text jdir (fun oc -> output_string oc "x");
+          let frame =
+            Daemon.handle d
+              (op "open"
+                 [
+                   ("scenario", Json.Str "simple");
+                   ("designer", Json.Str "alice");
+                 ])
+          in
+          ignore (expect_err "io" frame);
+          Alcotest.(check int) "no half-journaled session left" 0
+            (Daemon.session_count d)))
+
+(* Checkpoint io edge cases: unwritable target path, and a full device
+   (ENOSPC via /dev/full, when the host provides it). Both must come back
+   as [io] error frames with the session alive. *)
+let test_checkpoint_io_errors () =
+  with_daemon (fun d ->
+      let sid = open_simple d in
+      ignore (exec_ok d sid "auto");
+      let try_path p =
+        ignore
+          (expect_err "io"
+             (Daemon.handle d
+                (op "checkpoint"
+                   [ ("session", Json.Str sid); ("path", Json.Str p) ])));
+        Alcotest.(check int) "session survives the io error" 1
+          (Daemon.session_count d)
+      in
+      try_path "/nonexistent-dir-adpm/ck.jsonl";
+      if Sys.file_exists "/dev/full" then try_path "/dev/full")
+
+(* {2 Idempotent requests: the (client, id) reply cache} *)
+
+let with_id ?(client = "c1") idv fields frame_op =
+  op frame_op (("id", Json.Str idv) :: ("client", Json.Str client) :: fields)
+
+let command_count d sid =
+  match Daemon.find_session d sid with
+  | Some s -> Session.command_count s
+  | None -> Alcotest.failf "session %s vanished" sid
+
+let test_duplicate_id_answered_from_cache () =
+  with_daemon (fun d ->
+      let sid = open_simple d in
+      let exec_frame =
+        with_id "req-1"
+          [ ("session", Json.Str sid); ("line", Json.Str "auto") ]
+          "exec"
+      in
+      let first = Daemon.handle d exec_frame in
+      ignore (expect_ok first);
+      Alcotest.(check int) "executed once" 1 (command_count d sid);
+      let second = Daemon.handle d exec_frame in
+      Alcotest.(check string) "duplicate answered byte-identically"
+        (Json.to_string first) (Json.to_string second);
+      Alcotest.(check int) "duplicate did not re-execute" 1
+        (command_count d sid);
+      (* same id from another client is a different logical request *)
+      let other =
+        Daemon.handle d
+          (with_id ~client:"c2" "req-1"
+             [ ("session", Json.Str sid); ("line", Json.Str "auto") ]
+             "exec")
+      in
+      ignore (expect_ok other);
+      Alcotest.(check int) "distinct client executes" 2 (command_count d sid))
+
+(* The cache is rebuilt from the journal: a resend of a pre-crash request
+   is answered without double-execution even across a restart. *)
+let test_reply_cache_survives_restart () =
+  with_dir (fun dir ->
+      let open_frame =
+        with_id "open-1"
+          [
+            ("scenario", Json.Str "simple");
+            ("designer", Json.Str "alice");
+            ("mode", Json.Str "adpm");
+            ("seed", Json.Num 3.);
+          ]
+          "open"
+      in
+      let d1 = Daemon.create (journal_config ~dir ()) in
+      let opened = expect_ok (Daemon.handle d1 open_frame) in
+      let sid = str_field "session" opened in
+      let exec_frame =
+        with_id "exec-1"
+          [ ("session", Json.Str sid); ("line", Json.Str "auto") ]
+          "exec"
+      in
+      let first = Daemon.handle d1 exec_frame in
+      ignore (expect_ok first);
+      Daemon.stop d1;
+      let d2 = Daemon.create (journal_config ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d2)
+        (fun () ->
+          Alcotest.(check int) "replayed once" 1 (command_count d2 sid);
+          Alcotest.(check string)
+            "pre-crash exec resend answered byte-identically from the \
+             rebuilt cache"
+            (Json.to_string first)
+            (Json.to_string (Daemon.handle d2 exec_frame));
+          Alcotest.(check int) "resend did not re-execute" 1
+            (command_count d2 sid);
+          (* the open that created the session is cached too *)
+          Alcotest.(check string) "pre-crash open resend answered"
+            (Json.to_string opened)
+            (Json.to_string (Daemon.handle d2 open_frame));
+          Alcotest.(check int) "open resend made no second session" 1
+            (Daemon.session_count d2)))
+
+(* {2 Overload protection} *)
+
+let test_op_budget_overloaded () =
+  with_dir (fun dir ->
+      let d = Daemon.create (journal_config ~max_ops:2 ~dir ()) in
+      Fun.protect
+        ~finally:(fun () -> Daemon.stop d)
+        (fun () ->
+          let sid = open_simple d in
+          ignore (exec_ok d sid "auto");
+          ignore (exec_ok d sid "auto");
+          let frame =
+            expect_err "overloaded"
+              (Daemon.handle d
+                 (op "exec"
+                    [ ("session", Json.Str sid); ("line", Json.Str "auto") ]))
+          in
+          Alcotest.(check bool) "error names the budget" true
+            (contains (str_field "error" frame) "budget");
+          Alcotest.(check int) "budget refusal executes nothing" 2
+            (command_count d sid);
+          (* status still served: overload refuses work, not the session *)
+          ignore (status_fp d sid)))
+
+(* Admission control over a live socket: past dc_max_conns the daemon
+   answers one no-id [overloaded] frame and closes — never accepts work
+   it cannot serve. *)
+let test_conn_limit_overloaded () =
+  let sock = temp_path ".sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~addr:(Daemon.Unix_path sock)
+         ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+      with
+      Daemon.dc_max_conns = 1;
+    }
+  in
+  let d = Daemon.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let pump () = ignore (Daemon.step ~timeout:0. d : bool) in
+      let c1 = Client.connect (Unix.ADDR_UNIX sock) in
+      pump ();
+      let hello = Client.rpc ~timeout:10. ~pump c1 Wire.Hello in
+      Alcotest.(check bool) "first connection served" true hello.Wire.r_ok;
+      let c2 = Client.connect (Unix.ADDR_UNIX sock) in
+      let refused = Client.rpc ~timeout:10. ~pump c2 Wire.Hello in
+      Alcotest.(check bool) "second connection refused" false refused.Wire.r_ok;
+      Alcotest.(check (option string)) "refusal code is overloaded"
+        (Some "overloaded")
+        (Option.bind (Json.member "code" refused.Wire.r_body) Json.to_str);
+      Client.close c2;
+      (* the refused connection freed its slot only after close; the
+         first client keeps working throughout *)
+      let again = Client.rpc ~timeout:10. ~pump c1 Wire.Hello in
+      Alcotest.(check bool) "first connection unaffected" true again.Wire.r_ok;
+      Client.close c1)
+
+(* Slow-client defense: a peer that stops reading while responses pile up
+   past dc_max_write_buf is disconnected; the daemon keeps serving. *)
+let test_slow_client_disconnected () =
+  let sock = temp_path ".sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~addr:(Daemon.Unix_path sock)
+         ~scenarios:[ Adpm_scenarios.Simple.scenario ])
+      with
+      Daemon.dc_max_write_buf = 1024;
+      dc_sndbuf = Some 4096;
+    }
+  in
+  let d = Daemon.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop d)
+    (fun () ->
+      let pump () = ignore (Daemon.step ~timeout:0. d : bool) in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      (* flood requests without ever reading a response *)
+      let req = Json.to_string (Wire.request_to_json Wire.Hello) ^ "\n" in
+      (try
+         for _ = 1 to 2000 do
+           ignore (Unix.write_substring fd req 0 (String.length req));
+           pump ()
+         done
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      for _ = 1 to 50 do
+        pump ()
+      done;
+      (* the daemon must have hung up on us: draining the socket ends in
+         EOF, not an endless stream *)
+      let buf = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> true
+        | _ ->
+          pump ();
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+      in
+      Alcotest.(check bool) "slow client disconnected" true (drain ());
+      Unix.close fd;
+      (* a well-behaved client is still served *)
+      let c = Client.connect (Unix.ADDR_UNIX sock) in
+      pump ();
+      let hello = Client.rpc ~timeout:10. ~pump c Wire.Hello in
+      Alcotest.(check bool) "daemon still serves after the disconnect" true
+        hello.Wire.r_ok;
+      Client.close c)
+
+(* {2 Signal robustness (EINTR storm)} *)
+
+(* A SIGALRM storm (every 2 ms) while a scripted session runs over the
+   socket: every select/read/write on both sides keeps getting
+   interrupted, and nothing may fail or hang. *)
+let test_eintr_storm () =
+  let sock = temp_path ".sock" in
+  let cfg =
+    Daemon.default_config ~addr:(Daemon.Unix_path sock)
+      ~scenarios:[ Adpm_scenarios.Simple.scenario ]
+  in
+  let d = Daemon.create cfg in
+  let old_handler =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+  in
+  let stop_storm () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.; it_value = 0. }
+        : Unix.interval_timer_status);
+    Sys.set_signal Sys.sigalrm old_handler
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_storm ();
+      Daemon.stop d)
+    (fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.002; it_value = 0.002 }
+          : Unix.interval_timer_status);
+      let pump () = ignore (Daemon.step ~timeout:0. d : bool) in
+      let c = Client.connect (Unix.ADDR_UNIX sock) in
+      pump ();
+      let rpc req = Client.rpc ~timeout:30. ~pump c req in
+      let resp =
+        rpc
+          (Wire.Open
+             { scenario = "simple"; mode = Dpm.Adpm; seed = 2; designer = "bob" })
+      in
+      Alcotest.(check bool) "open under signal storm" true resp.Wire.r_ok;
+      let sid = Option.get (Client.body_str resp "session") in
+      for _ = 1 to 20 do
+        let r = rpc (Wire.Exec { session = sid; line = "auto" }) in
+        Alcotest.(check bool) "exec under signal storm" true r.Wire.r_ok
+      done;
+      Client.close c)
+
 let suite =
   [
     ("reader framing", `Quick, test_reader_framing);
@@ -492,4 +1028,133 @@ let suite =
       test_registry_resolution_errors );
     ("throwing session is isolated", `Quick, test_session_failed_teardown);
     ("64 sessions multiplex", `Quick, test_many_sessions);
+    ("journal auto-resume", `Quick, test_journal_autoresume);
+    ("journal drops a torn tail", `Quick, test_journal_torn_tail);
+    ("corrupt journal header quarantined", `Quick, test_journal_corrupt_header);
+    ("journal fingerprint gate", `Quick, test_journal_fingerprint_gate);
+    ("journal auto-compaction", `Quick, test_journal_compaction);
+    ("journal dir lockfile", `Quick, test_journal_lockfile);
+    ("unusable journal dir refused", `Quick, test_journal_dir_unusable);
+    ( "journal write failure refuses open",
+      `Quick,
+      test_journal_write_failure_refuses_open );
+    ("checkpoint io errors", `Quick, test_checkpoint_io_errors);
+    ( "duplicate request id answered from cache",
+      `Quick,
+      test_duplicate_id_answered_from_cache );
+    ("reply cache survives restart", `Quick, test_reply_cache_survives_restart);
+    ("op budget refused as overloaded", `Quick, test_op_budget_overloaded);
+    ("connection limit refused as overloaded", `Quick, test_conn_limit_overloaded);
+    ("slow client disconnected", `Quick, test_slow_client_disconnected);
+    ("EINTR signal storm", `Quick, test_eintr_storm);
+  ]
+
+(* {2 Wire robustness under forks and signals}
+
+   These fork, so they run in their own Alcotest suite registered
+   {e before} the "domains" suite in test_main.ml (the PR 7 fork latch:
+   forking after a Domain.spawn is unsound). *)
+
+(* A frame far larger than the socket's send buffer, read by a
+   deliberately slow peer: [Wire.send_line] must keep writing through
+   short writes until every byte is out. *)
+let test_short_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+  let payload = Json.Obj [ ("blob", Json.Str (String.make 300_000 'x')) ] in
+  let expected = String.length (Json.to_string payload) + 1 in
+  match Unix.fork () with
+  | 0 ->
+    (* child: dribble-read the frame and exit 0 iff the byte count is
+       exactly one whole frame *)
+    Unix.close a;
+    let buf = Bytes.create 777 in
+    let total = ref 0 in
+    let rec go () =
+      ignore (Unix.select [ b ] [] [] 5.);
+      match Unix.read b buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+        total := !total + n;
+        ignore (Unix.select [] [] [] 0.001);
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ();
+    Unix._exit (if !total = expected then 0 else 1)
+  | pid ->
+    Unix.close b;
+    Wire.send_line a payload;
+    Unix.close a;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "slow reader received the frame whole" true
+      (status = Unix.WEXITED 0)
+
+(* The same large write under a SIGALRM storm: write(2) keeps returning
+   EINTR and [send_line] must retry, not drop bytes. *)
+let test_write_eintr () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_int a Unix.SO_SNDBUF 4096;
+  let payload = Json.Obj [ ("blob", Json.Str (String.make 200_000 'y')) ] in
+  let expected = String.length (Json.to_string payload) + 1 in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close a;
+    let buf = Bytes.create 4096 in
+    let total = ref 0 in
+    let rec go () =
+      match Unix.read b buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+        total := !total + n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ();
+    Unix._exit (if !total = expected then 0 else 1)
+  | pid ->
+    Unix.close b;
+    let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.001; it_value = 0.001 }
+        : Unix.interval_timer_status);
+    Fun.protect
+      ~finally:(fun () ->
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_interval = 0.; it_value = 0. }
+            : Unix.interval_timer_status);
+        Sys.set_signal Sys.sigalrm old)
+      (fun () -> Wire.send_line a payload);
+    Unix.close a;
+    let _, status = Unix.waitpid [] pid in
+    Alcotest.(check bool) "frame complete despite EINTR storm" true
+      (status = Unix.WEXITED 0)
+
+(* Writing to a peer that already hung up must raise EPIPE as a normal
+   Unix_error — never kill the process with SIGPIPE. *)
+let test_epipe_not_sigpipe () =
+  Wire.ignore_sigpipe ();
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  let payload = Json.Obj [ ("blob", Json.Str (String.make 100_000 'z')) ] in
+  let got_epipe =
+    match
+      (* one frame may be swallowed by the socket buffer; keep writing *)
+      for _ = 1 to 64 do
+        Wire.send_line a payload
+      done
+    with
+    | () -> false
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  in
+  Unix.close a;
+  Alcotest.(check bool) "EPIPE raised, process alive" true got_epipe
+
+let wire_suite =
+  [
+    ("send_line survives short writes", `Quick, test_short_writes);
+    ("send_line survives EINTR", `Quick, test_write_eintr);
+    ("EPIPE instead of SIGPIPE", `Quick, test_epipe_not_sigpipe);
   ]
